@@ -1,0 +1,56 @@
+//! End-to-end discovery benchmarks: FASTOD vs TANE vs ORDER on small
+//! instances of each dataset analogue (the Criterion counterpart of
+//! Figures 4/5 at fixed, CI-friendly sizes), plus encoding and the
+//! approximate variant.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastod::{ApproxConfig, ApproxFastod, DiscoveryConfig, Fastod};
+use fastod_baselines::{Order, OrderConfig, Tane, TaneConfig};
+use fastod_datagen::{dbtesma_like, flight_like, hepatitis_like, ncvoter_like};
+
+fn bench_discovery(c: &mut Criterion) {
+    let datasets = vec![
+        ("flight", flight_like(1_000, 8, 0xF11647).encode()),
+        ("ncvoter", ncvoter_like(1_000, 8, 0x9C07E2).encode()),
+        ("hepatitis", hepatitis_like(155, 8, 0x4E9A).encode()),
+        ("dbtesma", dbtesma_like(1_000, 8, 0xDB7E53).encode()),
+    ];
+
+    let mut group = c.benchmark_group("discovery_1k_x8");
+    group.sample_size(10);
+    for (name, enc) in &datasets {
+        group.bench_with_input(BenchmarkId::new("fastod", name), enc, |b, enc| {
+            b.iter(|| Fastod::new(DiscoveryConfig::default()).discover(black_box(enc)))
+        });
+        group.bench_with_input(BenchmarkId::new("tane", name), enc, |b, enc| {
+            b.iter(|| Tane::new(TaneConfig::default()).discover(black_box(enc)))
+        });
+        group.bench_with_input(BenchmarkId::new("order", name), enc, |b, enc| {
+            b.iter(|| Order::new(OrderConfig::default()).discover(black_box(enc)))
+        });
+        group.bench_with_input(BenchmarkId::new("approx_1pct", name), enc, |b, enc| {
+            b.iter(|| ApproxFastod::new(ApproxConfig::new(0.01)).discover(black_box(enc)))
+        });
+    }
+    group.finish();
+
+    let mut scaling = c.benchmark_group("fastod_row_scaling");
+    scaling.sample_size(10);
+    let full = flight_like(20_000, 8, 0xF11647);
+    for rows in [5_000usize, 10_000, 20_000] {
+        let enc = full.head(rows).encode();
+        scaling.bench_with_input(BenchmarkId::from_parameter(rows), &enc, |b, enc| {
+            b.iter(|| Fastod::new(DiscoveryConfig::default()).discover(black_box(enc)))
+        });
+    }
+    scaling.finish();
+
+    let mut encode = c.benchmark_group("encoding");
+    encode.sample_size(20);
+    let rel = flight_like(10_000, 10, 0xF11647);
+    encode.bench_function("rank_encode_10k_x10", |b| b.iter(|| black_box(&rel).encode()));
+    encode.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

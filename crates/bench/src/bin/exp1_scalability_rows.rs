@@ -1,0 +1,77 @@
+//! **Exp-1 (Figure 4): scalability in the number of tuples |r|.**
+//!
+//! For flight/ncvoter/dbtesma analogues at 10 attributes, sweeps row counts
+//! (20%..100% of the scale's maximum) and reports the running time of TANE,
+//! FASTOD and ORDER together with the paper's count annotations
+//! `#set-based ODs (#FDs + #OCDs)`.
+//!
+//! Expected shape (paper): all three scale linearly in |r|; TANE < FASTOD;
+//! ORDER is slowest on flight/dbtesma but *fast-and-empty* on ncvoter
+//! (its swap pruning kills every candidate at level 2).
+
+use fastod::{DiscoveryConfig, Fastod};
+use fastod_baselines::{Order, OrderConfig, Tane, TaneConfig};
+use fastod_bench::{budget_from_env, run_budgeted, table::Table, write_csv, Scale};
+use fastod_datagen::{dbtesma_like, flight_like, ncvoter_like};
+use fastod_relation::Relation;
+
+type Gen = Box<dyn Fn(usize) -> Relation>;
+
+fn main() {
+    let scale = Scale::from_env();
+    let budget = budget_from_env();
+    let n_attrs = 10;
+    let datasets: Vec<(&str, Gen)> = vec![
+        ("flight", Box::new(move |n| flight_like(n, n_attrs, 0xF11647)) as Gen),
+        ("ncvoter", Box::new(move |n| ncvoter_like(n, n_attrs, 0x9C07E2))),
+        ("dbtesma", Box::new(move |n| dbtesma_like(n, n_attrs, 0xDB7E53))),
+    ];
+    let max_rows = [
+        scale.pick(2_000, 100_000, 500_000),
+        scale.pick(2_000, 100_000, 1_000_000),
+        scale.pick(2_000, 50_000, 250_000),
+    ];
+
+    println!("== Exp-1 (Figure 4): scalability in |r| — {n_attrs} attributes, budget {budget:?} ==\n");
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for ((name, gen), &max) in datasets.iter().zip(&max_rows) {
+        let mut table = Table::new(&[
+            "dataset", "|r|", "TANE", "FASTOD", "ORDER",
+            "FASTOD #ODs (#FDs + #OCDs)", "ORDER #ODs", "TANE #FDs",
+        ]);
+        let full = gen(max);
+        for pct in [20, 40, 60, 80, 100] {
+            let n = max * pct / 100;
+            let enc = full.head(n).encode();
+            let tane = run_budgeted(budget, |t| {
+                Tane::new(TaneConfig { cancel: t, ..Default::default() }).try_discover(&enc)
+            });
+            let fast = run_budgeted(budget, |t| {
+                Fastod::new(DiscoveryConfig::default().with_cancel(t)).try_discover(&enc)
+            });
+            let order = run_budgeted(budget, |t| {
+                Order::new(OrderConfig { cancel: t, ..Default::default() }).try_discover(&enc)
+            });
+            let row = vec![
+                name.to_string(),
+                n.to_string(),
+                tane.time_str(),
+                fast.time_str(),
+                order.time_str(),
+                fast.annotate(|r| r.summary()),
+                order.annotate(|r| r.summary()),
+                tane.annotate(|r| r.fds.len().to_string()),
+            ];
+            csv_rows.push(row.clone());
+            table.row(row);
+        }
+        table.print();
+        println!();
+    }
+    write_csv(
+        "exp1_scalability_rows",
+        &["dataset", "rows", "tane_time", "fastod_time", "order_time", "fastod_ods", "order_ods", "tane_fds"],
+        &csv_rows,
+    );
+    println!("(CSV written to results/exp1_scalability_rows.csv)");
+}

@@ -1,0 +1,89 @@
+//! **Exp-2 (Figure 5): scalability in the number of attributes |R|.**
+//!
+//! For flight/hepatitis/ncvoter/dbtesma analogues at fixed row counts
+//! (1K; hepatitis 155), sweeps attribute counts and reports TANE, FASTOD
+//! and ORDER runtimes (log-scale growth) with OD-count annotations.
+//!
+//! Expected shape (paper): FASTOD/TANE grow exponentially in |R|; ORDER
+//! grows factorially and hits the time budget on flight/dbtesma at 15–20
+//! attributes (the paper's "* 5h"), while finishing instantly on
+//! swap-dense hepatitis/ncvoter by finding (almost) nothing.
+
+use fastod::{DiscoveryConfig, Fastod};
+use fastod_baselines::{Order, OrderConfig, Tane, TaneConfig};
+use fastod_bench::{budget_from_env, run_budgeted, table::Table, write_csv, Scale};
+use fastod_datagen::{dbtesma_like, flight_like, hepatitis_like, ncvoter_like};
+use fastod_relation::Relation;
+
+fn main() {
+    let scale = Scale::from_env();
+    let budget = budget_from_env();
+    let rows = scale.pick(300, 1_000, 1_000);
+    type Gen = Box<dyn Fn(usize, usize) -> Relation>;
+    let datasets: Vec<(&str, usize, Vec<usize>, Gen)> = vec![
+        (
+            "flight",
+            rows,
+            scale.pick(vec![5, 8], vec![5, 10, 15, 20], vec![5, 10, 15, 20, 25, 30, 35, 40]),
+            Box::new(|n, a| flight_like(n, a, 0xF11647)) as Gen,
+        ),
+        (
+            "hepatitis",
+            155,
+            scale.pick(vec![5, 8], vec![5, 10, 15, 20], vec![5, 10, 15, 20]),
+            Box::new(|n, a| hepatitis_like(n, a, 0x4E9A)) as Gen,
+        ),
+        (
+            "ncvoter",
+            rows,
+            scale.pick(vec![5, 8], vec![5, 10, 15, 20], vec![5, 10, 15, 20]),
+            Box::new(|n, a| ncvoter_like(n, a, 0x9C07E2)) as Gen,
+        ),
+        (
+            "dbtesma",
+            rows,
+            scale.pick(vec![5, 8], vec![5, 10, 15, 20], vec![5, 10, 15, 20, 25, 30]),
+            Box::new(|n, a| dbtesma_like(n, a, 0xDB7E53)) as Gen,
+        ),
+    ];
+
+    println!("== Exp-2 (Figure 5): scalability in |R| — {rows} rows, budget {budget:?} ==\n");
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for (name, n_rows, attr_sweep, gen) in datasets {
+        let mut table = Table::new(&[
+            "dataset", "|R|", "TANE", "FASTOD", "ORDER",
+            "FASTOD #ODs (#FDs + #OCDs)", "ORDER #ODs",
+        ]);
+        for n_attrs in attr_sweep {
+            let enc = gen(n_rows, n_attrs).encode();
+            let tane = run_budgeted(budget, |t| {
+                Tane::new(TaneConfig { cancel: t, ..Default::default() }).try_discover(&enc)
+            });
+            let fast = run_budgeted(budget, |t| {
+                Fastod::new(DiscoveryConfig::default().with_cancel(t)).try_discover(&enc)
+            });
+            let order = run_budgeted(budget, |t| {
+                Order::new(OrderConfig { cancel: t, ..Default::default() }).try_discover(&enc)
+            });
+            let row = vec![
+                name.to_string(),
+                n_attrs.to_string(),
+                tane.time_str(),
+                fast.time_str(),
+                order.time_str(),
+                fast.annotate(|r| r.summary()),
+                order.annotate(|r| r.summary()),
+            ];
+            csv_rows.push(row.clone());
+            table.row(row);
+        }
+        table.print();
+        println!();
+    }
+    write_csv(
+        "exp2_scalability_attrs",
+        &["dataset", "attrs", "tane_time", "fastod_time", "order_time", "fastod_ods", "order_ods"],
+        &csv_rows,
+    );
+    println!("(CSV written to results/exp2_scalability_attrs.csv)");
+}

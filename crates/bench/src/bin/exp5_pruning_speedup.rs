@@ -1,0 +1,76 @@
+//! **Exp-5 (Figure 6, runtime panels): impact of the pruning strategies.**
+//!
+//! Compares FASTOD against FASTOD-NoPruning (no candidate sets, no node
+//! deletion, every non-trivial OD validated) over a row sweep and an
+//! attribute sweep on the flight analogue.
+//!
+//! Expected shape (paper): pruning wins by orders of magnitude, and the gap
+//! explodes with |R| (less than 1 s vs ~80 min at 1K×20; no-pruning does
+//! not terminate within the budget at 25 attributes).
+
+use fastod::{DiscoveryConfig, Fastod, NoPruningFastod};
+use fastod_bench::{budget_from_env, run_budgeted, table::Table, write_csv, Scale};
+use fastod_datagen::flight_like;
+
+fn main() {
+    let scale = Scale::from_env();
+    let budget = budget_from_env();
+
+    // Panel 1: row sweep at 10 attributes.
+    let max_rows = scale.pick(2_000, 100_000, 500_000);
+    println!("== Exp-5 (Figure 6): pruning impact — row sweep, 10 attrs, budget {budget:?} ==\n");
+    let mut t1 = Table::new(&["|r|", "FASTOD", "FASTOD-NoPruning", "speedup"]);
+    let mut csv_rows = Vec::new();
+    let full = flight_like(max_rows, 10, 0xF11647);
+    for pct in [20, 40, 60, 80, 100] {
+        let n = max_rows * pct / 100;
+        let enc = full.head(n).encode();
+        let fast = run_budgeted(budget, |t| {
+            Fastod::new(DiscoveryConfig::default().with_cancel(t)).try_discover(&enc)
+        });
+        let nop = run_budgeted(budget, |t| {
+            NoPruningFastod::new(None, t, false).try_discover(&enc)
+        });
+        let speedup = match (fast.value(), nop.value()) {
+            (Some(f), Some(n)) => format!(
+                "{:.1}x",
+                n.stats.total_time.as_secs_f64() / f.stats.total_time.as_secs_f64().max(1e-9)
+            ),
+            _ => "—".into(),
+        };
+        let row = vec![n.to_string(), fast.time_str(), nop.time_str(), speedup];
+        csv_rows.push(row.clone());
+        t1.row(row);
+    }
+    t1.print();
+    write_csv("exp5_pruning_rows", &["rows", "fastod", "no_pruning", "speedup"], &csv_rows);
+
+    // Panel 2: attribute sweep at 1K rows.
+    let rows = scale.pick(300, 1_000, 1_000);
+    let sweep = scale.pick(vec![4, 6], vec![5, 10, 15], vec![5, 10, 15, 20, 25]);
+    println!("\n== Exp-5 (Figure 6): pruning impact — attribute sweep, {rows} rows ==\n");
+    let mut t2 = Table::new(&["|R|", "FASTOD", "FASTOD-NoPruning", "speedup"]);
+    let mut csv_rows2 = Vec::new();
+    for n_attrs in sweep {
+        let enc = flight_like(rows, n_attrs, 0xF11647).encode();
+        let fast = run_budgeted(budget, |t| {
+            Fastod::new(DiscoveryConfig::default().with_cancel(t)).try_discover(&enc)
+        });
+        let nop = run_budgeted(budget, |t| {
+            NoPruningFastod::new(None, t, false).try_discover(&enc)
+        });
+        let speedup = match (fast.value(), nop.value()) {
+            (Some(f), Some(n)) => format!(
+                "{:.1}x",
+                n.stats.total_time.as_secs_f64() / f.stats.total_time.as_secs_f64().max(1e-9)
+            ),
+            _ => "—".into(),
+        };
+        let row = vec![n_attrs.to_string(), fast.time_str(), nop.time_str(), speedup];
+        csv_rows2.push(row.clone());
+        t2.row(row);
+    }
+    t2.print();
+    write_csv("exp5_pruning_attrs", &["attrs", "fastod", "no_pruning", "speedup"], &csv_rows2);
+    println!("\n(CSVs written to results/exp5_pruning_rows.csv and results/exp5_pruning_attrs.csv)");
+}

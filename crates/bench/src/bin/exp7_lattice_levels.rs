@@ -1,0 +1,56 @@
+//! **Exp-7 (Figure 7): effectiveness over lattice levels.**
+//!
+//! Runs FASTOD on the flight analogue and reports, per lattice level,
+//! the processing time and the number of ODs found (`#FDs + #OCDs`).
+//!
+//! Expected shape (paper, 1K×40): the per-level time first grows (the set
+//! lattice is diamond-shaped) and then shrinks as pruning deletes nodes;
+//! most ODs are found at small context sizes; candidate generation stops
+//! well before the lattice's full height (level 9 of 40 in the paper).
+
+use fastod::{DiscoveryConfig, Fastod};
+use fastod_bench::{budget_from_env, format_duration, run_budgeted, table::Table, write_csv, Scale};
+use fastod_datagen::flight_like;
+
+fn main() {
+    let scale = Scale::from_env();
+    let budget = budget_from_env();
+    let rows = scale.pick(300, 1_000, 1_000);
+    let n_attrs = scale.pick(10, 20, 40);
+
+    println!("== Exp-7 (Figure 7): per-level time and ODs — flight {rows}x{n_attrs}, budget {budget:?} ==\n");
+    let enc = flight_like(rows, n_attrs, 0xF11647).encode();
+    let fast = run_budgeted(budget, |t| {
+        Fastod::new(DiscoveryConfig::default().with_cancel(t)).try_discover(&enc)
+    });
+    let Some(result) = fast.value() else {
+        println!("FASTOD exceeded the budget; rerun with a larger FASTOD_BUDGET_SECS");
+        return;
+    };
+    let mut table = Table::new(&["level", "nodes", "pruned", "time", "#ODs (#FDs + #OCDs)"]);
+    let mut csv_rows = Vec::new();
+    for l in &result.stats.levels {
+        let row = vec![
+            l.level.to_string(),
+            l.nodes.to_string(),
+            l.pruned_nodes.to_string(),
+            format_duration(l.time),
+            format!("{} ({} + {})", l.ods_found(), l.fds_found, l.ocds_found),
+        ];
+        csv_rows.push(row.clone());
+        table.row(row);
+    }
+    table.print();
+    println!(
+        "\ntotal: {} in {} — highest level with candidates: {}",
+        result.summary(),
+        format_duration(result.stats.total_time),
+        result.stats.max_level(),
+    );
+    write_csv(
+        "exp7_lattice_levels",
+        &["level", "nodes", "pruned", "time", "ods"],
+        &csv_rows,
+    );
+    println!("(CSV written to results/exp7_lattice_levels.csv)");
+}

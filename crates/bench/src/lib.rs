@@ -1,0 +1,188 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5). See DESIGN.md §3 for the experiment index.
+//!
+//! Each `exp*` binary prints the same rows/series the paper reports and
+//! writes a CSV copy under `results/`. Absolute numbers differ from the
+//! paper (different hardware, synthetic analogues of the datasets); the
+//! *shape* — who wins, scaling behaviour, crossovers — is the reproduction
+//! target, recorded in EXPERIMENTS.md.
+//!
+//! Environment knobs:
+//! * `FASTOD_SCALE` — `smoke` (seconds), `default`, or `paper` (full sizes);
+//! * `FASTOD_BUDGET_SECS` — per-run time budget (default 60; the paper used
+//!   5 hours). Runs exceeding it are reported as `*TIMEOUT`, mirroring the
+//!   paper's "* 5h" markers.
+
+use fastod::{CancelToken, Cancelled};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub mod table;
+
+/// Outcome of a budgeted run.
+pub enum Outcome<T> {
+    /// Finished within budget.
+    Done {
+        /// The run's result.
+        value: T,
+        /// Wall-clock time.
+        elapsed: Duration,
+    },
+    /// Exceeded the budget (cooperatively cancelled).
+    TimedOut {
+        /// The budget that was exceeded.
+        budget: Duration,
+    },
+}
+
+impl<T> Outcome<T> {
+    /// The value, if the run completed.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            Outcome::Done { value, .. } => Some(value),
+            Outcome::TimedOut { .. } => None,
+        }
+    }
+
+    /// Elapsed time formatted for tables; timeouts render like the paper's
+    /// "* 5h" markers.
+    pub fn time_str(&self) -> String {
+        match self {
+            Outcome::Done { elapsed, .. } => format_duration(*elapsed),
+            Outcome::TimedOut { budget } => format!("*>{}", format_duration(*budget)),
+        }
+    }
+
+    /// Renders a per-run annotation (e.g. OD counts) or a dash on timeout.
+    pub fn annotate(&self, f: impl FnOnce(&T) -> String) -> String {
+        match self {
+            Outcome::Done { value, .. } => f(value),
+            Outcome::TimedOut { .. } => "—".to_string(),
+        }
+    }
+}
+
+/// Runs a cancellable computation under a time budget. Cancellation is
+/// cooperative (the discovery algorithms poll the token), so no thread is
+/// spawned and partial state is dropped cleanly.
+pub fn run_budgeted<T>(
+    budget: Duration,
+    f: impl FnOnce(CancelToken) -> Result<T, Cancelled>,
+) -> Outcome<T> {
+    let token = CancelToken::with_timeout(budget);
+    let start = Instant::now();
+    match f(token) {
+        Ok(value) => Outcome::Done {
+            value,
+            elapsed: start.elapsed(),
+        },
+        Err(Cancelled) => Outcome::TimedOut { budget },
+    }
+}
+
+/// Human-friendly duration: `412ms`, `3.21s`, `2m05s`.
+pub fn format_duration(d: Duration) -> String {
+    let ms = d.as_millis();
+    if ms < 1_000 {
+        format!("{ms}ms")
+    } else if ms < 120_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        let s = d.as_secs();
+        format!("{}m{:02}s", s / 60, s % 60)
+    }
+}
+
+/// Experiment scale selected via `FASTOD_SCALE`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Seconds-long sanity runs.
+    Smoke,
+    /// Minutes-long default (CI-friendly).
+    Default,
+    /// The paper's full dataset sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `FASTOD_SCALE` (defaults to [`Scale::Default`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("FASTOD_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Picks one of three values by scale.
+    pub fn pick<T>(self, smoke: T, default: T, paper: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Per-run time budget from `FASTOD_BUDGET_SECS` (default 60 s).
+pub fn budget_from_env() -> Duration {
+    let secs = std::env::var("FASTOD_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(60);
+    Duration::from_secs(secs)
+}
+
+/// Writes experiment rows as CSV under `results/`, creating the directory.
+/// Failures are reported but non-fatal (the stdout table is the artifact).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let dir = std::path::Path::new("results");
+    let mut body = String::new();
+    let _ = writeln!(body, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(body, "{}", row.join(","));
+    }
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join(format!("{name}.csv")), body))
+    {
+        eprintln!("warning: could not write results/{name}.csv: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgeted_run_completes() {
+        let out = run_budgeted(Duration::from_secs(60), |_t| Ok::<_, Cancelled>(42));
+        assert_eq!(out.value(), Some(&42));
+        assert!(!out.time_str().starts_with('*'));
+        assert_eq!(out.annotate(|v| v.to_string()), "42");
+    }
+
+    #[test]
+    fn budgeted_run_times_out() {
+        let out = run_budgeted(Duration::ZERO, |t| {
+            t.check()?;
+            Ok::<_, Cancelled>(1)
+        });
+        assert!(out.value().is_none());
+        assert!(out.time_str().starts_with("*>"));
+        assert_eq!(out.annotate(|v| v.to_string()), "—");
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(format_duration(Duration::from_millis(5)), "5ms");
+        assert_eq!(format_duration(Duration::from_millis(2500)), "2.50s");
+        assert_eq!(format_duration(Duration::from_secs(125)), "2m05s");
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+}

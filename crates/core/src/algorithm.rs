@@ -1,0 +1,406 @@
+//! The FASTOD main loop (paper Algorithms 1, 3, 4) and the shared lattice
+//! driver also used by the approximate variant.
+
+use crate::config::DiscoveryConfig;
+use crate::lattice::{build_level0, build_level1, calculate_next_level, sorted_keys, Level};
+use crate::pairset::PairSet;
+use crate::result::DiscoveryResult;
+use crate::stats::{DiscoveryStats, LevelStats};
+use crate::validators::{ExactValidator, OdValidator};
+use crate::{CancelToken, Cancelled};
+use fastod_partition::ProductScratch;
+use fastod_relation::{AttrSet, EncodedRelation};
+use fastod_theory::{CanonicalOd, OdSet};
+use std::time::Instant;
+
+/// Options for the generic lattice driver.
+pub(crate) struct DriverOptions {
+    pub max_level: Option<usize>,
+    pub cancel: CancelToken,
+    /// Whether to apply the Lemma-5-based candidate removal (Algorithm 3,
+    /// line 14). Exact discovery enables it; the approximate variant
+    /// disables it because Strengthen does not hold under error budgets.
+    pub lemma5_removals: bool,
+}
+
+/// The exact FASTOD discovery algorithm (Algorithm 1).
+///
+/// Produces a **complete, minimal** set of canonical ODs (Theorem 8):
+/// complete — every valid canonical OD over the instance is inferable from
+/// the output via the set-based axioms; minimal — no output OD is inferable
+/// from the others.
+pub struct Fastod {
+    config: DiscoveryConfig,
+}
+
+impl Fastod {
+    /// Creates a discovery instance with the given configuration.
+    pub fn new(config: DiscoveryConfig) -> Fastod {
+        Fastod { config }
+    }
+
+    /// Runs discovery; panics only if the configured token cancels
+    /// (use [`Fastod::try_discover`] with deadline tokens).
+    pub fn discover(&self, enc: &EncodedRelation) -> DiscoveryResult {
+        self.try_discover(enc)
+            .expect("discovery cancelled; use try_discover with cancellation tokens")
+    }
+
+    /// Runs discovery, returning `Err(Cancelled)` if the token fires.
+    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<DiscoveryResult, Cancelled> {
+        let mut validator = ExactValidator::new(enc, self.config.fd_check);
+        let opts = DriverOptions {
+            max_level: self.config.max_level,
+            cancel: self.config.cancel.clone(),
+            lemma5_removals: true,
+        };
+        run_lattice(enc, &mut validator, &opts)
+    }
+}
+
+/// The level-wise driver shared by exact and approximate discovery.
+pub(crate) fn run_lattice<V: OdValidator>(
+    enc: &EncodedRelation,
+    validator: &mut V,
+    opts: &DriverOptions,
+) -> Result<DiscoveryResult, Cancelled> {
+    let start = Instant::now();
+    let n_attrs = enc.n_attrs();
+    let mut m = OdSet::new();
+    let mut stats = DiscoveryStats::default();
+    let mut scratch = ProductScratch::new();
+
+    if n_attrs == 0 {
+        stats.total_time = start.elapsed();
+        return Ok(DiscoveryResult { ods: m, stats });
+    }
+
+    // Levels l-2, l-1 and l (Algorithm 1 lines 1–6).
+    let mut prev_prev: Level = Level::new();
+    let mut prev: Level = build_level0(enc.n_rows(), n_attrs);
+    let mut current: Level = build_level1(enc);
+    let mut l = 1usize;
+
+    while !current.is_empty() {
+        let level_start = Instant::now();
+        let mut lstats = LevelStats {
+            level: l,
+            nodes: current.len(),
+            ..Default::default()
+        };
+        compute_ods(
+            enc,
+            l,
+            &mut current,
+            &prev,
+            &prev_prev,
+            validator,
+            &mut m,
+            &mut lstats,
+            opts,
+        )?;
+        prune_levels(l, &mut current, &mut lstats);
+        let reached_cap = opts.max_level.is_some_and(|cap| l >= cap);
+        let next = if reached_cap {
+            Level::new()
+        } else {
+            calculate_next_level(&current, n_attrs, &mut scratch, &opts.cancel)?
+        };
+        lstats.time = level_start.elapsed();
+        stats.levels.push(lstats);
+        prev_prev = std::mem::take(&mut prev);
+        prev = std::mem::take(&mut current);
+        current = next;
+        l += 1;
+    }
+    stats.total_time = start.elapsed();
+    Ok(DiscoveryResult { ods: m, stats })
+}
+
+/// `computeODs(L_l)` — Algorithm 3.
+#[allow(clippy::too_many_arguments)]
+fn compute_ods<V: OdValidator>(
+    enc: &EncodedRelation,
+    l: usize,
+    current: &mut Level,
+    prev: &Level,
+    prev_prev: &Level,
+    validator: &mut V,
+    m: &mut OdSet,
+    lstats: &mut LevelStats,
+    opts: &DriverOptions,
+) -> Result<(), Cancelled> {
+    let n_attrs = enc.n_attrs();
+    let keys = sorted_keys(current);
+
+    // Lines 1–8: candidate sets for every node of the level.
+    for &bits in &keys {
+        let x = AttrSet::from_bits(bits);
+        // C⁺c(X) = ∩_{A ∈ X} C⁺c(X\A)   (line 2).
+        let mut cc = AttrSet::full(n_attrs);
+        for (_, parent_set) in x.parents() {
+            cc = cc.intersect(prev[&parent_set.bits()].cc);
+        }
+        let mut cs = PairSet::new(n_attrs);
+        if l == 2 {
+            // Line 4: C⁺s({A,B}) = {{A,B}}.
+            let attrs = x.to_vec();
+            cs.insert(attrs[0], attrs[1]);
+        } else if l > 2 {
+            // Line 6: pairs present in C⁺s(X\D) for every D ∈ X\{A,B}.
+            let mut candidates = PairSet::new(n_attrs);
+            for (_, parent_set) in x.parents() {
+                candidates.union_with(&prev[&parent_set.bits()].cs);
+            }
+            for (a, b) in candidates.iter() {
+                let ok = x
+                    .without(a)
+                    .without(b)
+                    .iter()
+                    .all(|d| prev[&x.without(d).bits()].cs.contains(a, b));
+                if ok {
+                    cs.insert(a, b);
+                }
+            }
+        }
+        let node = current.get_mut(&bits).expect("node exists");
+        node.cc = cc;
+        node.cs = cs;
+    }
+
+    // Lines 9–24: validate candidate ODs.
+    for &bits in &keys {
+        opts.cancel.check()?;
+        let x = AttrSet::from_bits(bits);
+
+        // FD loop (lines 10–16): for A ∈ X ∩ C⁺c(X), check X\A: [] ↦ A.
+        let candidates: Vec<_> = x.intersect(current[&bits].cc).to_vec();
+        for a in candidates {
+            let parent_set = x.without(a);
+            let parent = &prev[&parent_set.bits()].partition;
+            let node_part = &current[&bits].partition;
+            if validator.constancy(parent, node_part, a, lstats) {
+                m.insert(CanonicalOd::constancy(parent_set, a));
+                lstats.fds_found += 1;
+                let node = current.get_mut(&bits).expect("node exists");
+                node.cc = node.cc.without(a); // line 13
+                if opts.lemma5_removals {
+                    // Line 14: remove all B ∈ R\X from C⁺c(X) (Lemma 5).
+                    node.cc = node.cc.intersect(x);
+                }
+            }
+        }
+
+        // OCD loop (lines 17–24): for {A,B} ∈ C⁺s(X).
+        if l < 2 {
+            continue;
+        }
+        let pairs = current[&bits].cs.to_vec();
+        for (a, b) in pairs {
+            // Line 18: minimality via parents' C⁺c (Lemma 8).
+            let a_ok = prev[&x.without(b).bits()].cc.contains(a);
+            let b_ok = prev[&x.without(a).bits()].cc.contains(b);
+            if !a_ok || !b_ok {
+                current.get_mut(&bits).expect("node exists").cs.remove(a, b); // line 19
+                continue;
+            }
+            let ctx_set = x.without(a).without(b);
+            let ctx = &prev_prev[&ctx_set.bits()].partition;
+            if validator.order_compat(ctx, ctx_set.bits() as usize, a, b, lstats) {
+                m.insert(CanonicalOd::order_compat(ctx_set, a, b)); // line 21
+                lstats.ocds_found += 1;
+                current.get_mut(&bits).expect("node exists").cs.remove(a, b); // line 22
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `pruneLevels(L_l)` — Algorithm 4: delete nodes with both candidate sets
+/// empty (sound by Lemma 11).
+fn prune_levels(l: usize, current: &mut Level, lstats: &mut LevelStats) {
+    if l < 2 {
+        return;
+    }
+    let before = current.len();
+    current.retain(|_, node| !(node.cc.is_empty() && node.cs.is_empty()));
+    lstats.pruned_nodes = before - current.len();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FdCheckMode;
+    use fastod_relation::RelationBuilder;
+    use fastod_theory::validate::canonical_od_holds_naive;
+
+    fn employee() -> EncodedRelation {
+        RelationBuilder::new()
+            .column_i64("id", vec![10, 11, 12, 10, 11, 12])
+            .column_i64("yr", vec![16, 16, 16, 15, 15, 15])
+            .column_str("posit", vec!["secr", "mngr", "direct", "secr", "mngr", "direct"])
+            .column_i64("bin", vec![1, 2, 3, 1, 2, 3])
+            .column_f64("sal", vec![5.0, 8.0, 10.0, 4.5, 6.0, 8.0])
+            .build()
+            .unwrap()
+            .encode()
+    }
+
+    #[test]
+    fn discovers_paper_example_ods() {
+        let enc = employee();
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        // {posit}: [] ↦ bin holds and is minimal (Example 4).
+        assert!(result
+            .ods
+            .contains(&CanonicalOd::constancy(AttrSet::singleton(2), 3)));
+        // Everything discovered actually holds.
+        for od in result.ods.iter() {
+            assert!(canonical_od_holds_naive(&enc, od), "{od}");
+            assert!(!od.is_trivial(), "{od}");
+        }
+    }
+
+    #[test]
+    fn constant_column_found_at_level_one() {
+        let enc = RelationBuilder::new()
+            .column_i64("k", vec![1, 2, 3])
+            .column_i64("c", vec![7, 7, 7])
+            .build()
+            .unwrap()
+            .encode();
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        assert!(result
+            .ods
+            .contains(&CanonicalOd::constancy(AttrSet::EMPTY, 1)));
+        // k is a key: {}: [] -> k must NOT hold, but {c}... {k}: [] -> c is
+        // non-minimal (c constant in {}). k determines c and everything.
+        assert!(!result
+            .ods
+            .contains(&CanonicalOd::constancy(AttrSet::EMPTY, 0)));
+        assert!(!result
+            .ods
+            .contains(&CanonicalOd::constancy(AttrSet::singleton(0), 1)));
+    }
+
+    #[test]
+    fn constant_suppresses_pair_checks() {
+        // With c constant, {}: c ~ k is implied by Propagate and must not
+        // be reported.
+        let enc = RelationBuilder::new()
+            .column_i64("k", vec![1, 2, 3])
+            .column_i64("c", vec![7, 7, 7])
+            .build()
+            .unwrap()
+            .encode();
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        assert!(!result
+            .ods
+            .contains(&CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1)));
+    }
+
+    #[test]
+    fn monotone_pair_is_order_compatible() {
+        let enc = RelationBuilder::new()
+            .column_i64("x", vec![1, 2, 3, 4])
+            .column_i64("y", vec![10, 20, 20, 40])
+            .build()
+            .unwrap()
+            .encode();
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        assert!(result
+            .ods
+            .contains(&CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1)));
+        // x is a key, so {}: [] ↦ x fails; y→x fails FD-wise... {y}: []↦x
+        // fails since y has duplicates mapping to different x.
+        assert!(!result
+            .ods
+            .contains(&CanonicalOd::constancy(AttrSet::singleton(1), 0)));
+    }
+
+    #[test]
+    fn error_rate_and_scan_modes_agree() {
+        let enc = employee();
+        let r1 = Fastod::new(DiscoveryConfig::default().with_fd_check(FdCheckMode::ErrorRate))
+            .discover(&enc);
+        let r2 =
+            Fastod::new(DiscoveryConfig::default().with_fd_check(FdCheckMode::Scan)).discover(&enc);
+        let s1 = r1.ods.sorted();
+        let s2 = r2.ods.sorted();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn max_level_caps_search() {
+        let enc = employee();
+        let r = Fastod::new(DiscoveryConfig::default().with_max_level(2)).discover(&enc);
+        assert!(r.stats.max_level() <= 2);
+        assert!(r.ods.iter().all(|od| od.context().len() <= 1));
+    }
+
+    #[test]
+    fn cancellation_returns_err() {
+        let enc = employee();
+        let cfg = DiscoveryConfig::default()
+            .with_cancel(CancelToken::with_timeout(std::time::Duration::ZERO));
+        assert_eq!(Fastod::new(cfg).try_discover(&enc).unwrap_err(), Cancelled);
+    }
+
+    #[test]
+    fn empty_and_degenerate_relations() {
+        let empty = RelationBuilder::new()
+            .column_i64("a", vec![])
+            .column_i64("b", vec![])
+            .build()
+            .unwrap()
+            .encode();
+        let r = Fastod::new(DiscoveryConfig::default()).discover(&empty);
+        // On an empty instance every attribute is (vacuously) constant.
+        assert_eq!(r.n_fds(), 2);
+        assert_eq!(r.n_ocds(), 0);
+
+        let single = RelationBuilder::new()
+            .column_i64("a", vec![5])
+            .build()
+            .unwrap()
+            .encode();
+        let r = Fastod::new(DiscoveryConfig::default()).discover(&single);
+        assert!(r.ods.contains(&CanonicalOd::constancy(AttrSet::EMPTY, 0)));
+    }
+
+    #[test]
+    fn example_11_node_pruning() {
+        // Paper Example 11: with A: []↦B, B: []↦A and {}: A~B all valid,
+        // C⁺c({A,B}) and C⁺s({A,B}) empty out, the node {A,B} is deleted,
+        // and {A,B,C} is never considered (Figure 3's dashed region).
+        let enc = RelationBuilder::new()
+            .column_i64("a", vec![1, 1, 2, 2]) // A and B mutually determine
+            .column_i64("b", vec![10, 10, 20, 20]) // each other, same order
+            .column_i64("c", vec![4, 3, 2, 1])
+            .build()
+            .unwrap()
+            .encode();
+        let r = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        // The three ODs from the example are found...
+        assert!(r.ods.contains(&CanonicalOd::constancy(AttrSet::singleton(0), 1)));
+        assert!(r.ods.contains(&CanonicalOd::constancy(AttrSet::singleton(1), 0)));
+        assert!(r.ods.contains(&CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1)));
+        // ...and a node was pruned at level 2, keeping level 3 small.
+        let l2 = &r.stats.levels[1];
+        assert!(l2.pruned_nodes >= 1, "{:?}", r.stats.levels);
+        // No OD with the redundant {A,B}-ish contexts from the example.
+        assert!(!r.ods.contains(&CanonicalOd::constancy(AttrSet::from_iter([0, 1]), 2)));
+        assert!(!r.ods.contains(&CanonicalOd::order_compat(AttrSet::singleton(2), 0, 1)));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let enc = employee();
+        let r = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        assert!(!r.stats.levels.is_empty());
+        assert_eq!(r.stats.levels[0].level, 1);
+        assert_eq!(r.stats.levels[0].nodes, enc.n_attrs());
+        let found: usize = r.stats.levels.iter().map(|l| l.ods_found()).sum();
+        assert_eq!(found, r.ods.len());
+    }
+}

@@ -1,0 +1,130 @@
+//! Cooperative cancellation for long-running discovery.
+//!
+//! The experiment harness reproduces the paper's "* 5h" timeout markers by
+//! running each algorithm with a deadline token; the algorithms poll the
+//! token between lattice nodes and bail out with [`Cancelled`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation flag, optionally armed with a deadline.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<(Instant, Arc<AtomicBool>)>,
+}
+
+/// Error returned when discovery is cancelled before completion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("discovery cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+impl CancelToken {
+    /// A token that never cancels.
+    pub fn never() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token cancelled manually through the returned handle.
+    pub fn manual() -> (CancelToken, Arc<AtomicBool>) {
+        let flag = Arc::new(AtomicBool::new(false));
+        (
+            CancelToken {
+                flag: Some(flag.clone()),
+                deadline: None,
+            },
+            flag,
+        )
+    }
+
+    /// A token that cancels once `budget` has elapsed.
+    ///
+    /// The deadline is evaluated lazily on [`CancelToken::is_cancelled`]
+    /// checks; once tripped, the internal flag stays set.
+    pub fn with_timeout(budget: Duration) -> CancelToken {
+        CancelToken {
+            flag: None,
+            deadline: Some((Instant::now() + budget, Arc::new(AtomicBool::new(false)))),
+        }
+    }
+
+    /// Whether cancellation was requested (or the deadline passed).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some((deadline, tripped)) = &self.deadline {
+            if tripped.load(Ordering::Relaxed) {
+                return true;
+            }
+            if Instant::now() >= *deadline {
+                tripped.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `Err(Cancelled)` when cancellation was requested.
+    #[inline]
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn manual_cancellation() {
+        let (t, handle) = CancelToken::manual();
+        assert!(!t.is_cancelled());
+        handle.store(true, Ordering::Relaxed);
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn timeout_trips_and_stays() {
+        let t = CancelToken::with_timeout(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn generous_timeout_does_not_trip() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let (t, handle) = CancelToken::manual();
+        let t2 = t.clone();
+        handle.store(true, Ordering::Relaxed);
+        assert!(t2.is_cancelled());
+    }
+}

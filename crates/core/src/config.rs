@@ -1,0 +1,73 @@
+//! Discovery configuration.
+
+use crate::CancelToken;
+
+/// How constancy ODs (`X\A: [] ↦ A`, i.e. FDs) are validated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FdCheckMode {
+    /// TANE's error-rate shortcut (§4.6): `X\A: [] ↦ A` holds iff
+    /// `e(Π*_{X\A}) = e(Π*_X)`, an O(1) comparison of two precomputed
+    /// values. This is the default.
+    #[default]
+    ErrorRate,
+    /// Direct scan of `Π*_{X\A}` checking `|Π_A(E)| = 1` per class. Linear;
+    /// kept for cross-checking and the ablation benches.
+    Scan,
+}
+
+/// Configuration for [`crate::Fastod`].
+#[derive(Clone, Default)]
+pub struct DiscoveryConfig {
+    /// Stop after this lattice level (context size + 1); `None` = unbounded.
+    pub max_level: Option<usize>,
+    /// Cooperative cancellation (deadline) token.
+    pub cancel: CancelToken,
+    /// FD validation strategy.
+    pub fd_check: FdCheckMode,
+}
+
+impl DiscoveryConfig {
+    /// Default configuration: unbounded levels, no cancellation, error-rate
+    /// FD checks.
+    pub fn new() -> DiscoveryConfig {
+        DiscoveryConfig::default()
+    }
+
+    /// Sets a lattice-level cap.
+    pub fn with_max_level(mut self, max_level: usize) -> Self {
+        self.max_level = Some(max_level);
+        self
+    }
+
+    /// Sets the cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets the FD validation strategy.
+    pub fn with_fd_check(mut self, mode: FdCheckMode) -> Self {
+        self.fd_check = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = DiscoveryConfig::new()
+            .with_max_level(3)
+            .with_fd_check(FdCheckMode::Scan);
+        assert_eq!(cfg.max_level, Some(3));
+        assert_eq!(cfg.fd_check, FdCheckMode::Scan);
+        assert!(!cfg.cancel.is_cancelled());
+    }
+
+    #[test]
+    fn default_is_error_rate() {
+        assert_eq!(FdCheckMode::default(), FdCheckMode::ErrorRate);
+    }
+}

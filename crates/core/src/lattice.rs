@@ -1,0 +1,188 @@
+//! Lattice levels and nodes (paper §4.1, Figure 3; Algorithm 2).
+
+use crate::pairset::PairSet;
+use crate::{CancelToken, Cancelled};
+use fastod_partition::{ProductScratch, StrippedPartition};
+use fastod_relation::AttrSet;
+use std::collections::HashMap;
+
+/// A lattice node: the attribute set is the map key; the node carries its
+/// stripped partition `Π*_X` and candidate sets `C⁺c(X)` / `C⁺s(X)`.
+pub(crate) struct Node {
+    pub partition: StrippedPartition,
+    pub cc: AttrSet,
+    pub cs: PairSet,
+}
+
+/// One lattice level `L_l`, keyed by the node's attribute-set bits.
+pub(crate) type Level = HashMap<u64, Node>;
+
+/// The keys of a level in ascending bit order (deterministic iteration).
+pub(crate) fn sorted_keys(level: &Level) -> Vec<u64> {
+    let mut keys: Vec<u64> = level.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// `calculateNextLevel(L_l)` — Algorithm 2.
+///
+/// Sets are grouped into *prefix blocks*: two sets join iff they share all
+/// attributes except their largest one (`singleAttrDiffBlocks`). A candidate
+/// `X = Y ∪ {B, C}` survives iff every `l`-subset `X\A` is present in `L_l`
+/// (the Apriori condition, Line 4). Its partition is the product of the two
+/// generating parents (`Π_{YB} · Π_{YC} = Π_X`).
+pub(crate) fn calculate_next_level(
+    level: &Level,
+    n_attrs: usize,
+    scratch: &mut ProductScratch,
+    cancel: &CancelToken,
+) -> Result<Level, Cancelled> {
+    // Group by "set minus largest attribute".
+    let mut blocks: HashMap<u64, Vec<AttrSet>> = HashMap::new();
+    for &bits in level.keys() {
+        let set = AttrSet::from_bits(bits);
+        let largest = 63 - bits.leading_zeros() as usize;
+        blocks.entry(set.without(largest).bits()).or_default().push(set);
+    }
+    let mut next = Level::new();
+    let mut block_keys: Vec<u64> = blocks.keys().copied().collect();
+    block_keys.sort_unstable();
+    for key in block_keys {
+        let members = &mut blocks.get_mut(&key).unwrap()[..];
+        members.sort_unstable();
+        for i in 0..members.len() {
+            cancel.check()?;
+            for j in (i + 1)..members.len() {
+                let x = members[i].union(members[j]);
+                // Apriori: all l-subsets must be present.
+                if !x.parents().all(|(_, sub)| level.contains_key(&sub.bits())) {
+                    continue;
+                }
+                let partition = level[&members[i].bits()]
+                    .partition
+                    .product(&level[&members[j].bits()].partition, scratch);
+                next.insert(
+                    x.bits(),
+                    Node {
+                        partition,
+                        cc: AttrSet::EMPTY,          // filled by computeODs
+                        cs: PairSet::new(n_attrs),   // filled by computeODs
+                    },
+                );
+            }
+        }
+    }
+    Ok(next)
+}
+
+/// Builds level 1: one node per attribute with `Π*_{{A}}` from its codes.
+pub(crate) fn build_level1(enc: &fastod_relation::EncodedRelation) -> Level {
+    let n_attrs = enc.n_attrs();
+    let mut level = Level::with_capacity(n_attrs);
+    for a in 0..n_attrs {
+        level.insert(
+            AttrSet::singleton(a).bits(),
+            Node {
+                partition: StrippedPartition::from_codes(enc.codes(a), enc.cardinality(a)),
+                cc: AttrSet::EMPTY,
+                cs: PairSet::new(n_attrs),
+            },
+        );
+    }
+    level
+}
+
+/// Builds level 0: the single `{}` node with the unit partition and
+/// `C⁺c({}) = R` (Algorithm 1, lines 1–3).
+pub(crate) fn build_level0(n_rows: usize, n_attrs: usize) -> Level {
+    let mut level = Level::with_capacity(1);
+    level.insert(
+        AttrSet::EMPTY.bits(),
+        Node {
+            partition: StrippedPartition::unit(n_rows),
+            cc: AttrSet::full(n_attrs),
+            cs: PairSet::new(n_attrs),
+        },
+    );
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastod_relation::RelationBuilder;
+
+    fn enc3() -> fastod_relation::EncodedRelation {
+        RelationBuilder::new()
+            .column_i64("a", vec![0, 0, 1, 1])
+            .column_i64("b", vec![0, 1, 0, 1])
+            .column_i64("c", vec![0, 1, 2, 3])
+            .build()
+            .unwrap()
+            .encode()
+    }
+
+    #[test]
+    fn level1_has_one_node_per_attr() {
+        let l1 = build_level1(&enc3());
+        assert_eq!(l1.len(), 3);
+        assert!(l1.contains_key(&AttrSet::singleton(2).bits()));
+        // c is a key: stripped partition empty.
+        assert!(l1[&AttrSet::singleton(2).bits()].partition.is_superkey());
+    }
+
+    #[test]
+    fn next_level_generates_all_pairs() {
+        let enc = enc3();
+        let l1 = build_level1(&enc);
+        let mut scratch = ProductScratch::new();
+        let l2 = calculate_next_level(&l1, 3, &mut scratch, &CancelToken::never()).unwrap();
+        assert_eq!(l2.len(), 3); // {a,b}, {a,c}, {b,c}
+        // Partition of {a,b} refines both.
+        let ab = &l2[&AttrSet::from_iter([0, 1]).bits()].partition;
+        assert!(ab.is_superkey()); // (a,b) is a key here
+    }
+
+    #[test]
+    fn apriori_condition_blocks_missing_parents() {
+        let enc = enc3();
+        let l1 = build_level1(&enc);
+        let mut scratch = ProductScratch::new();
+        let mut l2 = calculate_next_level(&l1, 3, &mut scratch, &CancelToken::never()).unwrap();
+        // Remove {b,c}: {a,b,c} then lacks a parent and must not be created.
+        l2.remove(&AttrSet::from_iter([1, 2]).bits());
+        let l3 = calculate_next_level(&l2, 3, &mut scratch, &CancelToken::never()).unwrap();
+        assert!(l3.is_empty());
+    }
+
+    #[test]
+    fn full_lattice_from_complete_levels() {
+        let enc = enc3();
+        let l1 = build_level1(&enc);
+        let mut scratch = ProductScratch::new();
+        let l2 = calculate_next_level(&l1, 3, &mut scratch, &CancelToken::never()).unwrap();
+        let l3 = calculate_next_level(&l2, 3, &mut scratch, &CancelToken::never()).unwrap();
+        assert_eq!(l3.len(), 1);
+        assert!(l3.contains_key(&AttrSet::full(3).bits()));
+        let l4 = calculate_next_level(&l3, 3, &mut scratch, &CancelToken::never()).unwrap();
+        assert!(l4.is_empty());
+    }
+
+    #[test]
+    fn cancellation_propagates() {
+        let enc = enc3();
+        let l1 = build_level1(&enc);
+        let mut scratch = ProductScratch::new();
+        let token = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let result = calculate_next_level(&l1, 3, &mut scratch, &token);
+        assert!(matches!(result, Err(Cancelled)));
+    }
+
+    #[test]
+    fn level0_unit_node() {
+        let l0 = build_level0(4, 3);
+        let node = &l0[&AttrSet::EMPTY.bits()];
+        assert_eq!(node.cc, AttrSet::full(3));
+        assert_eq!(node.partition.n_classes(), 1);
+    }
+}

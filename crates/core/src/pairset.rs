@@ -1,0 +1,196 @@
+//! Bitsets over unordered attribute pairs — the representation of `C⁺s(X)`
+//! (Definition 8).
+//!
+//! Order compatibility is symmetric (Commutativity axiom), so "only `{A,B}`
+//! is stored ... instead of both `[A,B]` and `[B,A]`" (§4.2). Pairs `(a, b)`
+//! with `a < b` index into a triangular bitmap: `idx = b(b−1)/2 + a`.
+
+use fastod_relation::AttrId;
+
+/// A set of unordered attribute pairs backed by a triangular bitmap.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PairSet {
+    words: Vec<u64>,
+    n_attrs: usize,
+}
+
+#[inline]
+fn pair_index(a: AttrId, b: AttrId) -> usize {
+    debug_assert!(a < b);
+    b * (b - 1) / 2 + a
+}
+
+impl PairSet {
+    /// Creates an empty pair set over `n_attrs` attributes.
+    pub fn new(n_attrs: usize) -> PairSet {
+        let bits = n_attrs * n_attrs.saturating_sub(1) / 2;
+        PairSet {
+            words: vec![0; bits.div_ceil(64)],
+            n_attrs,
+        }
+    }
+
+    /// Normalizes and inserts the pair `{a, b}` (`a ≠ b`).
+    pub fn insert(&mut self, a: AttrId, b: AttrId) {
+        let (a, b) = normalize(a, b);
+        let idx = pair_index(a, b);
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Removes the pair `{a, b}`.
+    pub fn remove(&mut self, a: AttrId, b: AttrId) {
+        let (a, b) = normalize(a, b);
+        let idx = pair_index(a, b);
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Membership test for `{a, b}`.
+    pub fn contains(&self, a: AttrId, b: AttrId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (a, b) = normalize(a, b);
+        let idx = pair_index(a, b);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Whether the set has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of pairs.
+    #[allow(dead_code)] // part of the container API; exercised in tests
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &PairSet) {
+        debug_assert_eq!(self.n_attrs, other.n_attrs);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Iterates pairs `(a, b)` with `a < b` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(index_to_pair(wi * 64 + bit))
+            })
+        })
+    }
+
+    /// Collects the pairs into a vector.
+    pub fn to_vec(&self) -> Vec<(AttrId, AttrId)> {
+        self.iter().collect()
+    }
+}
+
+#[inline]
+fn normalize(a: AttrId, b: AttrId) -> (AttrId, AttrId) {
+    assert_ne!(a, b, "pairs require distinct attributes");
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Inverse of [`pair_index`]: recovers `(a, b)` from a triangular index.
+fn index_to_pair(idx: usize) -> (AttrId, AttrId) {
+    // b is the largest integer with b(b-1)/2 <= idx.
+    let mut b = ((((8 * idx + 1) as f64).sqrt() + 1.0) / 2.0) as usize;
+    while b * (b - 1) / 2 > idx {
+        b -= 1;
+    }
+    while (b + 1) * b / 2 <= idx {
+        b += 1;
+    }
+    let a = idx - b * (b - 1) / 2;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = PairSet::new(5);
+        assert!(s.is_empty());
+        s.insert(3, 1);
+        assert!(s.contains(1, 3));
+        assert!(s.contains(3, 1)); // unordered
+        assert!(!s.contains(1, 2));
+        assert!(!s.contains(1, 1));
+        s.remove(1, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut s = PairSet::new(6);
+        s.insert(0, 1);
+        s.insert(2, 5);
+        s.insert(3, 4);
+        assert_eq!(s.len(), 3);
+        let v = s.to_vec();
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(&(0, 1)));
+        assert!(v.contains(&(2, 5)));
+        assert!(v.contains(&(3, 4)));
+        assert!(v.iter().all(|&(a, b)| a < b));
+    }
+
+    #[test]
+    fn union() {
+        let mut s = PairSet::new(4);
+        s.insert(0, 1);
+        let mut t = PairSet::new(4);
+        t.insert(2, 3);
+        s.union_with(&t);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0, 1) && s.contains(2, 3));
+    }
+
+    #[test]
+    fn index_roundtrip_exhaustive() {
+        // Every pair over 64 attributes maps to a unique index and back.
+        let mut seen = std::collections::HashSet::new();
+        for b in 1..64usize {
+            for a in 0..b {
+                let idx = pair_index(a, b);
+                assert!(seen.insert(idx), "collision at ({a},{b})");
+                assert_eq!(index_to_pair(idx), (a, b));
+            }
+        }
+        assert_eq!(seen.len(), 64 * 63 / 2);
+    }
+
+    #[test]
+    fn full_width_set() {
+        let mut s = PairSet::new(64);
+        for b in 1..64 {
+            for a in 0..b {
+                s.insert(a, b);
+            }
+        }
+        assert_eq!(s.len(), 2016);
+        assert_eq!(s.iter().count(), 2016);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn same_attr_pair_panics() {
+        let mut s = PairSet::new(4);
+        s.insert(2, 2);
+    }
+}

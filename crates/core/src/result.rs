@@ -1,0 +1,48 @@
+//! Discovery results.
+
+use crate::stats::DiscoveryStats;
+use fastod_theory::OdSet;
+
+/// The outcome of a (complete) discovery run: the minimal OD set `M` plus
+/// run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct DiscoveryResult {
+    /// The discovered complete, minimal set of canonical ODs.
+    pub ods: OdSet,
+    /// Per-level and total statistics.
+    pub stats: DiscoveryStats,
+}
+
+impl DiscoveryResult {
+    /// Count of constancy ODs (`X: [] ↦ A`) — the paper's "#FDs".
+    pub fn n_fds(&self) -> usize {
+        self.ods.n_constancies()
+    }
+
+    /// Count of order-compatibility ODs (`X: A ~ B`) — the paper's "#OCDs".
+    pub fn n_ocds(&self) -> usize {
+        self.ods.n_order_compats()
+    }
+
+    /// Summary in the paper's reporting format, e.g. `14 (13 + 1)`.
+    pub fn summary(&self) -> String {
+        format!("{} ({} + {})", self.ods.len(), self.n_fds(), self.n_ocds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastod_relation::AttrSet;
+    use fastod_theory::CanonicalOd;
+
+    #[test]
+    fn summary_format() {
+        let mut r = DiscoveryResult::default();
+        r.ods.insert(CanonicalOd::constancy(AttrSet::EMPTY, 0));
+        r.ods.insert(CanonicalOd::order_compat(AttrSet::EMPTY, 1, 2));
+        assert_eq!(r.summary(), "2 (1 + 1)");
+        assert_eq!(r.n_fds(), 1);
+        assert_eq!(r.n_ocds(), 1);
+    }
+}

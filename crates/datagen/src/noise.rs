@@ -1,0 +1,141 @@
+//! Error injection for data-quality experiments.
+//!
+//! Approximate-OD workflows (paper §7) need controllably dirty data: take a
+//! clean relation, corrupt a known fraction of cells, and check that
+//! thresholded discovery recovers the clean rules. [`inject_noise`] performs
+//! the corruption with a per-cell audit trail so tests can verify witnesses.
+
+use fastod_relation::{AttrId, Column, ColumnData, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One corrupted cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InjectedError {
+    /// Row of the corrupted cell.
+    pub row: usize,
+    /// Column of the corrupted cell.
+    pub attr: AttrId,
+}
+
+/// Corrupts approximately `fraction` of the cells in the given columns by
+/// swapping each selected cell's value with that of another random row in
+/// the same column (value-swap keeps the column's domain intact, so
+/// cardinalities and type profiles are preserved).
+///
+/// Returns the dirty relation and the audit list of injected errors.
+pub fn inject_noise(
+    rel: &Relation,
+    attrs: &[AttrId],
+    fraction: f64,
+    seed: u64,
+) -> (Relation, Vec<InjectedError>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rel.n_rows();
+    let mut errors = Vec::new();
+    let mut columns: Vec<Column> = Vec::with_capacity(rel.n_attrs());
+    for a in 0..rel.n_attrs() {
+        let mut data = rel.column(a).data().clone();
+        if attrs.contains(&a) && n >= 2 {
+            for row in 0..n {
+                if rng.gen_bool(fraction) {
+                    let other = rng.gen_range(0..n);
+                    if other != row {
+                        swap_cells(&mut data, row, other);
+                        errors.push(InjectedError { row, attr: a });
+                    }
+                }
+            }
+        }
+        columns.push(Column::new(data));
+    }
+    let rel = Relation::new(rel.schema().clone(), columns)
+        .expect("noise injection preserves shape");
+    (rel, errors)
+}
+
+fn swap_cells(data: &mut ColumnData, i: usize, j: usize) {
+    match data {
+        ColumnData::Int(v) => v.swap(i, j),
+        ColumnData::Float(v) => v.swap(i, j),
+        ColumnData::Str(v) => v.swap(i, j),
+        ColumnData::Date(v) => v.swap(i, j),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastod_relation::RelationBuilder;
+
+    fn clean() -> Relation {
+        RelationBuilder::new()
+            .column_i64("key", (0..200).collect())
+            .column_i64("val", (0..200).map(|i| i * 2).collect())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn untouched_columns_unchanged() {
+        let rel = clean();
+        let (dirty, _) = inject_noise(&rel, &[1], 0.1, 5);
+        assert_eq!(rel.column(0), dirty.column(0));
+        assert_ne!(rel.column(1), dirty.column(1));
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let rel = clean();
+        let (dirty, errors) = inject_noise(&rel, &[0, 1], 0.0, 5);
+        assert_eq!(rel, dirty);
+        assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn error_count_tracks_fraction() {
+        let rel = clean();
+        let (_, errors) = inject_noise(&rel, &[1], 0.10, 5);
+        // ~20 expected over 200 rows; allow generous slack.
+        assert!((5..=45).contains(&errors.len()), "{}", errors.len());
+        assert!(errors.iter().all(|e| e.attr == 1 && e.row < 200));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let rel = clean();
+        assert_eq!(inject_noise(&rel, &[1], 0.1, 9).0, inject_noise(&rel, &[1], 0.1, 9).0);
+    }
+
+    #[test]
+    fn swap_preserves_value_multiset() {
+        let rel = clean();
+        let (dirty, _) = inject_noise(&rel, &[1], 0.3, 5);
+        let mut orig: Vec<_> = (0..200).map(|r| rel.value(r, 1)).collect();
+        let mut got: Vec<_> = (0..200).map(|r| dirty.value(r, 1)).collect();
+        orig.sort();
+        got.sort();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn approximate_discovery_recovers_dirty_rule() {
+        // key ~ val holds exactly on the clean data; after 2% noise only
+        // approximate discovery sees it.
+        use fastod::{ApproxConfig, ApproxFastod, DiscoveryConfig, Fastod};
+        use fastod_relation::AttrSet;
+        use fastod_theory::CanonicalOd;
+        let rel = clean();
+        let (dirty, errors) = inject_noise(&rel, &[1], 0.02, 5);
+        assert!(!errors.is_empty());
+        let enc = dirty.encode();
+        let target = CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1);
+        let exact = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        assert!(!exact.ods.contains(&target));
+        // Each swapped pair dirties at most 2 rows; budget generously.
+        let eps = (errors.len() * 2 + 2) as f64 / 200.0;
+        let approx = ApproxFastod::new(ApproxConfig::new(eps.min(1.0))).discover(&enc);
+        assert!(approx.ods.contains(&target));
+    }
+}

@@ -1,0 +1,159 @@
+//! Removal-based error measures for approximate ODs (paper §7, future work:
+//! "approximate ODs that almost hold over a relation instance within a
+//! specified threshold").
+//!
+//! Both measures count the minimum number of tuples that must be deleted for
+//! the OD to hold exactly, which makes them monotone under context
+//! refinement — refining the partition never increases the error — so the
+//! lattice pruning machinery stays sound for thresholded discovery.
+
+use crate::StrippedPartition;
+
+/// Minimum number of rows to remove so that `X: [] ↦ A` holds: within each
+/// class, keep the most frequent `A`-code and drop the rest.
+pub fn constancy_removal_error(ctx: &StrippedPartition, codes_a: &[u32]) -> usize {
+    let mut buf: Vec<u32> = Vec::new();
+    let mut total = 0usize;
+    for class in ctx.classes() {
+        buf.clear();
+        buf.extend(class.iter().map(|&r| codes_a[r as usize]));
+        buf.sort_unstable();
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut prev = u32::MAX;
+        for &c in &buf {
+            if c == prev {
+                run += 1;
+            } else {
+                run = 1;
+                prev = c;
+            }
+            best = best.max(run);
+        }
+        total += class.len() - best;
+    }
+    total
+}
+
+/// Minimum number of rows to remove so that `X: A ~ B` holds.
+///
+/// Within each class, rows are sorted by `(A, B)`; a maximum swap-free keep
+/// set corresponds to a longest non-decreasing subsequence of the `B`-codes
+/// in that order (rows with equal `A` never conflict, and sorting ties by `B`
+/// makes every valid keep set a non-decreasing subsequence).
+pub fn swap_removal_error(
+    ctx: &StrippedPartition,
+    codes_a: &[u32],
+    codes_b: &[u32],
+) -> usize {
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut tails: Vec<u32> = Vec::new();
+    let mut total = 0usize;
+    for class in ctx.classes() {
+        pairs.clear();
+        pairs.extend(
+            class
+                .iter()
+                .map(|&r| (codes_a[r as usize], codes_b[r as usize])),
+        );
+        pairs.sort_unstable();
+        // Longest non-decreasing subsequence over B via patience sorting:
+        // tails[k] = smallest possible tail of a subsequence of length k+1.
+        tails.clear();
+        for &(_, b) in &*pairs {
+            // partition_point gives the first index with tails[i] > b —
+            // replacing it keeps the subsequence non-decreasing (ties allowed).
+            let pos = tails.partition_point(|&t| t <= b);
+            if pos == tails.len() {
+                tails.push(b);
+            } else {
+                tails[pos] = b;
+            }
+        }
+        total += class.len() - tails.len();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_constancy, check_order_compat, SortedColumn, SwapScratch};
+
+    fn unit(n: usize) -> StrippedPartition {
+        StrippedPartition::unit(n)
+    }
+
+    #[test]
+    fn constancy_error_zero_iff_valid() {
+        let ctx = StrippedPartition::from_classes(4, vec![vec![0, 1], vec![2, 3]]);
+        let good = vec![5, 5, 6, 6];
+        let bad = vec![5, 5, 6, 7];
+        assert_eq!(constancy_removal_error(&ctx, &good), 0);
+        assert!(check_constancy(&ctx, &good));
+        assert_eq!(constancy_removal_error(&ctx, &bad), 1);
+        assert!(!check_constancy(&ctx, &bad));
+    }
+
+    #[test]
+    fn constancy_error_counts_minority() {
+        let ctx = unit(5);
+        // Majority code 1 (3 rows); remove 2.
+        assert_eq!(constancy_removal_error(&ctx, &[1, 1, 1, 0, 2]), 2);
+    }
+
+    #[test]
+    fn swap_error_zero_iff_valid() {
+        let ctx = unit(4);
+        let a = vec![0, 1, 2, 3];
+        let asc = vec![0, 0, 1, 2];
+        let desc = vec![3, 2, 1, 0];
+        assert_eq!(swap_removal_error(&ctx, &a, &asc), 0);
+        assert_eq!(swap_removal_error(&ctx, &a, &desc), 3);
+        let tau = SortedColumn::build(&a, 4);
+        let mut s = SwapScratch::new();
+        assert!(check_order_compat(&ctx, &tau, &a, &asc, &mut s, None));
+        assert!(!check_order_compat(&ctx, &tau, &a, &desc, &mut s, None));
+    }
+
+    #[test]
+    fn swap_error_ignores_equal_a_conflicts() {
+        // Equal A codes can have B in any order: no removals needed.
+        let ctx = unit(3);
+        assert_eq!(swap_removal_error(&ctx, &[0, 0, 0], &[2, 0, 1]), 0);
+    }
+
+    #[test]
+    fn swap_error_single_outlier() {
+        // B mostly ascends with A; one outlier row must go.
+        let ctx = unit(5);
+        let a = vec![0, 1, 2, 3, 4];
+        let b = vec![0, 1, 9, 3, 4];
+        assert_eq!(swap_removal_error(&ctx, &a, &b), 1);
+    }
+
+    #[test]
+    fn errors_respect_context() {
+        // Split rows across two classes: violations inside classes only.
+        let ctx = StrippedPartition::from_classes(4, vec![vec![0, 1], vec![2, 3]]);
+        let a = vec![0, 1, 0, 1];
+        let b = vec![1, 0, 0, 1]; // swap in class {0,1} only
+        assert_eq!(swap_removal_error(&ctx, &a, &b), 1);
+    }
+
+    #[test]
+    fn errors_monotone_under_refinement() {
+        // Refining the context cannot increase either error.
+        let coarse = unit(6);
+        let fine = StrippedPartition::from_classes(6, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let a = vec![0, 1, 2, 0, 1, 2];
+        let b = vec![2, 1, 0, 1, 2, 0];
+        assert!(
+            swap_removal_error(&fine, &a, &b) <= swap_removal_error(&coarse, &a, &b)
+        );
+        let c = vec![0, 1, 0, 1, 0, 1];
+        assert!(
+            constancy_removal_error(&fine, &c) <= constancy_removal_error(&coarse, &c)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Partition machinery for order-dependency discovery (paper §4.6).
+//!
+//! The FASTOD, TANE and ORDER implementations all validate dependencies via
+//! *partitions*: an attribute set `X` partitions the tuples into equivalence
+//! classes `Π_X = { E(t_X) }`. This crate provides:
+//!
+//! * [`StrippedPartition`] — `Π*_X`, the partition with singleton classes
+//!   discarded (Lemma 14: singletons cannot falsify any canonical OD);
+//! * linear-time partition **products** `Π_X = Π_Y · Π_Z` with reusable
+//!   scratch space, so level `l` partitions are derived from level `l−1`
+//!   partitions instead of being rebuilt from scratch;
+//! * [`SortedColumn`] — the sorted partition `τ_A` (all rows ordered by `A`),
+//!   built once per attribute with counting sort over dense-rank codes;
+//! * validation scans: [`check_constancy`] for `X: [] ↦ A` and
+//!   [`check_order_compat`] for `X: A ~ B` (the paper's single-scan swap
+//!   test), plus witness-returning variants for data cleaning;
+//! * removal-based error measures ([`constancy_removal_error`],
+//!   [`swap_removal_error`]) used by the approximate-OD extension.
+
+mod checks;
+mod errors;
+mod scratch;
+mod sorted;
+mod stripped;
+
+pub use checks::{check_constancy, check_order_compat, find_constancy_violation, find_swap};
+pub use errors::{constancy_removal_error, swap_removal_error};
+pub use scratch::{ClassMap, ProductScratch, SwapScratch};
+pub use sorted::SortedColumn;
+pub use stripped::StrippedPartition;

@@ -1,0 +1,217 @@
+//! Reusable scratch buffers for the hot partition operations.
+//!
+//! Products and validation scans run once per lattice node/candidate — many
+//! millions of times in the larger experiments. All of them need O(n)
+//! row-indexed working memory; these types keep that memory allocated across
+//! calls and use epoch stamps so it never has to be zeroed.
+
+use crate::StrippedPartition;
+
+/// Scratch space for [`StrippedPartition::product`].
+#[derive(Default)]
+pub struct ProductScratch {
+    /// `probe[row]` = class index in the LHS partition (valid only when
+    /// `stamp[row]` equals the current epoch).
+    pub(crate) probe: Vec<u32>,
+    pub(crate) stamp: Vec<u32>,
+    pub(crate) epoch: u32,
+    /// One reusable bucket per LHS class.
+    pub(crate) buckets: Vec<Vec<u32>>,
+    pub(crate) touched: Vec<u32>,
+}
+
+impl ProductScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> ProductScratch {
+        ProductScratch::default()
+    }
+
+    /// Prepares the scratch for a product over `n_rows` rows and
+    /// `n_lhs_classes` probe classes; returns the epoch for this call.
+    pub(crate) fn begin(&mut self, n_rows: usize, n_lhs_classes: usize) -> u32 {
+        if self.probe.len() < n_rows {
+            self.probe.resize(n_rows, 0);
+            self.stamp.resize(n_rows, 0);
+        }
+        if self.buckets.len() < n_lhs_classes {
+            self.buckets.resize_with(n_lhs_classes, Vec::new);
+        }
+        // On wrap-around the stale stamps could collide; reset then.
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+/// An epoch-stamped row → equivalence-class map for a context partition.
+///
+/// Built in O(covered rows) from a [`StrippedPartition`]; rows in singleton
+/// classes map to `None`. Reused across validations without clearing.
+#[derive(Default)]
+pub struct ClassMap {
+    class_of: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    n_classes: usize,
+}
+
+impl ClassMap {
+    /// Creates an empty map; buffers grow on first use.
+    pub fn new() -> ClassMap {
+        ClassMap::default()
+    }
+
+    /// Loads the mapping for `partition`.
+    pub fn assign(&mut self, partition: &StrippedPartition) {
+        let n = partition.n_rows();
+        if self.class_of.len() < n {
+            self.class_of.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        for (ci, class) in partition.classes().iter().enumerate() {
+            for &row in class {
+                self.class_of[row as usize] = ci as u32;
+                self.stamp[row as usize] = self.epoch;
+            }
+        }
+        self.n_classes = partition.n_classes();
+    }
+
+    /// The class index of `row`, or `None` if the row is in a singleton
+    /// class (stripped away).
+    #[inline]
+    pub fn class_of(&self, row: u32) -> Option<u32> {
+        let r = row as usize;
+        if self.stamp[r] == self.epoch {
+            Some(self.class_of[r])
+        } else {
+            None
+        }
+    }
+
+    /// Number of classes in the currently assigned partition.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Per-class running state for the single-scan swap check
+/// (see [`crate::check_order_compat`]).
+#[derive(Clone, Copy)]
+pub(crate) struct SwapState {
+    /// Last `A`-code seen for this class (current run).
+    pub last_a: u32,
+    /// Max `B`-code within the current `A`-run.
+    pub run_max_b: u32,
+    /// Max `B`-code over all *completed* runs (strictly smaller `A`), with
+    /// the row achieving it (for witness reporting). -1 when no completed run.
+    pub prev_max_b: i64,
+    pub prev_max_row: u32,
+    pub initialized: bool,
+}
+
+impl Default for SwapState {
+    fn default() -> Self {
+        SwapState {
+            last_a: 0,
+            run_max_b: 0,
+            prev_max_b: -1,
+            prev_max_row: u32::MAX,
+            initialized: false,
+        }
+    }
+}
+
+/// Scratch space for swap checks: one per-class run state, plus a
+/// [`ClassMap`]. Reused across checks that share a context partition.
+#[derive(Default)]
+pub struct SwapScratch {
+    pub(crate) class_map: ClassMap,
+    pub(crate) states: Vec<SwapState>,
+    /// Row achieving `run_max_b` in the current run, for witnesses.
+    pub(crate) run_max_row: Vec<u32>,
+    /// Whether `class_map` currently holds the partition given by this token.
+    loaded_for: Option<usize>,
+}
+
+impl SwapScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> SwapScratch {
+        SwapScratch::default()
+    }
+
+    /// Loads the context partition, skipping the work when `token` matches
+    /// the previous call. Callers that check many attribute pairs within one
+    /// context pass a stable token (e.g. the node's bitset) to share the map.
+    pub(crate) fn load(&mut self, partition: &StrippedPartition, token: Option<usize>) {
+        let reuse = token.is_some() && token == self.loaded_for;
+        if !reuse {
+            self.class_map.assign(partition);
+            self.loaded_for = token;
+        }
+        let k = partition.n_classes();
+        self.states.clear();
+        self.states.resize(k, SwapState::default());
+        self.run_max_row.clear();
+        self.run_max_row.resize(k, u32::MAX);
+    }
+
+    /// Invalidates the cached context token.
+    pub fn reset_token(&mut self) {
+        self.loaded_for = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_map_assigns_and_resets() {
+        let p = StrippedPartition::from_classes(5, vec![vec![0, 2], vec![3, 4]]);
+        let mut cm = ClassMap::new();
+        cm.assign(&p);
+        assert_eq!(cm.class_of(0), Some(0));
+        assert_eq!(cm.class_of(2), Some(0));
+        assert_eq!(cm.class_of(3), Some(1));
+        assert_eq!(cm.class_of(1), None);
+        assert_eq!(cm.n_classes(), 2);
+
+        let q = StrippedPartition::from_classes(5, vec![vec![1, 4]]);
+        cm.assign(&q);
+        assert_eq!(cm.class_of(0), None);
+        assert_eq!(cm.class_of(1), Some(0));
+    }
+
+    #[test]
+    fn epoch_wraparound_is_safe() {
+        let p = StrippedPartition::from_classes(2, vec![vec![0, 1]]);
+        let mut cm = ClassMap::new();
+        cm.epoch = u32::MAX - 1;
+        cm.assign(&p); // epoch -> MAX
+        assert_eq!(cm.class_of(0), Some(0));
+        cm.assign(&p); // wraps: stamps reset
+        assert_eq!(cm.class_of(0), Some(0));
+        assert_eq!(cm.class_of(1), Some(0));
+    }
+
+    #[test]
+    fn product_scratch_epoch_wraparound() {
+        let x = StrippedPartition::from_classes(3, vec![vec![0, 1, 2]]);
+        let y = StrippedPartition::from_classes(3, vec![vec![0, 1]]);
+        let mut s = ProductScratch::new();
+        s.epoch = u32::MAX - 1;
+        let p1 = x.product(&y, &mut s);
+        let p2 = x.product(&y, &mut s); // crosses the wrap
+        assert_eq!(p1, p2);
+        assert_eq!(p1.normalized(), vec![vec![0, 1]]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Sorted partitions `τ_A` (paper §4.6).
+//!
+//! "For all single attributes A ∈ R ... we calculate sorted partitions τ_A, a
+//! list of equivalence classes according to the ordering imposed on the
+//! tuples by A." Since columns are dense-rank encoded, τ_A is a counting sort
+//! of row ids by code — O(n + cardinality) — computed once per attribute and
+//! shared by every swap check that involves `A`.
+
+/// All rows of the relation ordered ascending by one attribute's codes.
+///
+/// Rows with equal codes are contiguous; their relative order (row-id
+/// ascending, a byproduct of counting sort) is irrelevant to the checks.
+#[derive(Clone, Debug)]
+pub struct SortedColumn {
+    order: Vec<u32>,
+}
+
+impl SortedColumn {
+    /// Builds `τ_A` from a dense-rank code column.
+    pub fn build(codes: &[u32], cardinality: u32) -> SortedColumn {
+        let n = codes.len();
+        let card = cardinality as usize;
+        let mut counts = vec![0u32; card + 1];
+        for &c in codes {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut order = vec![0u32; n];
+        for (row, &c) in codes.iter().enumerate() {
+            let slot = counts[c as usize];
+            order[slot as usize] = row as u32;
+            counts[c as usize] += 1;
+        }
+        SortedColumn { order }
+    }
+
+    /// Row ids in ascending attribute order.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_code() {
+        let codes = vec![2, 0, 1, 0, 2];
+        let tau = SortedColumn::build(&codes, 3);
+        let sorted_codes: Vec<u32> = tau.order().iter().map(|&r| codes[r as usize]).collect();
+        assert_eq!(sorted_codes, vec![0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn stable_within_ties() {
+        let codes = vec![1, 0, 1, 0];
+        let tau = SortedColumn::build(&codes, 2);
+        assert_eq!(tau.order(), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn paper_example_tau_bin() {
+        // Table 1: bin column = [1,2,3,1,2,3] →
+        // τ_bin = {{t1,t4},{t2,t5},{t3,t6}} (0-indexed).
+        let codes = vec![0, 1, 2, 0, 1, 2];
+        let tau = SortedColumn::build(&codes, 3);
+        assert_eq!(tau.order(), &[0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn empty_column() {
+        let tau = SortedColumn::build(&[], 0);
+        assert!(tau.is_empty());
+        assert_eq!(tau.len(), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Stripped partitions `Π*_X` and their products.
+
+use crate::scratch::ProductScratch;
+
+/// A stripped partition `Π*_X`: the equivalence classes of the tuples under
+/// attribute set `X`, with singleton classes removed (paper §4.6,
+/// Example 12, Lemma 14).
+///
+/// Row ids are `u32` (relations are capped well below 4B rows). Classes and
+/// the rows inside them are kept in first-encounter order; use
+/// [`StrippedPartition::normalized`] when comparing partitions structurally.
+#[derive(Clone, Debug)]
+pub struct StrippedPartition {
+    n_rows: usize,
+    classes: Vec<Vec<u32>>,
+}
+
+impl StrippedPartition {
+    /// The partition `Π*_{{}}` of the empty attribute set: one class holding
+    /// every row (or no class at all for relations with < 2 rows).
+    pub fn unit(n_rows: usize) -> StrippedPartition {
+        let classes = if n_rows >= 2 {
+            vec![(0..n_rows as u32).collect()]
+        } else {
+            Vec::new()
+        };
+        StrippedPartition { n_rows, classes }
+    }
+
+    /// Builds `Π*_{{A}}` from a dense-rank code column via counting sort,
+    /// O(n + cardinality).
+    pub fn from_codes(codes: &[u32], cardinality: u32) -> StrippedPartition {
+        let n = codes.len();
+        let card = cardinality as usize;
+        debug_assert!(codes.iter().all(|&c| (c as usize) < card.max(1)));
+        let mut counts = vec![0u32; card];
+        for &c in codes {
+            counts[c as usize] += 1;
+        }
+        // Buckets for codes occurring at least twice.
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        let mut class_idx: Vec<u32> = vec![u32::MAX; card];
+        for (code, &count) in counts.iter().enumerate() {
+            if count >= 2 {
+                class_idx[code] = classes.len() as u32;
+                classes.push(Vec::with_capacity(count as usize));
+            }
+        }
+        for (row, &c) in codes.iter().enumerate() {
+            let ci = class_idx[c as usize];
+            if ci != u32::MAX {
+                classes[ci as usize].push(row as u32);
+            }
+        }
+        StrippedPartition {
+            n_rows: n,
+            classes,
+        }
+    }
+
+    /// Builds a partition directly from classes. Singleton classes are
+    /// dropped; rows must be distinct and `< n_rows` (debug-asserted).
+    pub fn from_classes(n_rows: usize, classes: Vec<Vec<u32>>) -> StrippedPartition {
+        let classes: Vec<Vec<u32>> = classes.into_iter().filter(|c| c.len() >= 2).collect();
+        debug_assert!(classes
+            .iter()
+            .flatten()
+            .all(|&r| (r as usize) < n_rows));
+        StrippedPartition { n_rows, classes }
+    }
+
+    /// Number of rows in the underlying relation.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The non-singleton equivalence classes.
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Number of non-singleton classes, `|Π*_X|`.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of rows covered by non-singleton classes, `||Π*_X||`.
+    pub fn covered_rows(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// TANE's error measure `e(X) = ||Π*_X|| − |Π*_X|`: the number of rows
+    /// that would have to be removed to make `X` a superkey. Two partitions
+    /// `Π_X`, `Π_{XA}` have equal error iff the FD `X → A` holds.
+    pub fn error(&self) -> usize {
+        self.covered_rows() - self.n_classes()
+    }
+
+    /// Whether `X` is a superkey: every equivalence class is a singleton,
+    /// i.e. the stripped partition is empty (`Π*_X = {}`, §4.6 Key Pruning).
+    pub fn is_superkey(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Computes the product `Π*_X = Π*_Y · Π*_Z` in O(n) using scratch space
+    /// (paper §4.6: "partitions are computed in linear time as products of
+    /// partitions").
+    ///
+    /// A row lands in a product class iff it is in a non-singleton class of
+    /// *both* operands and shares both class memberships with another row.
+    pub fn product(&self, other: &StrippedPartition, scratch: &mut ProductScratch) -> StrippedPartition {
+        debug_assert_eq!(self.n_rows, other.n_rows);
+        // Probe with the smaller-class-count side for better bucket reuse.
+        let (lhs, rhs) = (self, other);
+        let epoch = scratch.begin(lhs.n_rows, lhs.classes.len());
+        for (ci, class) in lhs.classes.iter().enumerate() {
+            for &row in class {
+                scratch.probe[row as usize] = ci as u32;
+                scratch.stamp[row as usize] = epoch;
+            }
+        }
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        for class in &rhs.classes {
+            scratch.touched.clear();
+            for &row in class {
+                if scratch.stamp[row as usize] == epoch {
+                    let ci = scratch.probe[row as usize] as usize;
+                    if scratch.buckets[ci].is_empty() {
+                        scratch.touched.push(ci as u32);
+                    }
+                    scratch.buckets[ci].push(row);
+                }
+            }
+            for ti in 0..scratch.touched.len() {
+                let ci = scratch.touched[ti] as usize;
+                if scratch.buckets[ci].len() >= 2 {
+                    out.push(std::mem::take(&mut scratch.buckets[ci]));
+                } else {
+                    scratch.buckets[ci].clear();
+                }
+            }
+        }
+        StrippedPartition {
+            n_rows: self.n_rows,
+            classes: out,
+        }
+    }
+
+    /// Product with a freshly allocated scratch (convenience for tests and
+    /// one-off callers; hot paths should reuse a [`ProductScratch`]).
+    pub fn product_simple(&self, other: &StrippedPartition) -> StrippedPartition {
+        let mut scratch = ProductScratch::new();
+        self.product(other, &mut scratch)
+    }
+
+    /// A canonical form for structural comparison: classes sorted internally
+    /// and between each other.
+    pub fn normalized(&self) -> Vec<Vec<u32>> {
+        let mut classes: Vec<Vec<u32>> = self.classes.clone();
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort();
+        classes
+    }
+}
+
+impl PartialEq for StrippedPartition {
+    /// Structural equality (independent of class/row ordering).
+    fn eq(&self, other: &Self) -> bool {
+        self.n_rows == other.n_rows && self.normalized() == other.normalized()
+    }
+}
+
+impl Eq for StrippedPartition {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(n: usize, classes: &[&[u32]]) -> StrippedPartition {
+        StrippedPartition::from_classes(n, classes.iter().map(|c| c.to_vec()).collect())
+    }
+
+    #[test]
+    fn unit_partition() {
+        let p = StrippedPartition::unit(4);
+        assert_eq!(p.n_classes(), 1);
+        assert_eq!(p.covered_rows(), 4);
+        assert_eq!(p.error(), 3);
+        assert!(!p.is_superkey());
+        assert!(StrippedPartition::unit(1).is_superkey());
+        assert!(StrippedPartition::unit(0).is_superkey());
+    }
+
+    #[test]
+    fn from_codes_strips_singletons() {
+        // Paper Example 12: Π_salary = {{t1},{t2,t6},{t3},{t4},{t5}}
+        // → Π*_salary = {{t2,t6}} (0-indexed: {1,5}).
+        let codes = vec![2, 4, 5, 0, 1, 4];
+        let p = StrippedPartition::from_codes(&codes, 6);
+        assert_eq!(p.normalized(), vec![vec![1, 5]]);
+        assert_eq!(p.error(), 1);
+    }
+
+    #[test]
+    fn from_codes_all_equal() {
+        let p = StrippedPartition::from_codes(&[0, 0, 0], 1);
+        assert_eq!(p.normalized(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn from_codes_all_distinct_is_superkey() {
+        let p = StrippedPartition::from_codes(&[2, 0, 1], 3);
+        assert!(p.is_superkey());
+        assert_eq!(p.error(), 0);
+    }
+
+    #[test]
+    fn product_matches_manual() {
+        // X groups {0,1,2,3} | {4,5};  Y groups {0,1} | {2,3,4,5}
+        let x = part(6, &[&[0, 1, 2, 3], &[4, 5]]);
+        let y = part(6, &[&[0, 1], &[2, 3, 4, 5]]);
+        let xy = x.product_simple(&y);
+        assert_eq!(xy.normalized(), vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn product_drops_new_singletons() {
+        let x = part(4, &[&[0, 1, 2]]);
+        let y = part(4, &[&[1, 2], &[0, 3]]);
+        // Row 0 is alone in its product class; row 3 is singleton in x.
+        let xy = x.product_simple(&y);
+        assert_eq!(xy.normalized(), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn product_with_unit_is_identity() {
+        let x = part(5, &[&[0, 2, 4]]);
+        let u = StrippedPartition::unit(5);
+        assert_eq!(x.product_simple(&u), x);
+        assert_eq!(u.product_simple(&x), x);
+    }
+
+    #[test]
+    fn product_is_commutative() {
+        let x = part(6, &[&[0, 1, 2], &[3, 4]]);
+        let y = part(6, &[&[1, 2, 3], &[4, 5]]);
+        assert_eq!(x.product_simple(&y), y.product_simple(&x));
+    }
+
+    #[test]
+    fn product_against_codes_equivalent() {
+        // Π_A · Π_B must equal the partition of the combined key (A,B).
+        let codes_a = vec![0, 0, 1, 1, 0, 1, 0];
+        let codes_b = vec![0, 1, 0, 0, 0, 0, 1];
+        let pa = StrippedPartition::from_codes(&codes_a, 2);
+        let pb = StrippedPartition::from_codes(&codes_b, 2);
+        let combined: Vec<u32> = codes_a
+            .iter()
+            .zip(&codes_b)
+            .map(|(&a, &b)| a * 2 + b)
+            .collect();
+        let pab = StrippedPartition::from_codes(&combined, 4);
+        assert_eq!(pa.product_simple(&pb), pab);
+    }
+
+    #[test]
+    fn error_detects_fd() {
+        // A = [0,0,1,1], B = [5,5,7,8]: A→B fails (split on class {2,3}).
+        let pa = StrippedPartition::from_codes(&[0, 0, 1, 1], 2);
+        let pab = pa.product_simple(&StrippedPartition::from_codes(&[0, 0, 1, 2], 3));
+        assert_ne!(pa.error(), pab.error());
+        // A = [0,0,1,1], C = [3,3,9,9]: A→C holds.
+        let pac = pa.product_simple(&StrippedPartition::from_codes(&[0, 0, 1, 1], 2));
+        assert_eq!(pa.error(), pac.error());
+    }
+
+    #[test]
+    fn scratch_reuse_across_products() {
+        let mut scratch = ProductScratch::new();
+        let x = part(6, &[&[0, 1, 2], &[3, 4, 5]]);
+        let y = part(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let p1 = x.product(&y, &mut scratch);
+        let p2 = x.product(&y, &mut scratch);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.normalized(), vec![vec![0, 1], vec![4, 5]]);
+    }
+}

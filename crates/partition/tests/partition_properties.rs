@@ -1,0 +1,150 @@
+//! Property-based tests for the partition substrate: products against
+//! ground-truth grouping, swap scans against the naive pairwise oracle,
+//! error-measure consistency, and superkey behaviour — on random codes.
+
+use fastod_partition::{
+    check_constancy, check_order_compat, constancy_removal_error, swap_removal_error,
+    SortedColumn, StrippedPartition, SwapScratch,
+};
+use proptest::prelude::*;
+
+/// Random dense-rank code column of length `n` with cardinality ≤ `card`.
+fn arb_codes(n: usize, card: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..card, n)
+}
+
+/// Ground-truth partition by exhaustive grouping.
+fn partition_naive(codes: &[u32]) -> Vec<Vec<u32>> {
+    let mut groups: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    for (row, &c) in codes.iter().enumerate() {
+        groups.entry(c).or_default().push(row as u32);
+    }
+    let mut classes: Vec<Vec<u32>> = groups
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .collect();
+    classes.sort();
+    classes
+}
+
+/// Naive pairwise swap oracle within context classes.
+fn has_swap_naive(ctx: &StrippedPartition, a: &[u32], b: &[u32]) -> bool {
+    ctx.classes().iter().any(|class| {
+        class.iter().enumerate().any(|(i, &s)| {
+            class[i + 1..].iter().any(|&t| {
+                let (s, t) = (s as usize, t as usize);
+                (a[s] < a[t] && b[s] > b[t]) || (a[s] > a[t] && b[s] < b[t])
+            })
+        })
+    })
+}
+
+fn dense(codes: &[u32]) -> u32 {
+    codes.iter().max().map_or(0, |&m| m + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn from_codes_matches_naive_grouping(codes in (1usize..=30).prop_flat_map(|n| arb_codes(n, 5))) {
+        let p = StrippedPartition::from_codes(&codes, dense(&codes));
+        prop_assert_eq!(p.normalized(), partition_naive(&codes));
+    }
+
+    #[test]
+    fn product_equals_combined_key_partition(
+        (a, b) in (1usize..=30).prop_flat_map(|n| (arb_codes(n, 4), arb_codes(n, 4)))
+    ) {
+        let pa = StrippedPartition::from_codes(&a, dense(&a));
+        let pb = StrippedPartition::from_codes(&b, dense(&b));
+        let product = pa.product_simple(&pb);
+        // Ground truth: partition by the combined (a, b) key.
+        let combined: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| x * 4 + y).collect();
+        let truth = StrippedPartition::from_codes(&combined, dense(&combined));
+        prop_assert_eq!(product.normalized(), truth.normalized());
+    }
+
+    #[test]
+    fn product_is_commutative_and_idempotent(
+        (a, b) in (1usize..=25).prop_flat_map(|n| (arb_codes(n, 3), arb_codes(n, 3)))
+    ) {
+        let pa = StrippedPartition::from_codes(&a, dense(&a));
+        let pb = StrippedPartition::from_codes(&b, dense(&b));
+        prop_assert_eq!(pa.product_simple(&pb), pb.product_simple(&pa));
+        prop_assert_eq!(pa.product_simple(&pa), pa.clone());
+    }
+
+    #[test]
+    fn swap_scan_matches_naive_oracle(
+        (ctx_codes, a, b) in (2usize..=25).prop_flat_map(|n| {
+            (arb_codes(n, 3), arb_codes(n, 4), arb_codes(n, 4))
+        })
+    ) {
+        let ctx = StrippedPartition::from_codes(&ctx_codes, dense(&ctx_codes));
+        let tau = SortedColumn::build(&a, dense(&a));
+        let mut scratch = SwapScratch::new();
+        let compatible = check_order_compat(&ctx, &tau, &a, &b, &mut scratch, None);
+        prop_assert_eq!(compatible, !has_swap_naive(&ctx, &a, &b));
+    }
+
+    #[test]
+    fn error_measures_agree_with_validity(
+        (ctx_codes, a, b) in (2usize..=25).prop_flat_map(|n| {
+            (arb_codes(n, 3), arb_codes(n, 4), arb_codes(n, 4))
+        })
+    ) {
+        let ctx = StrippedPartition::from_codes(&ctx_codes, dense(&ctx_codes));
+        // Constancy error is zero iff the constancy scan passes.
+        prop_assert_eq!(
+            constancy_removal_error(&ctx, &a) == 0,
+            check_constancy(&ctx, &a)
+        );
+        // Swap error is zero iff the swap scan passes.
+        let tau = SortedColumn::build(&a, dense(&a));
+        let mut scratch = SwapScratch::new();
+        prop_assert_eq!(
+            swap_removal_error(&ctx, &a, &b) == 0,
+            check_order_compat(&ctx, &tau, &a, &b, &mut scratch, None)
+        );
+    }
+
+    #[test]
+    fn tane_error_characterizes_fds(
+        (a, b) in (2usize..=25).prop_flat_map(|n| (arb_codes(n, 4), arb_codes(n, 4)))
+    ) {
+        // e(Π_A) == e(Π_A · Π_B) iff A → B (checked by the constancy scan).
+        let pa = StrippedPartition::from_codes(&a, dense(&a));
+        let pb = StrippedPartition::from_codes(&b, dense(&b));
+        let pab = pa.product_simple(&pb);
+        prop_assert_eq!(pa.error() == pab.error(), check_constancy(&pa, &b));
+    }
+
+    #[test]
+    fn superkey_iff_all_distinct(codes in (1usize..=25).prop_flat_map(|n| arb_codes(n, 30))) {
+        let p = StrippedPartition::from_codes(&codes, dense(&codes));
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(p.is_superkey(), sorted.len() == codes.len());
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent(
+        (a, b, c) in (2usize..=20).prop_flat_map(|n| {
+            (arb_codes(n, 3), arb_codes(n, 3), arb_codes(n, 3))
+        })
+    ) {
+        // Interleaved products through one scratch equal fresh computations.
+        let pa = StrippedPartition::from_codes(&a, dense(&a));
+        let pb = StrippedPartition::from_codes(&b, dense(&b));
+        let pc = StrippedPartition::from_codes(&c, dense(&c));
+        let mut scratch = fastod_partition::ProductScratch::new();
+        let r1 = pa.product(&pb, &mut scratch);
+        let r2 = pb.product(&pc, &mut scratch);
+        let r3 = pa.product(&pc, &mut scratch);
+        prop_assert_eq!(r1, pa.product_simple(&pb));
+        prop_assert_eq!(r2, pb.product_simple(&pc));
+        prop_assert_eq!(r3, pa.product_simple(&pc));
+    }
+}

@@ -1,0 +1,379 @@
+//! Attribute identifiers and attribute-set bitsets.
+//!
+//! The discovery algorithms traverse a lattice of attribute *sets*
+//! (paper §4.1, Figure 3). Sets are represented as 64-bit bitmasks, which
+//! caps relations at 64 attributes — comfortably above the paper's largest
+//! experiment (40 attributes, Figure 7) and in line with other discovery
+//! systems (TANE, Metanome).
+
+use std::fmt;
+
+/// Index of an attribute within a [`crate::Schema`] (column position).
+pub type AttrId = usize;
+
+/// Maximum number of attributes supported by [`AttrSet`].
+pub const MAX_ATTRS: usize = 64;
+
+/// A set of attributes, stored as a 64-bit bitmask.
+///
+/// This is the `X` in canonical ODs `X: [] ↦ A` and `X: A ~ B`, and the node
+/// identity in the set-containment lattice. All operations are O(1) except
+/// iteration, which is O(|set|).
+///
+/// ```
+/// use fastod_relation::AttrSet;
+/// let x = AttrSet::from_iter([0, 2, 5]);
+/// assert_eq!(x.len(), 3);
+/// assert!(x.contains(2));
+/// assert!(x.without(2).is_subset_of(x));
+/// assert_eq!(x.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty set `{}` — the context of constants and of unconditional
+    /// order compatibility.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Creates a set containing the single attribute `a`.
+    #[inline]
+    pub fn singleton(a: AttrId) -> AttrSet {
+        debug_assert!(a < MAX_ATTRS);
+        AttrSet(1u64 << a)
+    }
+
+    /// The full set `{0, 1, ..., n-1}` over a schema with `n` attributes.
+    #[inline]
+    pub fn full(n: usize) -> AttrSet {
+        assert!(n <= MAX_ATTRS, "at most {MAX_ATTRS} attributes supported");
+        if n == MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Constructs a set from a raw bitmask.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> AttrSet {
+        AttrSet(bits)
+    }
+
+    /// Returns the raw bitmask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of attributes in the set (the lattice level of the node).
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is `{}`.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `a ∈ self`.
+    #[inline]
+    pub const fn contains(self, a: AttrId) -> bool {
+        self.0 & (1u64 << a) != 0
+    }
+
+    /// `self ∪ {a}`.
+    #[inline]
+    #[must_use]
+    pub const fn with(self, a: AttrId) -> AttrSet {
+        AttrSet(self.0 | (1u64 << a))
+    }
+
+    /// `self \ {a}` — the ubiquitous `X \ A` of the paper.
+    #[inline]
+    #[must_use]
+    pub const fn without(self, a: AttrId) -> AttrSet {
+        AttrSet(self.0 & !(1u64 << a))
+    }
+
+    /// `self ∪ other`.
+    #[inline]
+    #[must_use]
+    pub const fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// `self ∩ other`.
+    #[inline]
+    #[must_use]
+    pub const fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// `self \ other`.
+    #[inline]
+    #[must_use]
+    pub const fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊂ other` (proper subset).
+    #[inline]
+    pub const fn is_proper_subset_of(self, other: AttrSet) -> bool {
+        self.0 != other.0 && self.is_subset_of(other)
+    }
+
+    /// The smallest attribute in the set, if non-empty.
+    #[inline]
+    pub fn min_attr(self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as AttrId)
+        }
+    }
+
+    /// Iterates over attributes in ascending order.
+    #[inline]
+    pub fn iter(self) -> AttrSetIter {
+        AttrSetIter(self.0)
+    }
+
+    /// Collects the attributes into a `Vec` in ascending order.
+    pub fn to_vec(self) -> Vec<AttrId> {
+        self.iter().collect()
+    }
+
+    /// Iterates over all immediate subsets `self \ {a}` for `a ∈ self`,
+    /// i.e. the parents of this node in the set-containment lattice.
+    pub fn parents(self) -> impl Iterator<Item = (AttrId, AttrSet)> {
+        self.iter().map(move |a| (a, self.without(a)))
+    }
+
+    /// Enumerates every subset of `self` (including `{}` and `self`).
+    ///
+    /// Used by brute-force validators and the axiom-closure engine on small
+    /// schemas; exponential, so only call on small sets.
+    pub fn subsets(self) -> impl Iterator<Item = AttrSet> {
+        // Standard subset-enumeration trick: iterate t = (t - 1) & mask.
+        let mask = self.0;
+        let mut current = mask;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let result = AttrSet(current);
+            if current == 0 {
+                done = true;
+            } else {
+                current = (current - 1) & mask;
+            }
+            Some(result)
+        })
+    }
+
+    /// Formats the set with attribute names from a name table, e.g.
+    /// `{year, salary}`.
+    pub fn display<'a>(self, names: &'a [String]) -> AttrSetDisplay<'a> {
+        AttrSetDisplay { set: self, names }
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        let mut s = AttrSet::EMPTY;
+        for a in iter {
+            s = s.with(a);
+        }
+        s
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter;
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the attributes of an [`AttrSet`], ascending.
+#[derive(Clone)]
+pub struct AttrSetIter(u64);
+
+impl Iterator for AttrSetIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let a = self.0.trailing_zeros() as AttrId;
+            self.0 &= self.0 - 1;
+            Some(a)
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Helper returned by [`AttrSet::display`].
+pub struct AttrSetDisplay<'a> {
+    set: AttrSet,
+    names: &'a [String],
+}
+
+impl fmt::Display for AttrSetDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match self.names.get(a) {
+                Some(n) => write!(f, "{n}")?,
+                None => write!(f, "#{a}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let e = AttrSet::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e.min_attr(), None);
+    }
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = AttrSet::singleton(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_attr(), Some(5));
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let s = AttrSet::from_iter([1, 3, 7]);
+        assert_eq!(s.with(4).without(4), s);
+        assert_eq!(s.without(3).len(), 2);
+        // Removing an absent attribute is a no-op.
+        assert_eq!(s.without(2), s);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AttrSet::from_iter([0, 1, 2]);
+        let b = AttrSet::from_iter([1, 2, 3]);
+        assert_eq!(a.union(b), AttrSet::from_iter([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), AttrSet::from_iter([1, 2]));
+        assert_eq!(a.difference(b), AttrSet::singleton(0));
+        assert!(a.intersect(b).is_subset_of(a));
+        assert!(a.intersect(b).is_proper_subset_of(a));
+        assert!(a.is_subset_of(a));
+        assert!(!a.is_proper_subset_of(a));
+    }
+
+    #[test]
+    fn full_set() {
+        assert_eq!(AttrSet::full(0), AttrSet::EMPTY);
+        assert_eq!(AttrSet::full(3).to_vec(), vec![0, 1, 2]);
+        assert_eq!(AttrSet::full(64).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn full_set_too_large() {
+        let _ = AttrSet::full(65);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = AttrSet::from_iter([9, 1, 40, 3]);
+        assert_eq!(s.to_vec(), vec![1, 3, 9, 40]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn parents_enumeration() {
+        let s = AttrSet::from_iter([0, 2]);
+        let parents: Vec<_> = s.parents().collect();
+        assert_eq!(
+            parents,
+            vec![(0, AttrSet::singleton(2)), (2, AttrSet::singleton(0))]
+        );
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = AttrSet::from_iter([0, 1, 2]);
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&AttrSet::EMPTY));
+        assert!(subs.contains(&s));
+        // All enumerated sets are subsets.
+        assert!(subs.iter().all(|t| t.is_subset_of(s)));
+        // No duplicates.
+        let mut uniq = subs.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8);
+    }
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<_> = AttrSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn display_with_names() {
+        let names = vec!["year".to_string(), "salary".to_string()];
+        let s = AttrSet::from_iter([0, 1]);
+        assert_eq!(s.display(&names).to_string(), "{year,salary}");
+        assert_eq!(AttrSet::EMPTY.display(&names).to_string(), "{}");
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", AttrSet::from_iter([0, 2])), "{0,2}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! We control both producer and consumer inside the suite, so the dialect is
+//! deliberately simple: comma-separated, no quoting or escaping, first line
+//! is an optional header. Type inference tries `Int`, then `Float`, then
+//! falls back to `Str` (dates are written as ISO strings and round-trip as
+//! strings, whose lexicographic order equals chronological order for ISO
+//! format — exactly the property the discovery algorithms need).
+
+use crate::{ColumnData, Relation, RelationBuilder, RelationError, Value};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a relation from CSV text.
+///
+/// With `has_header == false`, columns are named `c0, c1, ...`.
+pub fn read_csv<R: Read>(reader: R, has_header: bool) -> Result<Relation, RelationError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let mut header: Option<Vec<String>> = None;
+    let mut raw_columns: Vec<Vec<String>> = Vec::new();
+    let mut line_no = 0usize;
+
+    if has_header {
+        line_no += 1;
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                header = Some(line.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            None => {
+                return Err(RelationError::Csv {
+                    line: 1,
+                    message: "expected a header line".into(),
+                })
+            }
+        }
+    }
+
+    for line in lines {
+        line_no += 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if raw_columns.is_empty() {
+            raw_columns = vec![Vec::new(); fields.len()];
+        }
+        if fields.len() != raw_columns.len() {
+            return Err(RelationError::Csv {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    raw_columns.len(),
+                    fields.len()
+                ),
+            });
+        }
+        for (col, field) in raw_columns.iter_mut().zip(fields) {
+            col.push(field.trim().to_string());
+        }
+    }
+
+    let n_cols = raw_columns.len();
+    let names: Vec<String> = match header {
+        Some(h) => {
+            if !raw_columns.is_empty() && h.len() != n_cols {
+                return Err(RelationError::Csv {
+                    line: 1,
+                    message: format!(
+                        "header has {} fields but rows have {}",
+                        h.len(),
+                        n_cols
+                    ),
+                });
+            }
+            h
+        }
+        None => (0..n_cols).map(|i| format!("c{i}")).collect(),
+    };
+
+    let mut builder = RelationBuilder::new();
+    for (name, raw) in names.iter().zip(raw_columns) {
+        builder = builder.column(name, infer_column(raw));
+    }
+    builder.build()
+}
+
+/// Reads a relation from a CSV file on disk.
+pub fn read_csv_file<P: AsRef<Path>>(
+    path: P,
+    has_header: bool,
+) -> Result<Relation, RelationError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file, has_header)
+}
+
+/// Infers the tightest type that parses every cell: Int, then Float, then Str.
+fn infer_column(raw: Vec<String>) -> ColumnData {
+    if raw.iter().all(|s| s.parse::<i64>().is_ok()) {
+        return ColumnData::Int(raw.iter().map(|s| s.parse().unwrap()).collect());
+    }
+    if raw.iter().all(|s| s.parse::<f64>().is_ok()) && !raw.is_empty() {
+        return ColumnData::Float(raw.iter().map(|s| s.parse().unwrap()).collect());
+    }
+    ColumnData::Str(raw)
+}
+
+/// Writes a relation as CSV (header included). Cells containing commas or
+/// newlines are rejected since the dialect has no quoting.
+pub fn write_csv<W: Write>(rel: &Relation, writer: W) -> Result<(), RelationError> {
+    let mut w = BufWriter::new(writer);
+    let names = rel.schema().names();
+    writeln!(w, "{}", names.join(","))?;
+    let mut cell = String::new();
+    for row in 0..rel.n_rows() {
+        for a in 0..rel.n_attrs() {
+            if a > 0 {
+                w.write_all(b",")?;
+            }
+            cell.clear();
+            let v: Value = rel.value(row, a);
+            use std::fmt::Write as _;
+            let _ = write!(cell, "{v}");
+            if cell.contains(',') || cell.contains('\n') {
+                return Err(RelationError::Csv {
+                    line: row + 2,
+                    message: "cell contains a delimiter; quoting is not supported".into(),
+                });
+            }
+            w.write_all(cell.as_bytes())?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a relation to a CSV file on disk.
+pub fn write_csv_file<P: AsRef<Path>>(rel: &Relation, path: P) -> Result<(), RelationError> {
+    let file = std::fs::File::create(path)?;
+    write_csv(rel, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    #[test]
+    fn roundtrip_with_header() {
+        let rel = RelationBuilder::new()
+            .column_i64("id", vec![2, 1])
+            .column_str("name", vec!["bob", "amy"])
+            .column_f64("score", vec![1.5, 2.0])
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("id,name,score\n"));
+        let back = read_csv(&buf[..], true).unwrap();
+        assert_eq!(back.schema().name(0), "id");
+        assert_eq!(back.schema().data_type(0), DataType::Int);
+        assert_eq!(back.schema().data_type(2), DataType::Float);
+        assert_eq!(back.value(1, 1), Value::Str("amy".into()));
+    }
+
+    #[test]
+    fn headerless_names() {
+        let rel = read_csv("1,x\n2,y\n".as_bytes(), false).unwrap();
+        assert_eq!(rel.schema().name(0), "c0");
+        assert_eq!(rel.schema().name(1), "c1");
+        assert_eq!(rel.n_rows(), 2);
+    }
+
+    #[test]
+    fn type_inference_fallbacks() {
+        let rel = read_csv("a,b,c\n1,1.5,x\n2,2,y\n".as_bytes(), true).unwrap();
+        assert_eq!(rel.schema().data_type(0), DataType::Int);
+        assert_eq!(rel.schema().data_type(1), DataType::Float);
+        assert_eq!(rel.schema().data_type(2), DataType::Str);
+    }
+
+    #[test]
+    fn mixed_int_str_becomes_str() {
+        let rel = read_csv("a\n1\nx\n".as_bytes(), true).unwrap();
+        assert_eq!(rel.schema().data_type(0), DataType::Str);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv("a,b\n1,2\n3\n".as_bytes(), true).unwrap_err();
+        assert!(matches!(err, RelationError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let rel = read_csv("a\n1\n\n2\n".as_bytes(), true).unwrap();
+        assert_eq!(rel.n_rows(), 2);
+    }
+
+    #[test]
+    fn unquotable_cell_rejected_on_write() {
+        let rel = RelationBuilder::new()
+            .column_str("s", vec!["a,b"])
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        assert!(write_csv(&rel, &mut buf).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let rel = RelationBuilder::new()
+            .column_i64("n", vec![1, 2, 3])
+            .build()
+            .unwrap();
+        let dir = std::env::temp_dir().join("fastod_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv_file(&rel, &path).unwrap();
+        let back = read_csv_file(&path, true).unwrap();
+        assert_eq!(back, rel);
+    }
+}

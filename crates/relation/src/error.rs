@@ -1,0 +1,79 @@
+//! Error type for the relation substrate.
+
+use std::fmt;
+
+/// Errors raised when constructing or loading relations.
+#[derive(Debug)]
+pub enum RelationError {
+    /// Two attributes share a name.
+    DuplicateAttribute(String),
+    /// More than 64 attributes (the [`crate::AttrSet`] width).
+    TooManyAttributes(usize),
+    /// Columns of differing lengths were supplied.
+    RaggedColumns { expected: usize, found: usize, column: String },
+    /// A cell value did not match its column's declared type.
+    TypeMismatch { column: String, row: usize },
+    /// CSV parsing failed.
+    Csv { line: usize, message: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name: {name}")
+            }
+            RelationError::TooManyAttributes(n) => {
+                write!(f, "{n} attributes exceed the 64-attribute limit")
+            }
+            RelationError::RaggedColumns { expected, found, column } => write!(
+                f,
+                "column {column} has {found} rows but {expected} were expected"
+            ),
+            RelationError::TypeMismatch { column, row } => {
+                write!(f, "value in column {column}, row {row} has the wrong type")
+            }
+            RelationError::Csv { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            RelationError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RelationError {
+    fn from(e: std::io::Error) -> Self {
+        RelationError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RelationError::DuplicateAttribute("x".into())
+            .to_string()
+            .contains("duplicate"));
+        assert!(RelationError::TooManyAttributes(70)
+            .to_string()
+            .contains("64-attribute"));
+        let e = RelationError::from(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "gone",
+        ));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Relation instances and the builder API.
+
+use crate::{
+    AttrId, AttrSet, Column, ColumnData, DataType, Date, EncodedRelation, RelationError,
+    Schema, Value,
+};
+
+/// An immutable relation instance `r` over a [`Schema`] `R`.
+///
+/// Columnar storage; rows are implicit indices `0..n_rows`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Relation {
+    /// Assembles a relation from a schema and matching columns.
+    ///
+    /// # Errors
+    /// Rejects column-count or row-count mismatches and type mismatches
+    /// between schema and column data.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Relation, RelationError> {
+        assert_eq!(
+            schema.n_attrs(),
+            columns.len(),
+            "schema/column count mismatch"
+        );
+        let n_rows = columns.first().map_or(0, Column::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(RelationError::RaggedColumns {
+                    expected: n_rows,
+                    found: col.len(),
+                    column: schema.name(i).to_string(),
+                });
+            }
+            if col.data_type() != schema.data_type(i) {
+                return Err(RelationError::TypeMismatch {
+                    column: schema.name(i).to_string(),
+                    row: 0,
+                });
+            }
+        }
+        Ok(Relation {
+            schema,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `|r|`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes `|R|`.
+    pub fn n_attrs(&self) -> usize {
+        self.schema.n_attrs()
+    }
+
+    /// The column at attribute position `a`.
+    pub fn column(&self, a: AttrId) -> &Column {
+        &self.columns[a]
+    }
+
+    /// The cell value `t_A` for tuple `row` and attribute `a`.
+    pub fn value(&self, row: usize, a: AttrId) -> Value {
+        self.columns[a].value(row)
+    }
+
+    /// Projects onto the given attributes (ascending id order).
+    pub fn project(&self, attrs: AttrSet) -> Relation {
+        let schema = self.schema.project(attrs);
+        let columns = attrs.iter().map(|a| self.columns[a].clone()).collect();
+        Relation {
+            schema,
+            columns,
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Projects onto the first `k` attributes — how the paper's experiments
+    /// take "random projections of the tested datasets" for the |R| sweeps.
+    pub fn project_prefix(&self, k: usize) -> Relation {
+        assert!(k <= self.n_attrs());
+        self.project(AttrSet::full(k))
+    }
+
+    /// Keeps only the given rows (in order). Used for |r| sweeps
+    /// ("random samples of 20, 40, ... percent").
+    pub fn select_rows(&self, rows: &[usize]) -> Relation {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column::new(c.data().take(rows)))
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: rows.len(),
+        }
+    }
+
+    /// Takes the first `k` rows.
+    pub fn head(&self, k: usize) -> Relation {
+        let k = k.min(self.n_rows);
+        let rows: Vec<usize> = (0..k).collect();
+        self.select_rows(&rows)
+    }
+
+    /// Rank-encodes every column (paper §4.6), producing the integer-coded
+    /// relation all validation runs on.
+    pub fn encode(&self) -> EncodedRelation {
+        EncodedRelation::from_relation(self)
+    }
+}
+
+/// Convenience builder for constructing relations column by column.
+///
+/// ```
+/// use fastod_relation::RelationBuilder;
+/// let rel = RelationBuilder::new()
+///     .column_i64("id", vec![1, 2, 3])
+///     .column_str("name", vec!["a", "b", "c"])
+///     .build()
+///     .unwrap();
+/// assert_eq!(rel.n_attrs(), 2);
+/// ```
+#[derive(Default)]
+pub struct RelationBuilder {
+    attrs: Vec<(String, DataType)>,
+    columns: Vec<Column>,
+}
+
+impl RelationBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> RelationBuilder {
+        RelationBuilder::default()
+    }
+
+    /// Adds a typed column.
+    pub fn column(mut self, name: &str, data: ColumnData) -> Self {
+        self.attrs.push((name.to_string(), data.data_type()));
+        self.columns.push(Column::new(data));
+        self
+    }
+
+    /// Adds an integer column.
+    pub fn column_i64(self, name: &str, values: Vec<i64>) -> Self {
+        self.column(name, ColumnData::Int(values))
+    }
+
+    /// Adds a float column.
+    pub fn column_f64(self, name: &str, values: Vec<f64>) -> Self {
+        self.column(name, ColumnData::Float(values))
+    }
+
+    /// Adds a string column.
+    pub fn column_str<S: Into<String>>(self, name: &str, values: Vec<S>) -> Self {
+        self.column(
+            name,
+            ColumnData::Str(values.into_iter().map(Into::into).collect()),
+        )
+    }
+
+    /// Adds a date column.
+    pub fn column_date(self, name: &str, values: Vec<Date>) -> Self {
+        self.column(name, ColumnData::Date(values))
+    }
+
+    /// Finalizes the relation.
+    pub fn build(self) -> Result<Relation, RelationError> {
+        let schema = Schema::new(self.attrs)?;
+        Relation::new(schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        RelationBuilder::new()
+            .column_i64("a", vec![3, 1, 2])
+            .column_str("b", vec!["x", "y", "x"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let r = sample();
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.n_attrs(), 2);
+        assert_eq!(r.value(0, 0), Value::Int(3));
+        assert_eq!(r.value(2, 1), Value::Str("x".into()));
+        assert_eq!(r.schema().name(1), "b");
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let err = RelationBuilder::new()
+            .column_i64("a", vec![1, 2])
+            .column_i64("b", vec![1])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationError::RaggedColumns { .. }));
+    }
+
+    #[test]
+    fn projection() {
+        let r = sample();
+        let p = r.project(AttrSet::singleton(1));
+        assert_eq!(p.n_attrs(), 1);
+        assert_eq!(p.schema().name(0), "b");
+        assert_eq!(p.n_rows(), 3);
+    }
+
+    #[test]
+    fn project_prefix() {
+        let r = sample();
+        let p = r.project_prefix(1);
+        assert_eq!(p.schema().name(0), "a");
+    }
+
+    #[test]
+    fn select_rows_and_head() {
+        let r = sample();
+        let s = r.select_rows(&[2, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.value(0, 0), Value::Int(2));
+        assert_eq!(s.value(1, 0), Value::Int(3));
+        assert_eq!(r.head(2).n_rows(), 2);
+        assert_eq!(r.head(10).n_rows(), 3);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = RelationBuilder::new()
+            .column_i64("a", vec![])
+            .build()
+            .unwrap();
+        assert_eq!(r.n_rows(), 0);
+        let enc = r.encode();
+        assert_eq!(enc.n_rows(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Seeded row sampling — the paper's experiments use "random samples of 20,
+//! 40, 60, 80 and 100 percent" of each dataset (§5.2).
+//!
+//! A deterministic xorshift generator keeps the suite free of external
+//! dependencies at this layer while making samples reproducible across runs
+//! (the `rand` crate is used only by the data generators).
+
+use crate::Relation;
+
+/// A tiny xorshift64* PRNG — statistically adequate for index shuffling.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        // Avoid the all-zeros fixed point.
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..bound` via rejection-free Lemire reduction.
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Draws a uniform random sample of `k` distinct rows (in random order)
+/// using a partial Fisher–Yates shuffle; `k` is clamped to the row count.
+pub fn sample_rows(rel: &Relation, k: usize, seed: u64) -> Relation {
+    let n = rel.n_rows();
+    let k = k.min(n);
+    let mut rng = XorShift::new(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.below((n - i) as u64) as usize;
+        indices.swap(i, j);
+    }
+    rel.select_rows(&indices[..k])
+}
+
+/// Draws a `percent`-of-rows sample (the paper's 20/40/60/80/100 sweeps).
+pub fn sample_fraction(rel: &Relation, percent: usize, seed: u64) -> Relation {
+    assert!(percent <= 100, "percent must be 0..=100");
+    sample_rows(rel, rel.n_rows() * percent / 100, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelationBuilder;
+
+    fn rel(n: usize) -> Relation {
+        RelationBuilder::new()
+            .column_i64("id", (0..n as i64).collect())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sample_size_and_distinctness() {
+        let r = rel(100);
+        let s = sample_rows(&r, 30, 7);
+        assert_eq!(s.n_rows(), 30);
+        let mut ids: Vec<i64> = (0..30)
+            .map(|i| match s.value(i, 0) {
+                crate::Value::Int(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 30, "sampled rows must be distinct");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r = rel(50);
+        assert_eq!(sample_rows(&r, 10, 3), sample_rows(&r, 10, 3));
+        assert_ne!(sample_rows(&r, 10, 3), sample_rows(&r, 10, 4));
+    }
+
+    #[test]
+    fn oversampling_clamps() {
+        let r = rel(5);
+        assert_eq!(sample_rows(&r, 100, 1).n_rows(), 5);
+    }
+
+    #[test]
+    fn fraction_sampling() {
+        let r = rel(200);
+        assert_eq!(sample_fraction(&r, 20, 1).n_rows(), 40);
+        assert_eq!(sample_fraction(&r, 100, 1).n_rows(), 200);
+        assert_eq!(sample_fraction(&r, 0, 1).n_rows(), 0);
+    }
+
+    #[test]
+    fn samples_cover_the_relation_roughly_uniformly() {
+        // Over many seeds, every row should get picked at least once.
+        let r = rel(20);
+        let mut seen = vec![false; 20];
+        for seed in 0..64 {
+            let s = sample_rows(&r, 5, seed);
+            for i in 0..s.n_rows() {
+                if let crate::Value::Int(v) = s.value(i, 0) {
+                    seen[v as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some rows never sampled: {seen:?}");
+    }
+}

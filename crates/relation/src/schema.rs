@@ -1,0 +1,159 @@
+//! Relation schemas: ordered attribute names with types.
+
+use crate::{AttrId, AttrSet, DataType, RelationError};
+use std::fmt;
+
+/// The schema `R` of a relation: an ordered list of named, typed attributes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    names: Vec<String>,
+    types: Vec<DataType>,
+}
+
+impl Schema {
+    /// Creates a schema from `(name, type)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::DuplicateAttribute`] on repeated names and
+    /// [`RelationError::TooManyAttributes`] beyond 64 attributes.
+    pub fn new(attrs: Vec<(String, DataType)>) -> Result<Schema, RelationError> {
+        if attrs.len() > crate::attr::MAX_ATTRS {
+            return Err(RelationError::TooManyAttributes(attrs.len()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (name, _) in &attrs {
+            if !seen.insert(name.as_str()) {
+                return Err(RelationError::DuplicateAttribute(name.clone()));
+            }
+        }
+        let (names, types) = attrs.into_iter().unzip();
+        Ok(Schema { names, types })
+    }
+
+    /// Number of attributes `|R|`.
+    pub fn n_attrs(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The attribute name at position `a`.
+    pub fn name(&self, a: AttrId) -> &str {
+        &self.names[a]
+    }
+
+    /// All attribute names, in schema order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The attribute type at position `a`.
+    pub fn data_type(&self, a: AttrId) -> DataType {
+        self.types[a]
+    }
+
+    /// Resolves an attribute name to its id.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The set of all attributes, `R` as an [`AttrSet`].
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::full(self.n_attrs())
+    }
+
+    /// Iterates over `(id, name, type)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str, DataType)> {
+        self.names
+            .iter()
+            .zip(&self.types)
+            .enumerate()
+            .map(|(i, (n, &t))| (i, n.as_str(), t))
+    }
+
+    /// Builds the sub-schema for the given attributes (in ascending id
+    /// order), as used when projecting a relation.
+    pub fn project(&self, attrs: AttrSet) -> Schema {
+        let mut names = Vec::with_capacity(attrs.len());
+        let mut types = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            names.push(self.names[a].clone());
+            types.push(self.types[a]);
+        }
+        Schema { names, types }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (_, name, ty)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {ty}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            ("a".into(), DataType::Int),
+            ("b".into(), DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = schema2();
+        assert_eq!(s.n_attrs(), 2);
+        assert_eq!(s.name(0), "a");
+        assert_eq!(s.data_type(1), DataType::Str);
+        assert_eq!(s.attr_id("b"), Some(1));
+        assert_eq!(s.attr_id("z"), None);
+        assert_eq!(s.all_attrs(), AttrSet::from_iter([0, 1]));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            ("a".into(), DataType::Int),
+            ("a".into(), DataType::Int),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn too_many_attrs_rejected() {
+        let attrs: Vec<_> = (0..65)
+            .map(|i| (format!("c{i}"), DataType::Int))
+            .collect();
+        assert!(matches!(
+            Schema::new(attrs),
+            Err(RelationError::TooManyAttributes(65))
+        ));
+    }
+
+    #[test]
+    fn projection_keeps_order() {
+        let s = Schema::new(vec![
+            ("a".into(), DataType::Int),
+            ("b".into(), DataType::Str),
+            ("c".into(), DataType::Float),
+        ])
+        .unwrap();
+        let p = s.project(AttrSet::from_iter([0, 2]));
+        assert_eq!(p.names(), &["a".to_string(), "c".to_string()]);
+        assert_eq!(p.data_type(1), DataType::Float);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(schema2().to_string(), "(a: int, b: str)");
+    }
+}

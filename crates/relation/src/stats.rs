@@ -1,0 +1,151 @@
+//! Dataset profiling: per-column statistics that predict discovery cost.
+//!
+//! The experiments in §5 hinge on structural dataset properties — constants,
+//! keys, cardinality distribution, swap density. [`profile`] extracts them,
+//! both for harness reporting and for users deciding whether discovery is
+//! tractable on their data.
+
+use crate::{AttrId, EncodedRelation};
+
+/// Statistics for one column of an encoded relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnProfile {
+    /// Attribute id.
+    pub attr: AttrId,
+    /// Attribute name.
+    pub name: String,
+    /// Distinct-value count.
+    pub cardinality: u32,
+    /// Whether the column is constant (`{}: [] ↦ A` holds).
+    pub is_constant: bool,
+    /// Whether the column is a key (all values distinct).
+    pub is_key: bool,
+    /// Fraction of rows carrying a duplicated value — the share of rows in
+    /// non-singleton classes, i.e. what survives partition stripping.
+    pub duplication: f64,
+}
+
+/// Whole-relation profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationProfile {
+    /// Row count.
+    pub n_rows: usize,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl RelationProfile {
+    /// Number of constant columns (each yields an empty-context OD that
+    /// list-based discovery cannot represent).
+    pub fn n_constants(&self) -> usize {
+        self.columns.iter().filter(|c| c.is_constant).count()
+    }
+
+    /// Number of single-column keys (each triggers superkey pruning early).
+    pub fn n_keys(&self) -> usize {
+        self.columns.iter().filter(|c| c.is_key).count()
+    }
+
+    /// Renders an aligned summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<20} {:>12} {:>9} {:>5} {:>12}\n",
+            "column", "cardinality", "constant", "key", "duplication"
+        );
+        for c in &self.columns {
+            out.push_str(&format!(
+                "{:<20} {:>12} {:>9} {:>5} {:>11.1}%\n",
+                c.name,
+                c.cardinality,
+                if c.is_constant { "yes" } else { "" },
+                if c.is_key { "yes" } else { "" },
+                c.duplication * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Profiles every column of an encoded relation in O(|R|·n).
+pub fn profile(enc: &EncodedRelation) -> RelationProfile {
+    let n = enc.n_rows();
+    let columns = (0..enc.n_attrs())
+        .map(|a| {
+            let card = enc.cardinality(a);
+            // Count rows whose value occurs more than once.
+            let mut counts = vec![0u32; card as usize];
+            for &c in enc.codes(a) {
+                counts[c as usize] += 1;
+            }
+            let duplicated: usize = counts
+                .iter()
+                .filter(|&&c| c >= 2)
+                .map(|&c| c as usize)
+                .sum();
+            ColumnProfile {
+                attr: a,
+                name: enc.schema().name(a).to_string(),
+                cardinality: card,
+                is_constant: card <= 1 && n > 0,
+                is_key: card as usize == n && n > 0,
+                duplication: if n == 0 { 0.0 } else { duplicated as f64 / n as f64 },
+            }
+        })
+        .collect();
+    RelationProfile { n_rows: n, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelationBuilder;
+
+    fn enc() -> EncodedRelation {
+        RelationBuilder::new()
+            .column_i64("const", vec![5, 5, 5, 5])
+            .column_i64("key", vec![4, 3, 2, 1])
+            .column_i64("half", vec![1, 1, 2, 3])
+            .build()
+            .unwrap()
+            .encode()
+    }
+
+    #[test]
+    fn profiles_constants_and_keys() {
+        let p = profile(&enc());
+        assert_eq!(p.n_rows, 4);
+        assert_eq!(p.n_constants(), 1);
+        assert_eq!(p.n_keys(), 1);
+        assert!(p.columns[0].is_constant && !p.columns[0].is_key);
+        assert!(p.columns[1].is_key && !p.columns[1].is_constant);
+    }
+
+    #[test]
+    fn duplication_fraction() {
+        let p = profile(&enc());
+        assert_eq!(p.columns[0].duplication, 1.0); // all rows duplicated
+        assert_eq!(p.columns[1].duplication, 0.0); // key: none
+        assert_eq!(p.columns[2].duplication, 0.5); // rows {0,1} of 4
+    }
+
+    #[test]
+    fn empty_relation_profile() {
+        let enc = RelationBuilder::new()
+            .column_i64("a", vec![])
+            .build()
+            .unwrap()
+            .encode();
+        let p = profile(&enc);
+        assert!(!p.columns[0].is_constant);
+        assert!(!p.columns[0].is_key);
+        assert_eq!(p.columns[0].duplication, 0.0);
+    }
+
+    #[test]
+    fn render_contains_columns() {
+        let table = profile(&enc()).render();
+        assert!(table.contains("const"));
+        assert!(table.contains("key"));
+        assert!(table.lines().count() >= 4);
+    }
+}

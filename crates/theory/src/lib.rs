@@ -1,0 +1,33 @@
+//! Order-dependency formalism: everything in §2–§3 of the paper.
+//!
+//! * [`listod`] — lexicographic order specifications, list-based ODs
+//!   `X ↦ Y`, order compatibility `X ~ Y`, order equivalence `X ↔ Y`, and
+//!   the sort-based instance validator returning split/swap status
+//!   (Definitions 1–5);
+//! * [`canonical`] — the set-based canonical form of §3.1: constancy ODs
+//!   `X: [] ↦ A` and order-compatibility ODs `X: A ~ B`, plus [`OdSet`]
+//!   collections;
+//! * [`mapping`] — Theorem 5's polynomial mapping between a list OD and its
+//!   equivalent set of canonical ODs;
+//! * [`axioms`] — the sound & complete set-based axiomatization of §3.2
+//!   (Figure 2) as an executable inference engine, plus the subset-closure
+//!   implication test used to reason about minimal discovered sets;
+//! * [`validate`] — partition-based and brute-force validators for canonical
+//!   ODs against [`fastod_relation::EncodedRelation`] instances;
+//! * [`violations`] — witness extraction (which tuple pairs split/swap) for
+//!   data-cleaning workflows.
+
+pub mod axioms;
+pub mod bidirectional;
+pub mod canonical;
+pub mod listod;
+pub mod mapping;
+pub mod orders;
+pub mod validate;
+pub mod violations;
+
+pub use canonical::{CanonicalOd, OdSet};
+pub use listod::{validate_list_od, ListOd, OdStatus};
+pub use mapping::map_list_od;
+pub use validate::{build_partition, canonical_od_holds};
+pub use violations::{find_violations, Violation};

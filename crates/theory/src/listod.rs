@@ -1,0 +1,308 @@
+//! List-based order dependencies (paper §2).
+//!
+//! An order specification is a *list* of attributes defining a lexicographic
+//! order, as in SQL `ORDER BY` (Definition 1). `X ↦ Y` (Definition 2) holds
+//! when sorting by `X` implies sorted by `Y`. Violations come in exactly two
+//! flavours (Theorem 1): **splits** (`X` fails to functionally determine `Y`)
+//! and **swaps** (`X` and `Y` disagree on strict order), cf. Definitions 4–5.
+
+use fastod_relation::{AttrId, EncodedRelation};
+use std::cmp::Ordering;
+
+/// A list-based OD `lhs ↦ rhs` over attribute lists (order matters,
+/// attributes may repeat — unlike FDs).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ListOd {
+    /// The ordering side `X`.
+    pub lhs: Vec<AttrId>,
+    /// The ordered side `Y`.
+    pub rhs: Vec<AttrId>,
+}
+
+impl ListOd {
+    /// Creates `lhs ↦ rhs`.
+    pub fn new(lhs: Vec<AttrId>, rhs: Vec<AttrId>) -> ListOd {
+        ListOd { lhs, rhs }
+    }
+
+    /// Renders with attribute names, e.g. `[year,salary] -> [year,bin]`.
+    pub fn display(&self, names: &[String]) -> String {
+        let fmt = |list: &[AttrId]| {
+            let parts: Vec<&str> = list
+                .iter()
+                .map(|&a| names.get(a).map(String::as_str).unwrap_or("?"))
+                .collect();
+            format!("[{}]", parts.join(","))
+        };
+        format!("{} -> {}", fmt(&self.lhs), fmt(&self.rhs))
+    }
+}
+
+/// Outcome of validating a list OD on an instance: which violation kinds
+/// (Definitions 4–5) were observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OdStatus {
+    /// `X ↦ Y` holds.
+    Valid,
+    /// Only splits: `X ~ Y` holds but `X → Y` (the FD) fails.
+    Split,
+    /// Only swaps: `X → Y` holds but `X ~ Y` fails.
+    Swap,
+    /// Both kinds of violation occur.
+    SplitAndSwap,
+}
+
+impl OdStatus {
+    /// Whether the OD holds.
+    pub fn is_valid(self) -> bool {
+        self == OdStatus::Valid
+    }
+
+    /// Whether a split was observed.
+    pub fn has_split(self) -> bool {
+        matches!(self, OdStatus::Split | OdStatus::SplitAndSwap)
+    }
+
+    /// Whether a swap was observed.
+    pub fn has_swap(self) -> bool {
+        matches!(self, OdStatus::Swap | OdStatus::SplitAndSwap)
+    }
+}
+
+/// Validates `lhs ↦ rhs` on an instance in O(n log n · (|lhs|+|rhs|)).
+///
+/// Rows are sorted by `lhs`, ties broken by `rhs`; then a single adjacent
+/// scan classifies the OD:
+/// * an adjacent pair equal on `lhs` but unequal on `rhs` witnesses a split
+///   (ties are contiguous and `rhs`-sorted, so any in-class `rhs` difference
+///   surfaces between neighbours);
+/// * an adjacent pair strictly increasing on `lhs` but strictly *decreasing*
+///   on `rhs` witnesses a swap (with `rhs` tie-breaking, `rhs` is globally
+///   non-decreasing iff no swap exists).
+pub fn validate_list_od(enc: &EncodedRelation, lhs: &[AttrId], rhs: &[AttrId]) -> OdStatus {
+    let n = enc.n_rows();
+    if n < 2 {
+        return OdStatus::Valid;
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&s, &t| {
+        enc.cmp_lex(lhs, s as usize, t as usize)
+            .then_with(|| enc.cmp_lex(rhs, s as usize, t as usize))
+    });
+    let mut split = false;
+    let mut swap = false;
+    for w in order.windows(2) {
+        let (s, t) = (w[0] as usize, w[1] as usize);
+        let x = enc.cmp_lex(lhs, s, t);
+        match x {
+            Ordering::Equal => {
+                if enc.cmp_lex(rhs, s, t) != Ordering::Equal {
+                    split = true;
+                }
+            }
+            Ordering::Less => {
+                if enc.cmp_lex(rhs, s, t) == Ordering::Greater {
+                    swap = true;
+                }
+            }
+            Ordering::Greater => unreachable!("rows are sorted by lhs"),
+        }
+        if split && swap {
+            break;
+        }
+    }
+    match (split, swap) {
+        (false, false) => OdStatus::Valid,
+        (true, false) => OdStatus::Split,
+        (false, true) => OdStatus::Swap,
+        (true, true) => OdStatus::SplitAndSwap,
+    }
+}
+
+/// Whether `lhs ↦ rhs` holds (Definition 2).
+pub fn od_holds(enc: &EncodedRelation, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
+    validate_list_od(enc, lhs, rhs).is_valid()
+}
+
+/// Whether `X ~ Y` — order compatibility, `XY ↔ YX` (Definition 3).
+///
+/// Equivalent to "no swap": validated as `X ↦ Y` ignoring splits.
+pub fn order_compatible(enc: &EncodedRelation, x: &[AttrId], y: &[AttrId]) -> bool {
+    !validate_list_od(enc, x, y).has_swap()
+}
+
+/// Whether `X ↔ Y` — order equivalence (`X ↦ Y` and `Y ↦ X`).
+pub fn order_equivalent(enc: &EncodedRelation, x: &[AttrId], y: &[AttrId]) -> bool {
+    od_holds(enc, x, y) && od_holds(enc, y, x)
+}
+
+/// Brute-force validator straight from Definition 2: for all tuple pairs,
+/// `s ⪯_X t` implies `s ⪯_Y t`. O(n²); reference implementation for tests.
+pub fn od_holds_naive(enc: &EncodedRelation, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
+    let n = enc.n_rows();
+    for s in 0..n {
+        for t in 0..n {
+            // s ⪯_X t  ⟺  cmp_lex(X, s, t) != Greater.
+            if enc.cmp_lex(lhs, s, t) != Ordering::Greater
+                && enc.cmp_lex(rhs, s, t) == Ordering::Greater
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastod_relation::RelationBuilder;
+
+    /// The paper's Table 1 (§1.1), encoded. Attribute order:
+    /// 0=id, 1=yr, 2=posit, 3=bin, 4=sal, 5=perc, 6=tax, 7=grp, 8=subg.
+    pub(crate) fn employee() -> EncodedRelation {
+        RelationBuilder::new()
+            .column_i64("id", vec![10, 11, 12, 10, 11, 12])
+            .column_i64("yr", vec![16, 16, 16, 15, 15, 15])
+            .column_str("posit", vec!["secr", "mngr", "direct", "secr", "mngr", "direct"])
+            .column_i64("bin", vec![1, 2, 3, 1, 2, 3])
+            .column_f64("sal", vec![5.0, 8.0, 10.0, 4.5, 6.0, 8.0])
+            .column_i64("perc", vec![20, 25, 30, 20, 25, 25])
+            .column_f64("tax", vec![1.0, 2.0, 3.0, 0.9, 1.5, 2.0])
+            .column_str("grp", vec!["A", "C", "D", "A", "C", "C"])
+            .column_str("subg", vec!["III", "II", "I", "III", "I", "II"])
+            .build()
+            .unwrap()
+            .encode()
+    }
+
+    const SAL: usize = 4;
+    const TAX: usize = 6;
+    const PERC: usize = 5;
+    const GRP: usize = 7;
+    const SUBG: usize = 8;
+    const YR: usize = 1;
+    const BIN: usize = 3;
+    const POSIT: usize = 2;
+
+    #[test]
+    fn paper_example_1_ods_hold() {
+        let e = employee();
+        // [salary] ↦ [tax]
+        assert!(od_holds(&e, &[SAL], &[TAX]));
+        // [salary] ↦ [percentage]
+        assert!(od_holds(&e, &[SAL], &[PERC]));
+        // [salary] ↦ [group, subgroup]
+        assert!(od_holds(&e, &[SAL], &[GRP, SUBG]));
+        // [year, salary] ↦ [year, bin]
+        assert!(od_holds(&e, &[YR, SAL], &[YR, BIN]));
+    }
+
+    #[test]
+    fn paper_example_3_violations() {
+        let e = employee();
+        // [position] ↦ [position, salary] violated by splits only.
+        assert_eq!(
+            validate_list_od(&e, &[POSIT], &[POSIT, SAL]),
+            OdStatus::Split
+        );
+        // [salary] ~ [subgroup] violated by a swap.
+        assert!(!order_compatible(&e, &[SAL], &[SUBG]));
+    }
+
+    #[test]
+    fn order_compat_weaker_than_od() {
+        // Example 2's shape: month ~ week holds but month ↦ week does not.
+        let e = RelationBuilder::new()
+            .column_i64("month", vec![1, 1, 2, 2])
+            .column_i64("week", vec![1, 2, 5, 6])
+            .build()
+            .unwrap()
+            .encode();
+        assert!(order_compatible(&e, &[0], &[1]));
+        assert_eq!(validate_list_od(&e, &[0], &[1]), OdStatus::Split);
+        assert!(!od_holds(&e, &[0], &[1]));
+    }
+
+    #[test]
+    fn swap_and_split_together() {
+        let e = RelationBuilder::new()
+            .column_i64("a", vec![0, 0, 1])
+            .column_i64("b", vec![1, 2, 0])
+            .build()
+            .unwrap()
+            .encode();
+        assert_eq!(validate_list_od(&e, &[0], &[1]), OdStatus::SplitAndSwap);
+    }
+
+    #[test]
+    fn trivial_and_degenerate_cases() {
+        let e = employee();
+        // Reflexivity-flavoured: XY ↦ X.
+        assert!(od_holds(&e, &[SAL, TAX], &[SAL]));
+        // Empty RHS is always ordered.
+        assert!(od_holds(&e, &[SAL], &[]));
+        // Empty LHS orders only constants; salary is not constant.
+        assert!(!od_holds(&e, &[], &[SAL]));
+        // Self OD.
+        assert!(od_holds(&e, &[SAL], &[SAL]));
+    }
+
+    #[test]
+    fn suffix_rule_example() {
+        // Theorem 1 / Suffix: if X ↦ Y then X ↔ YX.
+        let e = employee();
+        assert!(od_holds(&e, &[SAL], &[TAX]));
+        assert!(order_equivalent(&e, &[SAL], &[TAX, SAL]));
+    }
+
+    #[test]
+    fn sort_based_matches_naive_on_employee() {
+        let e = employee();
+        let lists: Vec<Vec<AttrId>> = vec![
+            vec![SAL],
+            vec![TAX],
+            vec![YR, SAL],
+            vec![GRP, SUBG],
+            vec![POSIT],
+            vec![YR, BIN],
+            vec![SAL, YR],
+            vec![],
+        ];
+        for x in &lists {
+            for y in &lists {
+                assert_eq!(
+                    od_holds(&e, x, y),
+                    od_holds_naive(&e, x, y),
+                    "{x:?} -> {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_attributes_allowed() {
+        let e = employee();
+        // Normalization axiom: [yr, sal] ↦ [yr, sal, yr] — repeats are fine.
+        assert!(od_holds(&e, &[YR, SAL], &[YR, SAL, YR]));
+    }
+
+    #[test]
+    fn empty_relation_everything_valid() {
+        let e = RelationBuilder::new()
+            .column_i64("a", vec![])
+            .column_i64("b", vec![])
+            .build()
+            .unwrap()
+            .encode();
+        assert!(od_holds(&e, &[], &[0, 1]));
+        assert_eq!(validate_list_od(&e, &[0], &[1]), OdStatus::Valid);
+    }
+
+    #[test]
+    fn display_names() {
+        let od = ListOd::new(vec![0], vec![1, 0]);
+        let names = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(od.display(&names), "[a] -> [b,a]");
+    }
+}

@@ -1,0 +1,149 @@
+//! Theorem 5: the polynomial mapping from list-based ODs to equivalent
+//! set-based canonical ODs.
+//!
+//! `X ↦ Y` holds iff
+//! * `∀j: X: [] ↦ Y_j` (the FD part, Theorem 3), and
+//! * `∀i,j: {X_1..X_{i-1}, Y_1..Y_{j-1}}: X_i ~ Y_j` (the order-compatibility
+//!   part, Theorem 4).
+//!
+//! The mapping has size `|Y| + |X|·|Y|` — quadratic, versus the exponential
+//! blow-up a naive list-to-set translation would incur. This is the insight
+//! that lets FASTOD traverse a set lattice instead of ORDER's list lattice.
+
+use crate::canonical::CanonicalOd;
+use crate::listod::ListOd;
+use crate::validate::canonical_od_holds;
+use fastod_relation::{AttrId, AttrSet, EncodedRelation};
+
+/// Maps the list OD `lhs ↦ rhs` to its equivalent set of canonical ODs
+/// (Theorem 5). Trivial canonical ODs are included (they hold vacuously);
+/// use [`map_list_od_nontrivial`] to drop them.
+pub fn map_list_od(lhs: &[AttrId], rhs: &[AttrId]) -> Vec<CanonicalOd> {
+    let x_set: AttrSet = lhs.iter().copied().collect();
+    let mut out = Vec::with_capacity(rhs.len() + lhs.len() * rhs.len());
+    // ∀j, X: [] ↦ Y_j  (Theorem 3).
+    for &yj in rhs {
+        out.push(CanonicalOd::constancy(x_set, yj));
+    }
+    // ∀i,j, {X_1..X_{i-1}, Y_1..Y_{j-1}}: X_i ~ Y_j  (Theorem 4).
+    for (i, &xi) in lhs.iter().enumerate() {
+        for (j, &yj) in rhs.iter().enumerate() {
+            let ctx: AttrSet = lhs[..i].iter().chain(rhs[..j].iter()).copied().collect();
+            out.push(CanonicalOd::order_compat(ctx, xi, yj));
+        }
+    }
+    out
+}
+
+/// [`map_list_od`] with trivial canonical ODs removed and duplicates
+/// collapsed.
+pub fn map_list_od_nontrivial(lhs: &[AttrId], rhs: &[AttrId]) -> Vec<CanonicalOd> {
+    let mut v: Vec<CanonicalOd> = map_list_od(lhs, rhs)
+        .into_iter()
+        .filter(|od| !od.is_trivial())
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Checks a list OD on an instance *through the mapping*: valid iff every
+/// mapped canonical OD is valid. By Theorem 5 this agrees with direct
+/// list-based validation — property-tested in `tests/`.
+pub fn list_od_holds_via_mapping(enc: &EncodedRelation, od: &ListOd) -> bool {
+    map_list_od(&od.lhs, &od.rhs)
+        .iter()
+        .all(|c| canonical_od_holds(enc, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::listod::od_holds;
+    use fastod_relation::RelationBuilder;
+
+    #[test]
+    fn example_5_mapping() {
+        // Paper Example 5: [A,B] ↦ [C,D] maps to
+        // {A,B}: []↦C, {A,B}: []↦D, {}: A~C, {A}: B~C, {C}: A~D, {A,C}: B~D.
+        let (a, b, c, d) = (0, 1, 2, 3);
+        let mapped = map_list_od(&[a, b], &[c, d]);
+        let expected = vec![
+            CanonicalOd::constancy(AttrSet::from_iter([a, b]), c),
+            CanonicalOd::constancy(AttrSet::from_iter([a, b]), d),
+            CanonicalOd::order_compat(AttrSet::EMPTY, a, c),
+            CanonicalOd::order_compat(AttrSet::from_iter([c]), a, d),
+            CanonicalOd::order_compat(AttrSet::from_iter([a]), b, c),
+            CanonicalOd::order_compat(AttrSet::from_iter([a, c]), b, d),
+        ];
+        let mut m = mapped.clone();
+        let mut e = expected.clone();
+        m.sort();
+        e.sort();
+        assert_eq!(m, e);
+        // Size is |Y| + |X|·|Y| = 2 + 4.
+        assert_eq!(mapped.len(), 6);
+    }
+
+    #[test]
+    fn mapping_size_is_quadratic() {
+        let lhs: Vec<AttrId> = (0..5).collect();
+        let rhs: Vec<AttrId> = (5..9).collect();
+        assert_eq!(map_list_od(&lhs, &rhs).len(), 4 + 5 * 4);
+    }
+
+    #[test]
+    fn empty_sides() {
+        // [] ↦ [A]: A must be globally constant.
+        assert_eq!(
+            map_list_od(&[], &[0]),
+            vec![CanonicalOd::constancy(AttrSet::EMPTY, 0)]
+        );
+        // X ↦ []: nothing required.
+        assert!(map_list_od(&[0, 1], &[]).is_empty());
+    }
+
+    #[test]
+    fn nontrivial_filters_identity() {
+        // [A] ↦ [A] maps to trivial ODs only.
+        assert!(map_list_od_nontrivial(&[0], &[0]).is_empty());
+    }
+
+    #[test]
+    fn mapping_agrees_with_direct_validation_on_table1() {
+        let e = RelationBuilder::new()
+            .column_i64("yr", vec![16, 16, 16, 15, 15, 15])
+            .column_i64("bin", vec![1, 2, 3, 1, 2, 3])
+            .column_f64("sal", vec![5.0, 8.0, 10.0, 4.5, 6.0, 8.0])
+            .column_f64("tax", vec![1.0, 2.0, 3.0, 0.9, 1.5, 2.0])
+            .build()
+            .unwrap()
+            .encode();
+        let cases: Vec<(Vec<AttrId>, Vec<AttrId>)> = vec![
+            (vec![2], vec![3]),       // [sal] ↦ [tax] — holds
+            (vec![0, 2], vec![0, 1]), // [yr,sal] ↦ [yr,bin] — holds
+            (vec![1], vec![2]),       // [bin] ↦ [sal] — split
+            (vec![2], vec![0]),       // [sal] ↦ [yr] — swap
+            (vec![], vec![0]),        // [] ↦ [yr] — yr not constant
+        ];
+        for (lhs, rhs) in cases {
+            let od = ListOd::new(lhs.clone(), rhs.clone());
+            assert_eq!(
+                od_holds(&e, &lhs, &rhs),
+                list_od_holds_via_mapping(&e, &od),
+                "{lhs:?} -> {rhs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_attribute_od_maps_to_trivials_plus_core() {
+        // [yr, sal] ↦ [yr, bin]: the X_1 ~ Y_1 component (yr ~ yr) is
+        // trivial; the real content is {yr}: sal ~ bin etc.
+        let mapped = map_list_od_nontrivial(&[0, 2], &[0, 1]);
+        assert!(mapped.contains(&CanonicalOd::constancy(AttrSet::from_iter([0, 2]), 1)));
+        assert!(mapped.contains(&CanonicalOd::order_compat(AttrSet::singleton(0), 2, 1)));
+        // yr ~ yr and contexts containing operands are gone.
+        assert!(mapped.iter().all(|od| !od.is_trivial()));
+    }
+}

@@ -1,0 +1,237 @@
+//! Optimizer-facing reasoning over a discovered OD set (paper §1.1, §6).
+//!
+//! Once FASTOD has produced a complete minimal set `M`, a query optimizer
+//! never needs the data again: any list OD `X ↦ Y` holds iff its Theorem 5
+//! canonical mapping is implied by `M`, which [`implied_by_minimal_set`]
+//! decides purely syntactically. On top of that this module answers the
+//! §1.1 questions directly:
+//!
+//! * does an index sorted on `X` satisfy `ORDER BY Y`? ([`od_implied`]);
+//! * which attributes can be *dropped* from an `ORDER BY`
+//!   (`d_quarter` in Query 1 — [`simplify_order_by`]);
+//! * which attribute pairs are interchangeable sort keys
+//!   ([`order_equivalent`]).
+
+use crate::axioms::implied_by_minimal_set;
+use crate::canonical::{CanonicalOd, OdSet};
+use crate::mapping::map_list_od;
+use fastod_relation::{AttrId, AttrSet};
+
+/// Whether the list OD `lhs ↦ rhs` is implied by the complete minimal set
+/// `m` — i.e. holds on every instance satisfying `m`, and in particular on
+/// the instance `m` was discovered from (Theorem 5 + Theorem 8).
+pub fn od_implied(m: &OdSet, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
+    map_list_od(lhs, rhs)
+        .iter()
+        .all(|od| implied_by_minimal_set(m, od))
+}
+
+/// Whether `[a] ↔ [b]` — the two attributes are interchangeable sort keys.
+pub fn order_equivalent(m: &OdSet, a: AttrId, b: AttrId) -> bool {
+    od_implied(m, &[a], &[b]) && od_implied(m, &[b], &[a])
+}
+
+/// Attributes that are constant over the instance (`{}: [] ↦ A` implied):
+/// any `ORDER BY` position holding one can be removed outright.
+pub fn constant_attrs(m: &OdSet, n_attrs: usize) -> AttrSet {
+    (0..n_attrs)
+        .filter(|&a| implied_by_minimal_set(m, &CanonicalOd::constancy(AttrSet::EMPTY, a)))
+        .collect()
+}
+
+/// Whether two order specifications are equivalent under `m`
+/// (`X ↔ Y`): each implies the other. Complete when `m` is a complete
+/// minimal discovered set, so this decides instance-level equivalence
+/// without touching the data.
+pub fn specs_equivalent(m: &OdSet, x: &[AttrId], y: &[AttrId]) -> bool {
+    od_implied(m, x, y) && od_implied(m, y, x)
+}
+
+/// Simplifies an `ORDER BY` specification against `m` by greedily dropping
+/// positions whose removal leaves an **order-equivalent** specification —
+/// the paper's Query 1 move: `ORDER BY d_year, d_quarter, d_month`
+/// collapses to `ORDER BY d_year, d_month` because the OD
+/// `d_month ↦ d_quarter` holds; the FD alone could not justify removing an
+/// attribute that precedes others (§1.1).
+///
+/// Each candidate removal is verified with [`specs_equivalent`], so the
+/// result is order-equivalent to the input on every instance satisfying
+/// `m`. Greedy left-to-right passes repeat until a fixpoint.
+pub fn simplify_order_by(m: &OdSet, spec: &[AttrId]) -> Vec<AttrId> {
+    let mut current: Vec<AttrId> = spec.to_vec();
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut reduced = current.clone();
+            reduced.remove(i);
+            if specs_equivalent(m, &current, &reduced) {
+                current = reduced;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !changed {
+            return current;
+        }
+    }
+}
+
+/// All unordered attribute pairs that are order equivalent under `m` —
+/// candidates for index sharing / interesting-order propagation (§6's
+/// System R discussion).
+pub fn equivalent_pairs(m: &OdSet, n_attrs: usize) -> Vec<(AttrId, AttrId)> {
+    let mut out = Vec::new();
+    for a in 0..n_attrs {
+        for b in (a + 1)..n_attrs {
+            if order_equivalent(m, a, b) {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::all_valid_canonical_ods;
+    use fastod_relation::{EncodedRelation, RelationBuilder};
+
+    /// A date_dim-like instance and its complete minimal OD set, computed
+    /// here through the theory-level primitives (no dependency on the
+    /// discovery crate from this side of the workspace).
+    fn date_dim() -> (EncodedRelation, OdSet) {
+        let mut sk = Vec::new();
+        let mut year = Vec::new();
+        let mut quarter = Vec::new();
+        let mut month = Vec::new();
+        for i in 0..730i64 {
+            sk.push(i);
+            let y = i / 365;
+            let doy = i % 365;
+            let m = doy / 31; // 0..11-ish, fine for the algebra
+            year.push(2000 + y);
+            month.push(m + 1);
+            quarter.push(m / 3 + 1);
+        }
+        let enc = RelationBuilder::new()
+            .column_i64("sk", sk)
+            .column_i64("year", year)
+            .column_i64("quarter", quarter)
+            .column_i64("month", month)
+            .build()
+            .unwrap()
+            .encode();
+        // Ground-truth complete set, then a minimal cover.
+        let all: OdSet = all_valid_canonical_ods(&enc, enc.n_attrs())
+            .into_iter()
+            .collect();
+        let m = crate::axioms::minimal_cover(&all);
+        (enc, m)
+    }
+
+    const SK: usize = 0;
+    const YEAR: usize = 1;
+    const QUARTER: usize = 2;
+    const MONTH: usize = 3;
+
+    #[test]
+    fn implied_ods_match_instance_validation() {
+        let (enc, m) = date_dim();
+        let specs: Vec<Vec<AttrId>> = vec![
+            vec![SK],
+            vec![YEAR],
+            vec![YEAR, MONTH],
+            vec![MONTH],
+            vec![YEAR, QUARTER, MONTH],
+        ];
+        for x in &specs {
+            for y in &specs {
+                assert_eq!(
+                    od_implied(&m, x, y),
+                    crate::listod::od_holds(&enc, x, y),
+                    "{x:?} -> {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query1_order_by_simplification() {
+        // The §1.1 headline: ORDER BY year, quarter, month collapses to
+        // ORDER BY year, month — dropping an attribute that *precedes*
+        // others, which needs the OD month ↦ quarter (the FD alone cannot
+        // justify it).
+        let (_, m) = date_dim();
+        assert_eq!(
+            simplify_order_by(&m, &[YEAR, QUARTER, MONTH]),
+            vec![YEAR, MONTH]
+        );
+        // Trailing determined attributes vanish too.
+        assert_eq!(
+            simplify_order_by(&m, &[YEAR, MONTH, QUARTER]),
+            vec![YEAR, MONTH]
+        );
+        // And the surrogate key satisfies everything after it.
+        assert_eq!(simplify_order_by(&m, &[SK, YEAR, MONTH]), vec![SK]);
+    }
+
+    #[test]
+    fn simplification_is_sound_on_the_instance() {
+        let (enc, m) = date_dim();
+        for spec in [
+            vec![YEAR, MONTH, QUARTER],
+            vec![SK, QUARTER],
+            vec![MONTH, MONTH, YEAR],
+            vec![QUARTER, MONTH, YEAR, SK],
+        ] {
+            let simplified = simplify_order_by(&m, &spec);
+            assert!(
+                crate::listod::order_equivalent(&enc, &spec, &simplified),
+                "{spec:?} vs {simplified:?}"
+            );
+            assert!(simplified.len() <= spec.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_attrs_removed_by_normalization() {
+        let (_, m) = date_dim();
+        assert_eq!(simplify_order_by(&m, &[YEAR, YEAR]), vec![YEAR]);
+    }
+
+    #[test]
+    fn constants_detected() {
+        let enc = RelationBuilder::new()
+            .column_i64("c", vec![1, 1, 1])
+            .column_i64("x", vec![1, 2, 3])
+            .build()
+            .unwrap()
+            .encode();
+        let all: OdSet = all_valid_canonical_ods(&enc, 2).into_iter().collect();
+        let m = crate::axioms::minimal_cover(&all);
+        assert_eq!(constant_attrs(&m, 2), AttrSet::singleton(0));
+        // A constant ORDER BY position vanishes.
+        assert_eq!(simplify_order_by(&m, &[0, 1]), vec![1]);
+    }
+
+    #[test]
+    fn equivalence_detection() {
+        // Two injectively correlated columns are order equivalent; a third
+        // scrambled column is not.
+        let enc = RelationBuilder::new()
+            .column_i64("a", vec![1, 2, 3, 4])
+            .column_i64("b", vec![10, 20, 30, 40])
+            .column_i64("c", vec![2, 1, 4, 3])
+            .build()
+            .unwrap()
+            .encode();
+        let all: OdSet = all_valid_canonical_ods(&enc, 3).into_iter().collect();
+        let m = crate::axioms::minimal_cover(&all);
+        assert!(order_equivalent(&m, 0, 1));
+        assert!(!order_equivalent(&m, 0, 2));
+        assert_eq!(equivalent_pairs(&m, 3), vec![(0, 1)]);
+    }
+}

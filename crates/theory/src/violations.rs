@@ -1,0 +1,280 @@
+//! Violation witnesses for data cleaning (paper §1.1: "their violations
+//! point out possible data errors").
+//!
+//! Given a canonical OD that *should* hold, these routines return the
+//! offending tuple pairs: **splits** for constancy ODs (Definition 4) and
+//! **swaps** for order-compatibility ODs (Definition 5).
+
+use crate::canonical::CanonicalOd;
+use crate::validate::build_partition;
+use fastod_partition::{ClassMap, SortedColumn};
+use fastod_relation::{AttrId, AttrSet, EncodedRelation, Relation};
+
+/// A single witnessed violation of a canonical OD.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// Tuples agree on the context but differ on `attr`
+    /// (split: `X ↛ A`).
+    Split {
+        /// Offending tuple pair (row indices).
+        rows: (u32, u32),
+        /// The context the tuples agree on.
+        context: AttrSet,
+        /// The attribute they differ on.
+        attr: AttrId,
+    },
+    /// Tuples in the same context class with `s ≺_A t` but `t ≺_B s`
+    /// (swap: `A ≁ B` within the class).
+    Swap {
+        /// Offending tuple pair `(s, t)` with `s ≺_a t` and `t ≺_b s`.
+        rows: (u32, u32),
+        /// The shared context.
+        context: AttrSet,
+        /// First ordered attribute.
+        a: AttrId,
+        /// Second ordered attribute.
+        b: AttrId,
+    },
+}
+
+impl Violation {
+    /// The offending row pair.
+    pub fn rows(&self) -> (u32, u32) {
+        match *self {
+            Violation::Split { rows, .. } | Violation::Swap { rows, .. } => rows,
+        }
+    }
+
+    /// Human-readable description with the raw cell values.
+    pub fn describe(&self, rel: &Relation) -> String {
+        let names = rel.schema().names();
+        match *self {
+            Violation::Split { rows: (s, t), context, attr } => format!(
+                "split: tuples {s} and {t} agree on {} but have {}={} vs {}={}",
+                context.display(names),
+                names[attr],
+                rel.value(s as usize, attr),
+                names[attr],
+                rel.value(t as usize, attr),
+            ),
+            Violation::Swap { rows: (s, t), context, a, b } => format!(
+                "swap: within {} tuple {s} precedes {t} on {} ({} < {}) but follows on {} ({} > {})",
+                context.display(names),
+                names[a],
+                rel.value(s as usize, a),
+                rel.value(t as usize, a),
+                names[b],
+                rel.value(s as usize, b),
+                rel.value(t as usize, b),
+            ),
+        }
+    }
+}
+
+/// Finds up to `limit` violations of `od` on the instance.
+///
+/// Returns an empty vector iff the OD holds. Splits are reported per
+/// context class against the class representative; swaps are reported by a
+/// τ-scan that keeps scanning after each hit.
+pub fn find_violations(
+    enc: &EncodedRelation,
+    od: &CanonicalOd,
+    limit: usize,
+) -> Vec<Violation> {
+    if od.is_trivial() || limit == 0 {
+        return Vec::new();
+    }
+    let ctx_set = od.context();
+    let ctx = build_partition(enc, ctx_set);
+    let mut out = Vec::new();
+    match *od {
+        CanonicalOd::Constancy { rhs, .. } => {
+            let codes = enc.codes(rhs);
+            'outer: for class in ctx.classes() {
+                let rep = class[0];
+                let rep_code = codes[rep as usize];
+                for &row in &class[1..] {
+                    if codes[row as usize] != rep_code {
+                        out.push(Violation::Split {
+                            rows: (rep, row),
+                            context: ctx_set,
+                            attr: rhs,
+                        });
+                        if out.len() >= limit {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        CanonicalOd::OrderCompat { a, b, .. } => {
+            let tau = SortedColumn::build(enc.codes(a), enc.cardinality(a));
+            let codes_a = enc.codes(a);
+            let codes_b = enc.codes(b);
+            let mut cm = ClassMap::new();
+            cm.assign(&ctx);
+            // Per-class run state, mirroring the partition crate's swap scan
+            // but collecting every violation instead of stopping at one.
+            #[derive(Clone, Copy)]
+            struct St {
+                last_a: u32,
+                run_max_b: u32,
+                run_max_row: u32,
+                prev_max_b: i64,
+                prev_max_row: u32,
+                init: bool,
+            }
+            let mut states = vec![
+                St {
+                    last_a: 0,
+                    run_max_b: 0,
+                    run_max_row: u32::MAX,
+                    prev_max_b: -1,
+                    prev_max_row: u32::MAX,
+                    init: false,
+                };
+                ctx.n_classes()
+            ];
+            'scan: for &row in tau.order() {
+                let Some(ci) = cm.class_of(row) else { continue };
+                let st = &mut states[ci as usize];
+                let ca = codes_a[row as usize];
+                let cb = codes_b[row as usize];
+                if !st.init {
+                    *st = St {
+                        last_a: ca,
+                        run_max_b: cb,
+                        run_max_row: row,
+                        prev_max_b: -1,
+                        prev_max_row: u32::MAX,
+                        init: true,
+                    };
+                } else if ca != st.last_a {
+                    if i64::from(st.run_max_b) > st.prev_max_b {
+                        st.prev_max_b = i64::from(st.run_max_b);
+                        st.prev_max_row = st.run_max_row;
+                    }
+                    st.last_a = ca;
+                    st.run_max_b = cb;
+                    st.run_max_row = row;
+                } else if cb > st.run_max_b {
+                    st.run_max_b = cb;
+                    st.run_max_row = row;
+                }
+                if i64::from(cb) < st.prev_max_b {
+                    out.push(Violation::Swap {
+                        rows: (st.prev_max_row, row),
+                        context: ctx_set,
+                        a,
+                        b,
+                    });
+                    if out.len() >= limit {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::canonical_od_holds;
+    use fastod_relation::RelationBuilder;
+
+    fn employee() -> Relation {
+        RelationBuilder::new()
+            .column_i64("yr", vec![16, 16, 16, 15, 15, 15])
+            .column_str("posit", vec!["secr", "mngr", "direct", "secr", "mngr", "direct"])
+            .column_f64("sal", vec![5.0, 8.0, 10.0, 4.5, 6.0, 8.0])
+            .column_str("subg", vec!["III", "II", "I", "III", "I", "II"])
+            .build()
+            .unwrap()
+    }
+
+    const YR: usize = 0;
+    const POSIT: usize = 1;
+    const SAL: usize = 2;
+    const SUBG: usize = 3;
+
+    #[test]
+    fn split_witnesses_example_3() {
+        // [position] does not FD salary: 3 split pairs in Table 1.
+        let rel = employee();
+        let enc = rel.encode();
+        let od = CanonicalOd::constancy(AttrSet::singleton(POSIT), SAL);
+        let v = find_violations(&enc, &od, 10);
+        assert_eq!(v.len(), 3);
+        for violation in &v {
+            let (s, t) = violation.rows();
+            // Same position, different salary.
+            assert_eq!(enc.code(s as usize, POSIT), enc.code(t as usize, POSIT));
+            assert_ne!(enc.code(s as usize, SAL), enc.code(t as usize, SAL));
+            assert!(violation.describe(&rel).contains("split"));
+        }
+    }
+
+    #[test]
+    fn swap_witness_example_3() {
+        // {}: salary ~ subgroup is violated (e.g. tuples t1, t2).
+        let rel = employee();
+        let enc = rel.encode();
+        let od = CanonicalOd::order_compat(AttrSet::EMPTY, SAL, SUBG);
+        let v = find_violations(&enc, &od, 100);
+        assert!(!v.is_empty());
+        for violation in &v {
+            let (s, t) = violation.rows();
+            let (s, t) = (s as usize, t as usize);
+            // Genuine swap: strict opposite order on the two attributes.
+            let sa = enc.code(s, SAL).cmp(&enc.code(t, SAL));
+            let sb = enc.code(s, SUBG).cmp(&enc.code(t, SUBG));
+            assert!(sa != sb && sa != std::cmp::Ordering::Equal && sb != std::cmp::Ordering::Equal);
+            assert!(violation.describe(&rel).contains("swap"));
+        }
+    }
+
+    #[test]
+    fn no_violations_for_valid_od() {
+        let enc = employee().encode();
+        let od = CanonicalOd::order_compat(AttrSet::singleton(YR), POSIT, SAL);
+        // {yr}: posit ~ sal — check consistency with the validator.
+        assert_eq!(
+            canonical_od_holds(&enc, &od),
+            find_violations(&enc, &od, 10).is_empty()
+        );
+        let valid = CanonicalOd::constancy(AttrSet::singleton(POSIT), POSIT);
+        assert!(find_violations(&enc, &valid, 10).is_empty());
+    }
+
+    #[test]
+    fn limit_caps_output() {
+        let enc = employee().encode();
+        let od = CanonicalOd::constancy(AttrSet::singleton(POSIT), SAL);
+        assert_eq!(find_violations(&enc, &od, 1).len(), 1);
+        assert_eq!(find_violations(&enc, &od, 2).len(), 2);
+        assert!(find_violations(&enc, &od, 0).is_empty());
+    }
+
+    #[test]
+    fn violations_agree_with_validator() {
+        let enc = employee().encode();
+        for a in 0..enc.n_attrs() {
+            let od = CanonicalOd::constancy(AttrSet::EMPTY, a);
+            assert_eq!(
+                canonical_od_holds(&enc, &od),
+                find_violations(&enc, &od, 1).is_empty(),
+                "{od}"
+            );
+            for b in (a + 1)..enc.n_attrs() {
+                let od = CanonicalOd::order_compat(AttrSet::EMPTY, a, b);
+                assert_eq!(
+                    canonical_od_holds(&enc, &od),
+                    find_violations(&enc, &od, 1).is_empty(),
+                    "{od}"
+                );
+            }
+        }
+    }
+}

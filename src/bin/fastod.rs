@@ -1,0 +1,248 @@
+//! `fastod` — command-line order-dependency discovery over CSV files.
+//!
+//! ```text
+//! USAGE:
+//!   fastod <FILE.csv> [OPTIONS]
+//!
+//! OPTIONS:
+//!   --no-header            treat the first line as data (columns named c0, c1, ...)
+//!   --max-level <N>        cap the lattice level (context size + 1)
+//!   --timeout <SECS>       cancel discovery after this budget
+//!   --epsilon <F>          approximate discovery: tolerate removing an
+//!                          F-fraction of rows (0.0 = exact)
+//!   --violations <OD>      instead of discovering, check one OD and print
+//!                          witnesses; OD syntax: "ctx1,ctx2:[]->A" or
+//!                          "ctx1:A~B" (attribute names)
+//!   --stats                print per-level statistics (Figure 7 style)
+//! ```
+
+use fastod_suite::discovery::{ApproxConfig, ApproxFastod, CancelToken};
+use fastod_suite::prelude::*;
+use fastod_suite::relation::csv::read_csv_file;
+use fastod_suite::theory::find_violations;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    file: String,
+    header: bool,
+    max_level: Option<usize>,
+    timeout: Option<u64>,
+    epsilon: Option<f64>,
+    violations: Option<String>,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        file: String::new(),
+        header: true,
+        max_level: None,
+        timeout: None,
+        epsilon: None,
+        violations: None,
+        stats: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    let need = |iter: &mut dyn Iterator<Item = String>, flag: &str| {
+        iter.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--no-header" => args.header = false,
+            "--stats" => args.stats = true,
+            "--max-level" => {
+                args.max_level = Some(
+                    need(&mut iter, "--max-level")?
+                        .parse()
+                        .map_err(|e| format!("--max-level: {e}"))?,
+                )
+            }
+            "--timeout" => {
+                args.timeout = Some(
+                    need(&mut iter, "--timeout")?
+                        .parse()
+                        .map_err(|e| format!("--timeout: {e}"))?,
+                )
+            }
+            "--epsilon" => {
+                args.epsilon = Some(
+                    need(&mut iter, "--epsilon")?
+                        .parse()
+                        .map_err(|e| format!("--epsilon: {e}"))?,
+                )
+            }
+            "--violations" => args.violations = Some(need(&mut iter, "--violations")?),
+            "--help" | "-h" => return Err("help".into()),
+            other if args.file.is_empty() && !other.starts_with('-') => {
+                args.file = other.to_string()
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.file.is_empty() {
+        return Err("missing input file".into());
+    }
+    Ok(args)
+}
+
+/// Parses `"a,b:[]->c"` or `"a:b~c"` (empty context: `":[]->c"`).
+fn parse_od(spec: &str, schema: &Schema) -> Result<CanonicalOd, String> {
+    let (ctx_str, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| "OD must contain ':'".to_string())?;
+    let resolve = |name: &str| {
+        schema
+            .attr_id(name.trim())
+            .ok_or_else(|| format!("unknown attribute: {name}"))
+    };
+    let mut ctx = AttrSet::EMPTY;
+    for name in ctx_str.split(',').filter(|s| !s.trim().is_empty()) {
+        ctx = ctx.with(resolve(name)?);
+    }
+    if let Some(rhs) = rest.trim().strip_prefix("[]->") {
+        Ok(CanonicalOd::constancy(ctx, resolve(rhs)?))
+    } else if let Some((a, b)) = rest.split_once('~') {
+        Ok(CanonicalOd::order_compat(ctx, resolve(a)?, resolve(b)?))
+    } else {
+        Err("OD right side must be `[]->A` or `A~B`".into())
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: fastod <FILE.csv> [--no-header] [--max-level N] [--timeout SECS] \
+                 [--epsilon F] [--violations OD] [--stats]"
+            );
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let rel = match read_csv_file(&args.file, args.header) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {}: {} rows x {} attributes",
+        args.file,
+        rel.n_rows(),
+        rel.n_attrs()
+    );
+    let enc = rel.encode();
+    let names = rel.schema().names();
+
+    if let Some(spec) = &args.violations {
+        let od = match parse_od(spec, rel.schema()) {
+            Ok(od) => od,
+            Err(e) => {
+                eprintln!("error parsing OD: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = find_violations(&enc, &od, 20);
+        if violations.is_empty() {
+            println!("{} HOLDS", od.display(names));
+        } else {
+            println!("{} VIOLATED ({} witnesses shown):", od.display(names), violations.len());
+            for v in violations {
+                println!("  {}", v.describe(&rel));
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cancel = match args.timeout {
+        Some(s) => CancelToken::with_timeout(Duration::from_secs(s)),
+        None => CancelToken::never(),
+    };
+    let result = if let Some(eps) = args.epsilon {
+        let mut cfg = ApproxConfig::new(eps).with_cancel(cancel);
+        if let Some(l) = args.max_level {
+            cfg = cfg.with_max_level(l);
+        }
+        ApproxFastod::new(cfg).try_discover(&enc)
+    } else {
+        let mut cfg = DiscoveryConfig::default().with_cancel(cancel);
+        if let Some(l) = args.max_level {
+            cfg = cfg.with_max_level(l);
+        }
+        Fastod::new(cfg).try_discover(&enc)
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(_) => {
+            eprintln!("discovery exceeded the {}s budget", args.timeout.unwrap_or(0));
+            return ExitCode::FAILURE;
+        }
+    };
+    for od in result.ods.sorted() {
+        println!("{}", od.display(names));
+    }
+    eprintln!(
+        "\n{} ODs ({} constancies + {} order compatibilities) in {:?}",
+        result.ods.len(),
+        result.n_fds(),
+        result.n_ocds(),
+        result.stats.total_time
+    );
+    if args.stats {
+        eprintln!("\n{}", result.stats.level_table());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastod_suite::relation::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("year".into(), DataType::Int),
+            ("salary".into(), DataType::Int),
+            ("bin".into(), DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_constancy_with_context() {
+        let od = parse_od("year,salary:[]->bin", &schema()).unwrap();
+        assert_eq!(od, CanonicalOd::constancy(AttrSet::from_iter([0, 1]), 2));
+    }
+
+    #[test]
+    fn parse_constancy_empty_context() {
+        let od = parse_od(":[]->year", &schema()).unwrap();
+        assert_eq!(od, CanonicalOd::constancy(AttrSet::EMPTY, 0));
+    }
+
+    #[test]
+    fn parse_order_compat() {
+        let od = parse_od("year:salary~bin", &schema()).unwrap();
+        assert_eq!(od, CanonicalOd::order_compat(AttrSet::singleton(0), 1, 2));
+    }
+
+    #[test]
+    fn parse_trims_whitespace() {
+        let od = parse_od(" year : salary ~ bin ", &schema()).unwrap();
+        assert_eq!(od, CanonicalOd::order_compat(AttrSet::singleton(0), 1, 2));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_od("no-colon", &schema()).is_err());
+        assert!(parse_od(":[]->nosuch", &schema()).is_err());
+        assert!(parse_od("year:salary", &schema()).is_err());
+        assert!(parse_od("bad:salary~bin", &schema()).is_err());
+    }
+}

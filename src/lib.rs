@@ -1,0 +1,50 @@
+//! # fastod-suite
+//!
+//! Facade crate for the FASTOD order-dependency discovery suite — a complete
+//! Rust reproduction of *"Effective and Complete Discovery of Order
+//! Dependencies via Set-based Axiomatization"* (Szlichta et al., VLDB 2017).
+//!
+//! This crate re-exports every member crate so downstream users can depend on
+//! a single package:
+//!
+//! * [`relation`] — schemas, typed columns, order-preserving encoding, CSV;
+//! * [`partition`] — stripped partitions, products, sorted partitions τ;
+//! * [`theory`] — list/canonical ODs, axioms, mapping, violations;
+//! * [`discovery`] — the FASTOD algorithm (plus no-pruning and approximate
+//!   variants);
+//! * [`baselines`] — the ORDER and TANE comparators;
+//! * [`datagen`] — synthetic dataset generators for the paper's workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastod_suite::prelude::*;
+//!
+//! let table = fastod_suite::datagen::employee_table();
+//! let result = Fastod::new(DiscoveryConfig::default()).discover(&table.encode());
+//! // The paper's Example 4: bin is constant in the context of position.
+//! let posit = table.schema().attr_id("posit").unwrap();
+//! let bin = table.schema().attr_id("bin").unwrap();
+//! assert!(result
+//!     .ods
+//!     .iter()
+//!     .any(|od| matches!(od,
+//!         CanonicalOd::Constancy { context, rhs }
+//!             if *rhs == bin && context.contains(posit))));
+//! ```
+
+pub use fastod as discovery;
+pub use fastod_baselines as baselines;
+pub use fastod_datagen as datagen;
+pub use fastod_partition as partition;
+pub use fastod_relation as relation;
+pub use fastod_theory as theory;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use fastod::{DiscoveryConfig, DiscoveryResult, Fastod};
+    pub use fastod_relation::{
+        AttrId, AttrSet, DataType, EncodedRelation, Relation, RelationBuilder, Schema, Value,
+    };
+    pub use fastod_theory::{CanonicalOd, OdSet};
+}

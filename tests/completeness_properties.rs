@@ -1,0 +1,124 @@
+//! Property-based verification of FASTOD's central guarantees (Theorem 8):
+//! on random small relations, discovery output is **sound** (every reported
+//! OD holds), **complete** (every valid OD is derivable), and **minimal**
+//! (no reported OD is derivable from the others).
+
+use fastod_suite::discovery::{ApproxConfig, ApproxFastod, FdCheckMode};
+use fastod_suite::prelude::*;
+use fastod_suite::theory::axioms::{implied_by_minimal_set, minimal_cover};
+use fastod_suite::theory::validate::{all_valid_canonical_ods, canonical_od_holds_naive};
+use proptest::prelude::*;
+
+/// Random relations: up to 6 attributes, up to 24 rows, low cardinalities
+/// so FDs/OCDs actually occur.
+fn arb_relation() -> impl Strategy<Value = EncodedRelation> {
+    (1usize..=6, 0usize..=24, 1u32..=4, any::<u64>()).prop_map(
+        |(n_attrs, n_rows, max_card, seed)| {
+            fastod_suite::datagen::random_relation(n_rows, n_attrs, max_card, seed).encode()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fastod_is_sound(enc in arb_relation()) {
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        for od in result.ods.iter() {
+            prop_assert!(!od.is_trivial(), "trivial OD reported: {od}");
+            prop_assert!(canonical_od_holds_naive(&enc, od), "invalid OD reported: {od}");
+        }
+    }
+
+    #[test]
+    fn fastod_is_complete(enc in arb_relation()) {
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        // Ground truth by brute force over every context.
+        for od in all_valid_canonical_ods(&enc, enc.n_attrs()) {
+            prop_assert!(
+                implied_by_minimal_set(&result.ods, &od),
+                "valid OD not derivable from M: {od}"
+            );
+        }
+    }
+
+    #[test]
+    fn fastod_is_minimal(enc in arb_relation()) {
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        // No OD in M may be derivable from M \ {od}.
+        for od in result.ods.iter() {
+            let mut rest = result.ods.clone();
+            rest.retain(|o| o != od);
+            prop_assert!(
+                !implied_by_minimal_set(&rest, od),
+                "redundant OD in M: {od}"
+            );
+        }
+        // Equivalent check through the generic cover builder.
+        let cover = minimal_cover(&result.ods);
+        prop_assert_eq!(cover.len(), result.ods.len());
+    }
+
+    #[test]
+    fn fd_check_modes_agree(enc in arb_relation()) {
+        let a = Fastod::new(DiscoveryConfig::default().with_fd_check(FdCheckMode::ErrorRate))
+            .discover(&enc);
+        let b = Fastod::new(DiscoveryConfig::default().with_fd_check(FdCheckMode::Scan))
+            .discover(&enc);
+        prop_assert_eq!(a.ods.sorted(), b.ods.sorted());
+    }
+
+    #[test]
+    fn no_pruning_agrees_with_ground_truth(enc in arb_relation()) {
+        use fastod_suite::discovery::{CancelToken, NoPruningFastod};
+        let full = NoPruningFastod::new(None, CancelToken::never(), true)
+            .try_discover(&enc)
+            .unwrap();
+        let mut got = full.ods.unwrap().sorted();
+        let mut truth = all_valid_canonical_ods(&enc, enc.n_attrs());
+        truth.sort();
+        got.sort();
+        prop_assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn approx_zero_epsilon_is_sound(enc in arb_relation()) {
+        let result = ApproxFastod::new(ApproxConfig::new(0.0)).discover(&enc);
+        for od in result.ods.iter() {
+            prop_assert!(canonical_od_holds_naive(&enc, od), "{od}");
+        }
+    }
+
+    #[test]
+    fn approx_is_monotone_in_epsilon(enc in arb_relation()) {
+        let tight = ApproxFastod::new(ApproxConfig::new(0.0)).discover(&enc);
+        let loose = ApproxFastod::new(ApproxConfig::new(0.25)).discover(&enc);
+        for od in tight.ods.iter() {
+            prop_assert!(
+                implied_by_minimal_set(&loose.ods, od),
+                "OD lost when relaxing epsilon: {od}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_level_prefix_of_full_run(enc in arb_relation()) {
+        // A level-capped run reports exactly the full run's ODs whose node
+        // level (context + shape) fits under the cap.
+        let full = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        let capped = Fastod::new(DiscoveryConfig::default().with_max_level(2)).discover(&enc);
+        for od in capped.ods.iter() {
+            prop_assert!(full.ods.contains(od), "{od}");
+        }
+        for od in full.ods.iter() {
+            let node_level = od.context().len() + match od {
+                CanonicalOd::Constancy { .. } => 1,
+                CanonicalOd::OrderCompat { .. } => 2,
+            };
+            if node_level <= 2 {
+                prop_assert!(capped.ods.contains(od), "{od}");
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end pipeline tests: CSV → relation → discovery → violations, plus
+//! harness-style cancellation and determinism checks.
+
+use fastod_suite::discovery::{CancelToken, NoPruningFastod};
+use fastod_suite::prelude::*;
+use fastod_suite::relation::csv::{read_csv, write_csv};
+use fastod_suite::theory::find_violations;
+
+#[test]
+fn csv_roundtrip_through_discovery() {
+    // Write Table 1 to CSV, read it back, and discover the same ODs.
+    let original = fastod_suite::datagen::employee_table();
+    let mut buf = Vec::new();
+    write_csv(&original, &mut buf).unwrap();
+    let reloaded = read_csv(&buf[..], true).unwrap();
+    assert_eq!(original.schema().names(), reloaded.schema().names());
+
+    let m1 = Fastod::new(DiscoveryConfig::default())
+        .discover(&original.encode())
+        .ods
+        .sorted();
+    let m2 = Fastod::new(DiscoveryConfig::default())
+        .discover(&reloaded.encode())
+        .ods
+        .sorted();
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn discovery_is_deterministic() {
+    let enc = fastod_suite::datagen::flight_like(500, 10, 42).encode();
+    let a = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+    let b = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+    assert_eq!(a.ods.sorted(), b.ods.sorted());
+    assert_eq!(a.stats.total_nodes(), b.stats.total_nodes());
+}
+
+#[test]
+fn row_sampling_preserves_od_superset() {
+    // ODs valid on the full instance stay valid on any prefix sample —
+    // so the sampled discovery result implies every full-data OD.
+    let full = fastod_suite::datagen::dbtesma_like(800, 8, 7);
+    let enc_full = full.encode();
+    let enc_half = full.head(400).encode();
+    let m_full = Fastod::new(DiscoveryConfig::default()).discover(&enc_full).ods;
+    let m_half = Fastod::new(DiscoveryConfig::default()).discover(&enc_half).ods;
+    for od in m_full.iter() {
+        assert!(
+            fastod_suite::theory::axioms::implied_by_minimal_set(&m_half, od),
+            "full-data OD lost on sample: {od}"
+        );
+    }
+}
+
+#[test]
+fn violations_empty_iff_od_in_closure() {
+    let rel = fastod_suite::datagen::employee_table();
+    let enc = rel.encode();
+    let m = Fastod::new(DiscoveryConfig::default()).discover(&enc).ods;
+    // For each canonical OD over 2 attributes: violations are empty iff the
+    // OD is implied by the discovered set.
+    for a in 0..enc.n_attrs() {
+        let od = CanonicalOd::constancy(AttrSet::EMPTY, a);
+        let clean = find_violations(&enc, &od, 1).is_empty();
+        let implied = fastod_suite::theory::axioms::implied_by_minimal_set(&m, &od);
+        assert_eq!(clean, implied, "{od}");
+        for b in (a + 1)..enc.n_attrs() {
+            let od = CanonicalOd::order_compat(AttrSet::EMPTY, a, b);
+            let clean = find_violations(&enc, &od, 1).is_empty();
+            let implied = fastod_suite::theory::axioms::implied_by_minimal_set(&m, &od);
+            assert_eq!(clean, implied, "{od}");
+        }
+    }
+}
+
+#[test]
+fn cancellation_across_algorithms() {
+    use fastod_suite::baselines::{Order, OrderConfig, Tane, TaneConfig};
+    let enc = fastod_suite::datagen::flight_like(2_000, 12, 9).encode();
+    let zero = || CancelToken::with_timeout(std::time::Duration::ZERO);
+    assert!(Fastod::new(DiscoveryConfig::default().with_cancel(zero()))
+        .try_discover(&enc)
+        .is_err());
+    assert!(Tane::new(TaneConfig { cancel: zero(), ..Default::default() })
+        .try_discover(&enc)
+        .is_err());
+    assert!(Order::new(OrderConfig { cancel: zero(), ..Default::default() })
+        .try_discover(&enc)
+        .is_err());
+    assert!(NoPruningFastod::new(None, zero(), false)
+        .try_discover(&enc)
+        .is_err());
+}
+
+#[test]
+fn wide_relation_level_capped_run() {
+    // 30 attributes with a level cap: must terminate fast and report only
+    // small contexts.
+    let enc = fastod_suite::datagen::flight_like(200, 30, 11).encode();
+    let r = Fastod::new(DiscoveryConfig::default().with_max_level(2)).discover(&enc);
+    assert!(r.ods.iter().all(|od| od.context().len() <= 1));
+    assert!(r.stats.max_level() <= 2);
+}
+
+#[test]
+fn single_column_relation() {
+    let rel = RelationBuilder::new()
+        .column_i64("only", vec![3, 1, 2])
+        .build()
+        .unwrap();
+    let r = Fastod::new(DiscoveryConfig::default()).discover(&rel.encode());
+    // No constant, no pairs: nothing to find.
+    assert!(r.ods.is_empty());
+}
+
+#[test]
+fn all_equal_rows_relation() {
+    let rel = RelationBuilder::new()
+        .column_i64("a", vec![1; 10])
+        .column_i64("b", vec![2; 10])
+        .build()
+        .unwrap();
+    let r = Fastod::new(DiscoveryConfig::default()).discover(&rel.encode());
+    // Both columns constant; the pair OCD is implied by Propagate, so M is
+    // exactly the two constancy ODs.
+    assert_eq!(r.ods.len(), 2);
+    assert_eq!(r.n_fds(), 2);
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the beyond-the-paper extensions: bidirectional
+//! OCDs, noise injection + approximate recovery, sampling, and profiling.
+
+use fastod_suite::datagen::{flight_like, inject_noise};
+use fastod_suite::discovery::{ApproxConfig, ApproxFastod};
+use fastod_suite::prelude::*;
+use fastod_suite::relation::{profile, sample_fraction, sample_rows};
+use fastod_suite::theory::bidirectional::{
+    bidi_ocd_holds, discover_bidirectional, BidiOcd, Polarity,
+};
+
+#[test]
+fn bidirectional_same_polarity_matches_core_discovery() {
+    // On any dataset, every unidirectional OCD FASTOD reports must hold as
+    // a Same-polarity bidirectional OCD.
+    let enc = flight_like(300, 8, 21).encode();
+    let exact = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+    for od in exact.ods.order_compats() {
+        if let CanonicalOd::OrderCompat { context, a, b } = *od {
+            let bidi = BidiOcd::new(context, a, b, Polarity::Same);
+            assert!(bidi_ocd_holds(&enc, &bidi), "{od}");
+        }
+    }
+}
+
+#[test]
+fn bidirectional_discovery_covers_core_ocds() {
+    let enc = flight_like(200, 6, 22).encode();
+    let exact = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+    let constancies: Vec<CanonicalOd> = exact.ods.constancies().copied().collect();
+    let bidi = discover_bidirectional(&enc, &constancies, 2);
+    // Every reported bidirectional OCD holds and is non-trivial.
+    for od in &bidi {
+        assert!(bidi_ocd_holds(&enc, od), "{od:?}");
+        assert!(!od.is_trivial());
+    }
+    // Every core OCD with context <= 2 appears with Same polarity (possibly
+    // at a smaller context — check implication rather than membership).
+    for od in exact.ods.order_compats() {
+        if let CanonicalOd::OrderCompat { context, a, b } = *od {
+            if context.len() <= 2 {
+                let covered = bidi.iter().any(|f| {
+                    f.a == a && f.b == b && f.polarity == Polarity::Same
+                        && f.context.is_subset_of(context)
+                });
+                assert!(covered, "core OCD not covered bidirectionally: {od}");
+            }
+        }
+    }
+}
+
+#[test]
+fn noise_then_approx_recovery_pipeline() {
+    // Clean monotone pair → inject 3% errors → exact loses the OCD,
+    // approximate recovers it with a matching budget.
+    let clean = RelationBuilder::new()
+        .column_i64("t", (0..300).collect())
+        .column_i64("v", (0..300).map(|i| i * 3).collect())
+        .build()
+        .unwrap();
+    let (dirty, errors) = inject_noise(&clean, &[1], 0.03, 99);
+    assert!(!errors.is_empty());
+    let enc = dirty.encode();
+    let target = CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1);
+    let exact = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+    assert!(!exact.ods.contains(&target));
+    let eps = ((errors.len() * 2 + 2) as f64 / 300.0).min(1.0);
+    let approx = ApproxFastod::new(ApproxConfig::new(eps)).discover(&enc);
+    assert!(approx.ods.contains(&target));
+}
+
+#[test]
+fn sampled_discovery_implies_full_data_ods() {
+    // Random sampling (the paper's §5.2 methodology): ODs valid on the full
+    // data remain valid on any sample, so the sample's minimal set implies
+    // them all.
+    let full = flight_like(2_000, 8, 23);
+    let sample = sample_fraction(&full, 40, 7);
+    assert_eq!(sample.n_rows(), 800);
+    let m_full = Fastod::new(DiscoveryConfig::default()).discover(&full.encode()).ods;
+    let m_sample = Fastod::new(DiscoveryConfig::default()).discover(&sample.encode()).ods;
+    for od in m_full.iter() {
+        assert!(
+            fastod_suite::theory::axioms::implied_by_minimal_set(&m_sample, od),
+            "full-data OD not implied on sample: {od}"
+        );
+    }
+}
+
+#[test]
+fn profile_predicts_discovery_structure() {
+    let rel = flight_like(500, 10, 24);
+    let enc = rel.encode();
+    let p = profile(&enc);
+    // year constant, flight_sk key — and discovery agrees.
+    assert_eq!(p.n_constants(), 1);
+    assert!(p.n_keys() >= 1);
+    let m = Fastod::new(DiscoveryConfig::default()).discover(&enc).ods;
+    let constants_found = m
+        .constancies()
+        .filter(|od| od.context().is_empty())
+        .count();
+    assert_eq!(constants_found, p.n_constants());
+}
+
+#[test]
+fn sampling_is_stable_under_seed() {
+    let rel = flight_like(1_000, 6, 25);
+    let a = sample_rows(&rel, 100, 1);
+    let b = sample_rows(&rel, 100, 1);
+    assert_eq!(a, b);
+    assert_eq!(a.n_rows(), 100);
+}

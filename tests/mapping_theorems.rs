@@ -1,0 +1,135 @@
+//! Property tests for the paper's theorems: Theorem 1 (OD decomposition),
+//! Theorem 2 (FD correspondence), Theorem 5 (list↔set mapping), and the
+//! soundness of the axiom-closure engine — all against random instances.
+
+use fastod_suite::prelude::*;
+use fastod_suite::theory::axioms::{closure, ClosureConfig};
+use fastod_suite::theory::listod::{od_holds, od_holds_naive, order_compatible, validate_list_od};
+use fastod_suite::theory::validate::{all_valid_canonical_ods, canonical_od_holds, canonical_od_holds_naive};
+use fastod_suite::theory::map_list_od;
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = EncodedRelation> {
+    (1usize..=5, 0usize..=20, 1u32..=3, any::<u64>()).prop_map(
+        |(n_attrs, n_rows, max_card, seed)| {
+            fastod_suite::datagen::random_relation(n_rows, n_attrs, max_card, seed).encode()
+        },
+    )
+}
+
+/// A random attribute list (possibly with repeats) over the instance.
+fn arb_list(n_attrs: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..n_attrs, 0..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sorting_validator_matches_pair_semantics(enc in arb_instance(), seed in any::<u64>()) {
+        let n = enc.n_attrs();
+        let mut s = seed;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        for _ in 0..8 {
+            let x: Vec<usize> = (0..(next() % 3) as usize).map(|_| (next() as usize) % n).collect();
+            let y: Vec<usize> = (0..(next() % 3) as usize).map(|_| (next() as usize) % n).collect();
+            prop_assert_eq!(od_holds(&enc, &x, &y), od_holds_naive(&enc, &x, &y));
+        }
+    }
+
+    #[test]
+    fn theorem_1_decomposition(
+        (enc, x, y) in arb_instance().prop_flat_map(|enc| {
+            let n = enc.n_attrs();
+            (Just(enc), arb_list(n), arb_list(n))
+        })
+    ) {
+        // X ↦ Y iff X ↦ XY and X ~ Y.
+        let xy: Vec<usize> = x.iter().chain(y.iter()).copied().collect();
+        let direct = od_holds(&enc, &x, &y);
+        let decomposed = od_holds(&enc, &x, &xy) && order_compatible(&enc, &x, &y);
+        prop_assert_eq!(direct, decomposed);
+    }
+
+    #[test]
+    fn theorem_2_fd_correspondence(
+        (enc, x, y) in arb_instance().prop_flat_map(|enc| {
+            let n = enc.n_attrs();
+            (Just(enc), arb_list(n), arb_list(n))
+        })
+    ) {
+        // X ↦ XY iff the FD X → Y, i.e. no split.
+        let xy: Vec<usize> = x.iter().chain(y.iter()).copied().collect();
+        let od = od_holds(&enc, &x, &xy);
+        let fd = !validate_list_od(&enc, &x, &y).has_split();
+        prop_assert_eq!(od, fd);
+    }
+
+    #[test]
+    fn theorem_5_mapping_equivalence(
+        (enc, x, y) in arb_instance().prop_flat_map(|enc| {
+            let n = enc.n_attrs();
+            (Just(enc), arb_list(n), arb_list(n))
+        })
+    ) {
+        let direct = od_holds(&enc, &x, &y);
+        let via_mapping = map_list_od(&x, &y)
+            .iter()
+            .all(|od| canonical_od_holds(&enc, od));
+        prop_assert_eq!(direct, via_mapping, "{:?} -> {:?}", x, y);
+    }
+
+    #[test]
+    fn partition_validator_matches_naive(enc in arb_instance()) {
+        let n = enc.n_attrs();
+        let all = AttrSet::full(n);
+        for ctx in all.subsets() {
+            for a in 0..n {
+                let od = CanonicalOd::constancy(ctx, a);
+                prop_assert_eq!(
+                    canonical_od_holds(&enc, &od),
+                    canonical_od_holds_naive(&enc, &od)
+                );
+                for b in (a + 1)..n {
+                    let od = CanonicalOd::order_compat(ctx, a, b);
+                    prop_assert_eq!(
+                        canonical_od_holds(&enc, &od),
+                        canonical_od_holds_naive(&enc, &od)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axiom_closure_is_sound_on_data(enc in arb_instance()) {
+        // Theorem 6: whatever the Figure 2 rules derive from valid ODs must
+        // itself be valid.
+        let n = enc.n_attrs();
+        let valid = all_valid_canonical_ods(&enc, n);
+        let closed = closure(
+            valid.iter().copied(),
+            ClosureConfig { n_attrs: n, max_context: n },
+        );
+        for od in &closed {
+            prop_assert!(canonical_od_holds_naive(&enc, od), "unsound: {od}");
+        }
+    }
+
+    #[test]
+    fn encoding_preserves_pairwise_order(
+        (n_rows, seed) in (0usize..=30, any::<u64>())
+    ) {
+        let rel = fastod_suite::datagen::random_relation(n_rows, 3, 6, seed);
+        let enc = rel.encode();
+        for a in 0..rel.n_attrs() {
+            for s in 0..n_rows {
+                for t in 0..n_rows {
+                    let raw = rel.value(s, a).cmp(&rel.value(t, a));
+                    let coded = enc.code(s, a).cmp(&enc.code(t, a));
+                    prop_assert_eq!(raw, coded);
+                }
+            }
+        }
+    }
+}

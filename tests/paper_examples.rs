@@ -1,0 +1,175 @@
+//! End-to-end checks of every concrete example in the paper, against the
+//! running example (Table 1) and the TPC-DS date dimension.
+
+use fastod_suite::datagen::{employee_table, tpcds_date_dim};
+use fastod_suite::prelude::*;
+use fastod_suite::theory::axioms::implied_by_minimal_set;
+use fastod_suite::theory::listod::{od_holds, order_compatible, validate_list_od, OdStatus};
+use fastod_suite::theory::validate::{build_partition, canonical_od_holds};
+use fastod_suite::theory::{find_violations, map_list_od};
+
+fn employee() -> (EncodedRelation, std::collections::HashMap<&'static str, usize>) {
+    let rel = employee_table();
+    let enc = rel.encode();
+    let names = ["id", "yr", "posit", "bin", "sal", "perc", "tax", "grp", "subg"];
+    let map = names
+        .iter()
+        .map(|&n| (n, enc.schema().attr_id(n).unwrap()))
+        .collect();
+    (enc, map)
+}
+
+#[test]
+fn example_1_list_ods_hold_on_table1() {
+    let (enc, a) = employee();
+    assert!(od_holds(&enc, &[a["sal"]], &[a["tax"]]));
+    assert!(od_holds(&enc, &[a["sal"]], &[a["perc"]]));
+    assert!(od_holds(&enc, &[a["sal"]], &[a["grp"], a["subg"]]));
+    assert!(od_holds(&enc, &[a["yr"], a["sal"]], &[a["yr"], a["bin"]]));
+}
+
+#[test]
+fn example_3_splits_and_swaps() {
+    let (enc, a) = employee();
+    // Three split pairs for [posit] ↦ [posit, sal].
+    let od = CanonicalOd::constancy(AttrSet::singleton(a["posit"]), a["sal"]);
+    assert_eq!(find_violations(&enc, &od, 100).len(), 3);
+    // A swap for salary ~ subgroup.
+    assert!(!order_compatible(&enc, &[a["sal"]], &[a["subg"]]));
+}
+
+#[test]
+fn example_4_canonical_ods() {
+    let (enc, a) = employee();
+    // {posit}: [] ↦ bin holds.
+    assert!(canonical_od_holds(
+        &enc,
+        &CanonicalOd::constancy(AttrSet::singleton(a["posit"]), a["bin"])
+    ));
+    // {yr}: bin ~ sal holds.
+    assert!(canonical_od_holds(
+        &enc,
+        &CanonicalOd::order_compat(AttrSet::singleton(a["yr"]), a["bin"], a["sal"])
+    ));
+    // {yr}: bin ~ subg and {posit}: [] ↦ sal do NOT hold.
+    assert!(!canonical_od_holds(
+        &enc,
+        &CanonicalOd::order_compat(AttrSet::singleton(a["yr"]), a["bin"], a["subg"])
+    ));
+    assert!(!canonical_od_holds(
+        &enc,
+        &CanonicalOd::constancy(AttrSet::singleton(a["posit"]), a["sal"])
+    ));
+}
+
+#[test]
+fn example_6_propagate_inference() {
+    let (enc, a) = employee();
+    // {sal}: [] ↦ tax holds, so by Propagate {sal}: tax ~ yr must hold.
+    assert!(canonical_od_holds(
+        &enc,
+        &CanonicalOd::constancy(AttrSet::singleton(a["sal"]), a["tax"])
+    ));
+    assert!(canonical_od_holds(
+        &enc,
+        &CanonicalOd::order_compat(AttrSet::singleton(a["sal"]), a["tax"], a["yr"])
+    ));
+}
+
+#[test]
+fn example_12_stripped_partition_of_salary() {
+    let (enc, a) = employee();
+    // Π*_salary = {{t2, t6}} (0-indexed {1, 5}).
+    let p = build_partition(&enc, AttrSet::singleton(a["sal"]));
+    assert_eq!(p.normalized(), vec![vec![1, 5]]);
+    // Π_yr has the two year classes.
+    let p = build_partition(&enc, AttrSet::singleton(a["yr"]));
+    assert_eq!(p.normalized(), vec![vec![0, 1, 2], vec![3, 4, 5]]);
+}
+
+#[test]
+fn theorem_1_decomposition_on_table1() {
+    // X ↦ Y iff X ↦ XY and X ~ Y, across assorted specs.
+    let (enc, a) = employee();
+    let lists: Vec<Vec<usize>> = vec![
+        vec![a["sal"]],
+        vec![a["posit"]],
+        vec![a["yr"], a["sal"]],
+        vec![a["grp"], a["subg"]],
+        vec![a["bin"]],
+    ];
+    for x in &lists {
+        for y in &lists {
+            let lhs_then_rhs: Vec<usize> = x.iter().chain(y.iter()).copied().collect();
+            let direct = od_holds(&enc, x, y);
+            let decomposed = od_holds(&enc, x, &lhs_then_rhs) && order_compatible(&enc, x, y);
+            assert_eq!(direct, decomposed, "{x:?} -> {y:?}");
+        }
+    }
+}
+
+#[test]
+fn theorem_5_mapping_on_table1() {
+    let (enc, a) = employee();
+    let cases: Vec<(Vec<usize>, Vec<usize>)> = vec![
+        (vec![a["sal"]], vec![a["tax"], a["perc"]]),
+        (vec![a["yr"], a["sal"]], vec![a["yr"], a["bin"]]),
+        (vec![a["posit"]], vec![a["sal"]]),
+        (vec![a["sal"]], vec![a["subg"]]),
+    ];
+    for (x, y) in cases {
+        let direct = od_holds(&enc, &x, &y);
+        let mapped = map_list_od(&x, &y)
+            .iter()
+            .all(|od| canonical_od_holds(&enc, od));
+        assert_eq!(direct, mapped, "{x:?} -> {y:?}");
+    }
+}
+
+#[test]
+fn discovery_covers_table1_examples() {
+    let (enc, a) = employee();
+    let m = Fastod::new(DiscoveryConfig::default()).discover(&enc).ods;
+    // Every Example 1 OD must be implied by the discovered minimal set
+    // (via its Theorem 5 canonical mapping).
+    for (x, y) in [
+        (vec![a["sal"]], vec![a["tax"]]),
+        (vec![a["sal"]], vec![a["perc"]]),
+        (vec![a["sal"]], vec![a["grp"], a["subg"]]),
+        (vec![a["yr"], a["sal"]], vec![a["yr"], a["bin"]]),
+    ] {
+        for od in map_list_od(&x, &y) {
+            assert!(implied_by_minimal_set(&m, &od), "{x:?}->{y:?} via {od}");
+        }
+    }
+}
+
+#[test]
+fn section_4_1_tpcds_ods_discovered() {
+    // "Our algorithm, for example, can detect the following ODs in the
+    // TPC-DS benchmark" (§4.1).
+    let enc = tpcds_date_dim(730).encode();
+    let id = |n: &str| enc.schema().attr_id(n).unwrap();
+    let m = Fastod::new(DiscoveryConfig::default()).discover(&enc).ods;
+    let expected = [
+        CanonicalOd::constancy(AttrSet::singleton(id("d_date_sk")), id("d_date")),
+        CanonicalOd::order_compat(AttrSet::EMPTY, id("d_date_sk"), id("d_date")),
+        CanonicalOd::constancy(AttrSet::singleton(id("d_date_sk")), id("d_year")),
+        CanonicalOd::order_compat(AttrSet::EMPTY, id("d_date_sk"), id("d_year")),
+        CanonicalOd::constancy(AttrSet::singleton(id("d_month")), id("d_quarter")),
+        CanonicalOd::order_compat(AttrSet::EMPTY, id("d_month"), id("d_quarter")),
+    ];
+    for od in &expected {
+        assert!(implied_by_minimal_set(&m, od), "{od}");
+    }
+}
+
+#[test]
+fn example_2_month_week_on_date_dim() {
+    let enc = tpcds_date_dim(730).encode();
+    let id = |n: &str| enc.schema().attr_id(n).unwrap();
+    let (month, week) = (id("d_month"), id("d_week"));
+    // d_month ~ d_week valid; d_month ↦ d_week not (split).
+    assert!(order_compatible(&enc, &[month], &[week]));
+    assert_eq!(validate_list_od(&enc, &[month], &[week]), OdStatus::Split);
+}
