@@ -1,0 +1,7 @@
+//! Brute-force oracles and fixtures for testing the FASTOD suite.
+//!
+//! Filled in alongside the oracle module; see [`oracle`].
+
+pub mod oracle;
+
+pub use oracle::{oracle_minimal_cover, oracle_valid_ods, OracleReport};

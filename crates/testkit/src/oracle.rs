@@ -1,0 +1,236 @@
+//! Brute-force order-dependency oracle.
+//!
+//! An *independent* ground-truth implementation of canonical-OD validity and
+//! minimality, straight from Definition 6's tuple-pair semantics. Nothing
+//! here touches the partition machinery, the validators, or the axiom engine
+//! that the production code paths use — so agreement between FASTOD and this
+//! oracle genuinely cross-checks two implementations (Theorem 8:
+//! completeness and minimality of the discovered set `M`).
+//!
+//! Complexity is exponential in attributes and quadratic in rows; intended
+//! for instances with ≤ [`MAX_ORACLE_ATTRS`] attributes and a few dozen rows.
+
+use fastod_relation::{AttrId, AttrSet, EncodedRelation};
+use fastod_theory::{CanonicalOd, OdSet};
+
+/// Largest schema the oracle accepts; beyond this the 2^n context sweep and
+/// O(n²) pair scans stop being "obviously correct by inspection *and* fast".
+pub const MAX_ORACLE_ATTRS: usize = 4;
+
+/// Ground truth for one instance: every valid non-trivial canonical OD, and
+/// the unique minimal subset of it from which all the rest follow.
+#[derive(Clone, Debug)]
+pub struct OracleReport {
+    /// Every non-trivial canonical OD that holds, over all contexts.
+    pub valid: Vec<CanonicalOd>,
+    /// The minimal cover: valid ODs not implied by the other valid ODs
+    /// (context-subset witnesses, plus Propagate for order compatibility).
+    pub minimal: Vec<CanonicalOd>,
+}
+
+/// Groups row indices into context equivalence classes by direct comparison
+/// of the context's code tuples (no partitions involved).
+fn context_classes(enc: &EncodedRelation, ctx_mask: u64) -> Vec<Vec<usize>> {
+    let attrs: Vec<AttrId> = (0..enc.n_attrs()).filter(|a| ctx_mask >> a & 1 == 1).collect();
+    let mut classes: std::collections::BTreeMap<Vec<u32>, Vec<usize>> = Default::default();
+    for row in 0..enc.n_rows() {
+        let key: Vec<u32> = attrs.iter().map(|&a| enc.code(row, a)).collect();
+        classes.entry(key).or_default().push(row);
+    }
+    classes.into_values().collect()
+}
+
+/// `ctx: [] ↦ rhs` by definition: within every context class, all `rhs`
+/// codes coincide.
+fn constancy_holds(enc: &EncodedRelation, classes: &[Vec<usize>], rhs: AttrId) -> bool {
+    classes.iter().all(|class| {
+        class
+            .windows(2)
+            .all(|w| enc.code(w[0], rhs) == enc.code(w[1], rhs))
+    })
+}
+
+/// `ctx: a ~ b` by definition: no tuple pair within a context class is
+/// ordered oppositely on `a` and `b` (a *swap*, Definition 5).
+fn order_compat_holds(enc: &EncodedRelation, classes: &[Vec<usize>], a: AttrId, b: AttrId) -> bool {
+    classes.iter().all(|class| {
+        class.iter().enumerate().all(|(i, &s)| {
+            class[i + 1..].iter().all(|&t| {
+                let (ca, cb) = (
+                    enc.code(s, a).cmp(&enc.code(t, a)),
+                    enc.code(s, b).cmp(&enc.code(t, b)),
+                );
+                !(ca == cb.reverse() && ca != std::cmp::Ordering::Equal)
+            })
+        })
+    })
+}
+
+/// Enumerates every non-trivial valid canonical OD by exhaustive tuple
+/// comparison over all `2^n` contexts.
+///
+/// # Panics
+/// If the instance has more than [`MAX_ORACLE_ATTRS`] attributes.
+pub fn oracle_valid_ods(enc: &EncodedRelation) -> Vec<CanonicalOd> {
+    let n = enc.n_attrs();
+    assert!(
+        n <= MAX_ORACLE_ATTRS,
+        "brute-force oracle is limited to {MAX_ORACLE_ATTRS} attributes, got {n}"
+    );
+    let mut out = Vec::new();
+    for ctx_mask in 0u64..(1 << n) {
+        let classes = context_classes(enc, ctx_mask);
+        let ctx = AttrSet::from_bits(ctx_mask);
+        for a in 0..n {
+            let od = CanonicalOd::constancy(ctx, a);
+            if !od.is_trivial() && constancy_holds(enc, &classes, a) {
+                out.push(od);
+            }
+            for b in (a + 1)..n {
+                let od = CanonicalOd::order_compat(ctx, a, b);
+                if !od.is_trivial() && order_compat_holds(enc, &classes, a, b) {
+                    out.push(od);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether `od` follows from the *other* valid ODs.
+///
+/// Valid canonical ODs are upward closed in the context (augmenting a context
+/// only refines its classes), so implication from a full valid set reduces
+/// to witnesses:
+/// * constancy `X: [] ↦ A` — a valid `Y: [] ↦ A` with `Y ⊊ X`
+///   (Augmentation-I);
+/// * order compatibility `X: A ~ B` — a valid `Y: A ~ B` with `Y ⊊ X`
+///   (Augmentation-II), or a valid constancy on `A` or `B` with `Y ⊆ X`
+///   (Propagate).
+fn implied_by_rest(valid: &[CanonicalOd], od: &CanonicalOd) -> bool {
+    match *od {
+        CanonicalOd::Constancy { context, rhs } => valid.iter().any(|c| {
+            matches!(*c, CanonicalOd::Constancy { context: y, rhs: r }
+                if r == rhs && y != context && y.is_subset_of(context))
+        }),
+        CanonicalOd::OrderCompat { context, a, b } => valid.iter().any(|c| match *c {
+            CanonicalOd::OrderCompat { context: y, a: a2, b: b2 } => {
+                a2 == a && b2 == b && y != context && y.is_subset_of(context)
+            }
+            CanonicalOd::Constancy { context: y, rhs } => {
+                (rhs == a || rhs == b) && y.is_subset_of(context)
+            }
+        }),
+    }
+}
+
+/// The unique minimal cover of the instance's valid ODs: exactly the valid
+/// ODs not implied by the remaining valid ones. By Theorem 8 this is what
+/// FASTOD must output.
+pub fn oracle_minimal_cover(enc: &EncodedRelation) -> OracleReport {
+    let valid = oracle_valid_ods(enc);
+    let minimal: Vec<CanonicalOd> = valid
+        .iter()
+        .filter(|od| !implied_by_rest(&valid, od))
+        .copied()
+        .collect();
+    OracleReport { valid, minimal }
+}
+
+impl OracleReport {
+    /// The minimal cover as an [`OdSet`], for direct comparison against
+    /// `DiscoveryResult::ods`.
+    pub fn minimal_od_set(&self) -> OdSet {
+        self.minimal.iter().copied().collect()
+    }
+
+    /// Whether `m` is exactly the oracle's minimal cover (as a set).
+    pub fn matches(&self, m: &OdSet) -> bool {
+        m.len() == self.minimal.len() && self.minimal.iter().all(|od| m.contains(od))
+    }
+
+    /// Human-readable diff against a discovered set, for failure messages.
+    pub fn diff(&self, m: &OdSet) -> String {
+        let mut out = String::new();
+        for od in &self.minimal {
+            if !m.contains(od) {
+                out.push_str(&format!("missing from M: {od}\n"));
+            }
+        }
+        let oracle_set: OdSet = self.minimal.iter().copied().collect();
+        for od in m.iter() {
+            if !oracle_set.contains(od) {
+                out.push_str(&format!("extra in M: {od}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastod_relation::RelationBuilder;
+
+    fn enc_of(cols: Vec<(&str, Vec<i64>)>) -> EncodedRelation {
+        let mut b = RelationBuilder::new();
+        for (name, data) in cols {
+            b = b.column_i64(name, data);
+        }
+        b.build().unwrap().encode()
+    }
+
+    #[test]
+    fn constant_column_is_found_everywhere() {
+        let e = enc_of(vec![("k", vec![1, 2, 3]), ("c", vec![7, 7, 7])]);
+        let report = oracle_minimal_cover(&e);
+        // {}: [] ↦ c is valid and minimal; its augmented form {k}: [] ↦ c is
+        // valid but implied.
+        let root = CanonicalOd::constancy(AttrSet::EMPTY, 1);
+        assert!(report.valid.contains(&root));
+        assert!(report.valid.contains(&CanonicalOd::constancy(AttrSet::singleton(0), 1)));
+        assert!(report.minimal.contains(&root));
+        assert!(!report.minimal.contains(&CanonicalOd::constancy(AttrSet::singleton(0), 1)));
+    }
+
+    #[test]
+    fn propagate_prunes_order_compat_of_constant() {
+        let e = enc_of(vec![("a", vec![1, 2, 3]), ("c", vec![7, 7, 7])]);
+        let report = oracle_minimal_cover(&e);
+        // {}: a ~ c is valid (c constant ⟹ no swaps) but implied by
+        // {}: [] ↦ c via Propagate.
+        let oc = CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1);
+        assert!(report.valid.contains(&oc));
+        assert!(!report.minimal.contains(&oc));
+    }
+
+    #[test]
+    fn monotone_pair_is_minimal_order_compat() {
+        let e = enc_of(vec![("a", vec![1, 2, 3, 4]), ("b", vec![10, 20, 20, 40])]);
+        let report = oracle_minimal_cover(&e);
+        let oc = CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1);
+        assert!(report.valid.contains(&oc));
+        assert!(report.minimal.contains(&oc));
+    }
+
+    #[test]
+    fn swap_invalidates_order_compat() {
+        let e = enc_of(vec![("a", vec![1, 2]), ("b", vec![2, 1])]);
+        let report = oracle_minimal_cover(&e);
+        assert!(!report
+            .valid
+            .contains(&CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1)));
+    }
+
+    #[test]
+    fn oracle_rejects_wide_schemas() {
+        let e = enc_of(vec![
+            ("a", vec![1]),
+            ("b", vec![1]),
+            ("c", vec![1]),
+            ("d", vec![1]),
+            ("e", vec![1]),
+        ]);
+        assert!(std::panic::catch_unwind(move || oracle_valid_ods(&e)).is_err());
+    }
+}

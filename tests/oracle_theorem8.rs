@@ -1,0 +1,97 @@
+//! Theorem 8 against the brute-force oracle: on random small instances,
+//! FASTOD's output is **exactly** the minimal cover of the set of all valid
+//! canonical ODs, as computed by an independent implementation working
+//! straight from tuple comparisons (`fastod_testkit::oracle`).
+//!
+//! This is stronger than the soundness/completeness/minimality properties in
+//! `completeness_properties.rs`, which verify the three claims separately
+//! through the suite's own axiom engine: here ground truth comes from a
+//! second, partition-free implementation, and equality is set-exact.
+
+use fastod_suite::prelude::*;
+use fastod_testkit::{oracle_minimal_cover, oracle_valid_ods};
+use proptest::prelude::*;
+
+/// Oracle-sized instances: ≤ 4 attributes, ≤ 20 rows, low cardinality so
+/// dependencies actually occur.
+fn arb_small_relation() -> impl Strategy<Value = EncodedRelation> {
+    (1usize..=4, 0usize..=20, 1u32..=4, any::<u64>()).prop_map(
+        |(n_attrs, n_rows, max_card, seed)| {
+            fastod_suite::datagen::random_relation(n_rows, n_attrs, max_card, seed).encode()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FASTOD ≡ oracle minimal cover, set-exact (Theorem 8).
+    #[test]
+    fn fastod_equals_oracle_minimal_cover(enc in arb_small_relation()) {
+        let report = oracle_minimal_cover(&enc);
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        prop_assert!(
+            report.matches(&result.ods),
+            "FASTOD != oracle minimal cover on {} attrs x {} rows:\n{}",
+            enc.n_attrs(),
+            enc.n_rows(),
+            report.diff(&result.ods)
+        );
+    }
+
+    /// The suite's own exhaustive enumerator agrees with the oracle's
+    /// valid-OD sweep (two independent ground-truth paths).
+    #[test]
+    fn oracle_agrees_with_theory_enumeration(enc in arb_small_relation()) {
+        use fastod_suite::theory::validate::all_valid_canonical_ods;
+        let mut from_oracle = oracle_valid_ods(&enc);
+        let mut from_theory = all_valid_canonical_ods(&enc, enc.n_attrs());
+        from_oracle.sort();
+        from_theory.sort();
+        prop_assert_eq!(from_oracle, from_theory);
+    }
+
+    /// Every OD the oracle calls minimal is non-trivial and valid; nothing
+    /// in the minimal cover is implied by the rest of it.
+    #[test]
+    fn oracle_minimal_cover_is_irredundant(enc in arb_small_relation()) {
+        use fastod_suite::theory::axioms::implied_by_minimal_set;
+        let report = oracle_minimal_cover(&enc);
+        let cover: OdSet = report.minimal.iter().copied().collect();
+        for od in &report.minimal {
+            prop_assert!(!od.is_trivial(), "trivial OD in oracle cover: {od}");
+            let mut rest = cover.clone();
+            rest.retain(|o| o != od);
+            prop_assert!(
+                !implied_by_minimal_set(&rest, od),
+                "redundant OD in oracle cover: {od}"
+            );
+        }
+        // And the cover implies everything valid.
+        for od in &report.valid {
+            prop_assert!(
+                implied_by_minimal_set(&cover, od),
+                "valid OD not implied by oracle cover: {od}"
+            );
+        }
+    }
+}
+
+/// The oracle pipeline on the paper's employee relation (Table 1): the
+/// discovered set matches the cover exactly, deterministically.
+#[test]
+fn employee_table_matches_oracle() {
+    // Table 1 has 9 attributes; project onto 4 so the oracle can take it,
+    // keeping posit/bin/sal which carry the paper's headline dependencies.
+    let rel = fastod_suite::datagen::employee_table();
+    let enc = rel.encode();
+    let keep = AttrSet::from_iter([1usize, 2, 3, 4]); // yr, posit, bin, sal
+    let proj = enc.project(keep);
+    let report = oracle_minimal_cover(&proj);
+    let result = Fastod::new(DiscoveryConfig::default()).discover(&proj);
+    assert!(
+        report.matches(&result.ods),
+        "employee projection mismatch:\n{}",
+        report.diff(&result.ods)
+    );
+}

@@ -1,0 +1,243 @@
+//! Offline shim of the `criterion` API surface used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset the benches use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a simple
+//! calibrate-then-time loop printing mean wall-clock time per iteration —
+//! adequate for relative comparisons, with none of real criterion's
+//! statistics, plotting, or baseline storage.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+trait IntoLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean time per iteration measured by the last `iter` call.
+    mean: Duration,
+    /// Iterations used for the timed pass.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count (~`target` of wall time, capped), then
+    /// times `routine` over it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find how many iterations fit the target.
+        let target = Duration::from_millis(200);
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+                // Scale up to the target and do the timed pass.
+                let per_iter = (elapsed.as_nanos() / iters as u128).max(1);
+                let timed_iters = (target.as_nanos() / per_iter).clamp(1, 1 << 22) as u64;
+                let start = Instant::now();
+                for _ in 0..timed_iters {
+                    black_box(routine());
+                }
+                let total = start.elapsed();
+                self.mean = total / timed_iters as u32;
+                self.iters = timed_iters;
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API parity; the shim's calibration ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim's calibration ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{:<40} {:>12.3?}/iter ({} iters)",
+            self.name, label, b.mean, b.iters
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabelSealed, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into_label_sealed(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// Public sealed wrapper so `bench_function` takes both `&str` and
+/// [`BenchmarkId`] like real criterion.
+pub trait IntoLabelSealed {
+    /// The rendered benchmark label.
+    fn into_label_sealed(self) -> String;
+}
+
+impl<T: IntoLabel> IntoLabelSealed for T {
+    fn into_label_sealed(self) -> String {
+        self.into_label()
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, &mut f);
+        self
+    }
+
+    /// API parity with real criterion's CLI handling (no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// API parity with real criterion (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares `main` running the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u32), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,491 @@
+//! Offline shim of the `proptest` API surface used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! re-implements the subset of proptest the test suites rely on: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! integer-range and tuple strategies, [`strategy::Just`], [`arbitrary::any`],
+//! `prop::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case reports its inputs (via the panic message
+//!   of the underlying `assert!`) but is not minimized;
+//! * generation is driven by a fixed-seed xoshiro stream derived from the
+//!   test name, so runs are fully deterministic and CI-stable.
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is consulted.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property is executed with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic generation stream (xoshiro256++ seeded from a name).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the stream from an arbitrary label (e.g. the test name), so
+        /// every property gets an independent but reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut sm = h;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// simply draws a value from the deterministic stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Boxes the strategy (API parity with real proptest).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Always yields a clone of one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            let inner = (self.f)(self.base.generate(rng));
+            inner.generate(rng)
+        }
+    }
+
+    /// Type-erased strategy handle.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_strategy_signed {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value over the full domain.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy yielding arbitrary values of `T`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on generated collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from a [`SizeRange`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element_strategy, size)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything the `use proptest::prelude::*;` idiom expects in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property assertion; maps onto `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion; maps onto `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion; maps onto `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The property-test entry macro.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, (a, b) in arb_pair()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); ) => {};
+    (@impl ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..50, 0u32..50)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..=9, y in 0u32..4) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuple_and_map(
+            (a, b) in arb_pair(),
+            v in prop::collection::vec(0u32..7, 0..=5)
+        ) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert!(v.len() <= 5);
+            prop_assert!(v.iter().all(|&e| e < 7));
+        }
+
+        #[test]
+        fn flat_map_dependent(
+            (n, v) in (1usize..=8).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0usize..n, n))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&e| e < n));
+        }
+    }
+}
