@@ -1,0 +1,148 @@
+//! **Exp-8: incremental cover maintenance vs. from-scratch re-discovery.**
+//!
+//! A relation grows by appended batches; after each batch the complete
+//! minimal OD cover must be current. Two strategies:
+//!
+//! * **incremental** — one `IncrementalDiscovery` engine absorbs each batch
+//!   (`push_batch`), reusing retained partitions and cached verdicts;
+//! * **scratch** — re-encode the concatenated relation and re-run
+//!   `Fastod::discover` from zero after each batch (what a deployment
+//!   without the engine would do).
+//!
+//! Both covers are asserted equal after every batch, so the timing
+//! comparison is also a correctness sweep. Expected shape: the incremental
+//! engine's per-batch cost is a fraction of from-scratch (false verdicts are
+//! never revisited; clean lattice regions are reused), and the gap widens
+//! with the accumulated row count. Writes `results/exp8_incremental.csv`
+//! plus a JSON summary for the scheduled perf-regression job.
+
+use fastod::{DiscoveryConfig, Fastod};
+use fastod_bench::{format_duration, table::Table, write_csv, write_results_file, Scale};
+use fastod_datagen::{flight_like, ncvoter_like};
+use fastod_incremental::IncrementalDiscovery;
+use fastod_relation::Relation;
+use std::time::{Duration, Instant};
+
+struct DatasetRun {
+    name: &'static str,
+    batches: usize,
+    incremental_total: Duration,
+    scratch_total: Duration,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (base_rows, batch_rows, n_batches, n_attrs) = (
+        scale.pick(2_000, 20_000, 100_000),
+        scale.pick(200, 2_000, 10_000),
+        scale.pick(10, 12, 20),
+        scale.pick(8, 10, 12),
+    );
+    println!(
+        "== Exp-8: incremental vs from-scratch cover maintenance — \
+         {n_attrs} attrs, {base_rows} base rows + {n_batches} batches x {batch_rows} rows ==\n"
+    );
+
+    type Gen = fn(usize, usize, u64) -> Relation;
+    let datasets: [(&'static str, Gen); 2] =
+        [("flight", flight_like as Gen), ("ncvoter", ncvoter_like as Gen)];
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let mut runs: Vec<DatasetRun> = Vec::new();
+    for (name, gen) in datasets {
+        let total_rows = base_rows + n_batches * batch_rows;
+        let full = gen(total_rows, n_attrs, 0x1C0DE ^ name.len() as u64);
+        let base = full.head(base_rows);
+
+        let mut table = Table::new(&[
+            "dataset", "batch", "rows", "incremental", "scratch", "speedup",
+            "retired", "promoted", "revalidated", "skipped",
+        ]);
+        let t0 = Instant::now();
+        let mut engine = IncrementalDiscovery::new(&base);
+        let setup = t0.elapsed();
+        let mut concat = base.clone();
+        let mut incremental_total = Duration::ZERO;
+        let mut scratch_total = Duration::ZERO;
+        for b in 0..n_batches {
+            let lo = base_rows + b * batch_rows;
+            let rows: Vec<usize> = (lo..lo + batch_rows).collect();
+            let batch = full.select_rows(&rows);
+
+            let t = Instant::now();
+            let report = engine.push_batch(&batch).expect("append accepted");
+            let incr = t.elapsed();
+            incremental_total += incr;
+
+            let t = Instant::now();
+            concat.extend(&batch).expect("schemas match");
+            let fresh = Fastod::new(DiscoveryConfig::default()).discover(&concat.encode());
+            let scratch = t.elapsed();
+            scratch_total += scratch;
+
+            assert_eq!(
+                engine.cover().sorted(),
+                fresh.ods.sorted(),
+                "covers diverged on {name} batch {b}"
+            );
+
+            let speedup = scratch.as_secs_f64() / incr.as_secs_f64().max(1e-9);
+            let row = vec![
+                name.to_string(),
+                (b + 1).to_string(),
+                concat.n_rows().to_string(),
+                format_duration(incr),
+                format_duration(scratch),
+                format!("{speedup:.1}x"),
+                report.retired.len().to_string(),
+                report.promoted.len().to_string(),
+                report.counters.revalidated.to_string(),
+                (report.counters.skipped_false + report.counters.skipped_clean).to_string(),
+            ];
+            csv_rows.push(row.clone());
+            table.row(row);
+        }
+        table.print();
+        let total_speedup =
+            scratch_total.as_secs_f64() / incremental_total.as_secs_f64().max(1e-9);
+        println!(
+            "{name}: initial discovery {}; {n_batches} batches — incremental {} vs scratch {} \
+             ({total_speedup:.1}x), cover = {}\n",
+            format_duration(setup),
+            format_duration(incremental_total),
+            format_duration(scratch_total),
+            engine.cover().len(),
+        );
+        runs.push(DatasetRun {
+            name,
+            batches: n_batches,
+            incremental_total,
+            scratch_total,
+        });
+    }
+
+    write_csv(
+        "exp8_incremental",
+        &[
+            "dataset", "batch", "rows", "incremental_time", "scratch_time", "speedup",
+            "retired", "promoted", "revalidated", "skipped",
+        ],
+        &csv_rows,
+    );
+    let mut json = String::from("{\n  \"experiment\": \"exp8_incremental\",\n  \"datasets\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"batches\": {}, \"incremental_ms\": {}, \
+             \"scratch_ms\": {}, \"speedup\": {:.2}}}{sep}\n",
+            run.name,
+            run.batches,
+            run.incremental_total.as_millis(),
+            run.scratch_total.as_millis(),
+            run.scratch_total.as_secs_f64() / run.incremental_total.as_secs_f64().max(1e-9),
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    write_results_file("exp8_incremental.json", &json);
+    println!("(CSV written to results/exp8_incremental.csv, JSON summary to results/exp8_incremental.json)");
+}

@@ -136,16 +136,22 @@ pub fn budget_from_env() -> Duration {
 /// Writes experiment rows as CSV under `results/`, creating the directory.
 /// Failures are reported but non-fatal (the stdout table is the artifact).
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
-    let dir = std::path::Path::new("results");
     let mut body = String::new();
     let _ = writeln!(body, "{}", header.join(","));
     for row in rows {
         let _ = writeln!(body, "{}", row.join(","));
     }
-    if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|()| std::fs::write(dir.join(format!("{name}.csv")), body))
+    write_results_file(&format!("{name}.csv"), &body);
+}
+
+/// Writes an arbitrary artifact (e.g. a JSON summary for the scheduled perf
+/// job) under `results/`, creating the directory. Non-fatal on failure.
+pub fn write_results_file(file_name: &str, contents: &str) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(file_name), contents))
     {
-        eprintln!("warning: could not write results/{name}.csv: {e}");
+        eprintln!("warning: could not write results/{file_name}: {e}");
     }
 }
 

@@ -2,15 +2,15 @@
 //! driver also used by the approximate variant.
 
 use crate::config::DiscoveryConfig;
-use crate::lattice::{build_level0, build_level1, calculate_next_level, sorted_keys, Level};
-use crate::pairset::PairSet;
+use crate::lattice::{build_level0, build_level1, calculate_next_level, Level};
 use crate::result::DiscoveryResult;
+use crate::snapshot::{compute_candidate_sets, prune_level, validate_level};
 use crate::stats::{DiscoveryStats, LevelStats};
-use crate::validators::{ExactValidator, OdValidator};
+use crate::validators::{ExactValidator, OdJudge};
 use crate::{CancelToken, Cancelled};
 use fastod_partition::ProductScratch;
-use fastod_relation::{AttrSet, EncodedRelation};
-use fastod_theory::{CanonicalOd, OdSet};
+use fastod_relation::EncodedRelation;
+use fastod_theory::OdSet;
 use std::time::Instant;
 
 /// Options for the generic lattice driver.
@@ -59,9 +59,9 @@ impl Fastod {
 }
 
 /// The level-wise driver shared by exact and approximate discovery.
-pub(crate) fn run_lattice<V: OdValidator>(
+pub(crate) fn run_lattice<J: OdJudge>(
     enc: &EncodedRelation,
-    validator: &mut V,
+    validator: &mut J,
     opts: &DriverOptions,
 ) -> Result<DiscoveryResult, Cancelled> {
     let start = Instant::now();
@@ -88,8 +88,8 @@ pub(crate) fn run_lattice<V: OdValidator>(
             nodes: current.len(),
             ..Default::default()
         };
-        compute_ods(
-            enc,
+        compute_candidate_sets(l, &mut current, &prev, n_attrs);
+        validate_level(
             l,
             &mut current,
             &prev,
@@ -97,9 +97,10 @@ pub(crate) fn run_lattice<V: OdValidator>(
             validator,
             &mut m,
             &mut lstats,
-            opts,
+            opts.lemma5_removals,
+            &opts.cancel,
         )?;
-        prune_levels(l, &mut current, &mut lstats);
+        prune_level(l, &mut current, &mut lstats);
         let reached_cap = opts.max_level.is_some_and(|cap| l >= cap);
         let next = if reached_cap {
             Level::new()
@@ -117,122 +118,13 @@ pub(crate) fn run_lattice<V: OdValidator>(
     Ok(DiscoveryResult { ods: m, stats })
 }
 
-/// `computeODs(L_l)` — Algorithm 3.
-#[allow(clippy::too_many_arguments)]
-fn compute_ods<V: OdValidator>(
-    enc: &EncodedRelation,
-    l: usize,
-    current: &mut Level,
-    prev: &Level,
-    prev_prev: &Level,
-    validator: &mut V,
-    m: &mut OdSet,
-    lstats: &mut LevelStats,
-    opts: &DriverOptions,
-) -> Result<(), Cancelled> {
-    let n_attrs = enc.n_attrs();
-    let keys = sorted_keys(current);
-
-    // Lines 1–8: candidate sets for every node of the level.
-    for &bits in &keys {
-        let x = AttrSet::from_bits(bits);
-        // C⁺c(X) = ∩_{A ∈ X} C⁺c(X\A)   (line 2).
-        let mut cc = AttrSet::full(n_attrs);
-        for (_, parent_set) in x.parents() {
-            cc = cc.intersect(prev[&parent_set.bits()].cc);
-        }
-        let mut cs = PairSet::new(n_attrs);
-        if l == 2 {
-            // Line 4: C⁺s({A,B}) = {{A,B}}.
-            let attrs = x.to_vec();
-            cs.insert(attrs[0], attrs[1]);
-        } else if l > 2 {
-            // Line 6: pairs present in C⁺s(X\D) for every D ∈ X\{A,B}.
-            let mut candidates = PairSet::new(n_attrs);
-            for (_, parent_set) in x.parents() {
-                candidates.union_with(&prev[&parent_set.bits()].cs);
-            }
-            for (a, b) in candidates.iter() {
-                let ok = x
-                    .without(a)
-                    .without(b)
-                    .iter()
-                    .all(|d| prev[&x.without(d).bits()].cs.contains(a, b));
-                if ok {
-                    cs.insert(a, b);
-                }
-            }
-        }
-        let node = current.get_mut(&bits).expect("node exists");
-        node.cc = cc;
-        node.cs = cs;
-    }
-
-    // Lines 9–24: validate candidate ODs.
-    for &bits in &keys {
-        opts.cancel.check()?;
-        let x = AttrSet::from_bits(bits);
-
-        // FD loop (lines 10–16): for A ∈ X ∩ C⁺c(X), check X\A: [] ↦ A.
-        let candidates: Vec<_> = x.intersect(current[&bits].cc).to_vec();
-        for a in candidates {
-            let parent_set = x.without(a);
-            let parent = &prev[&parent_set.bits()].partition;
-            let node_part = &current[&bits].partition;
-            if validator.constancy(parent, node_part, a, lstats) {
-                m.insert(CanonicalOd::constancy(parent_set, a));
-                lstats.fds_found += 1;
-                let node = current.get_mut(&bits).expect("node exists");
-                node.cc = node.cc.without(a); // line 13
-                if opts.lemma5_removals {
-                    // Line 14: remove all B ∈ R\X from C⁺c(X) (Lemma 5).
-                    node.cc = node.cc.intersect(x);
-                }
-            }
-        }
-
-        // OCD loop (lines 17–24): for {A,B} ∈ C⁺s(X).
-        if l < 2 {
-            continue;
-        }
-        let pairs = current[&bits].cs.to_vec();
-        for (a, b) in pairs {
-            // Line 18: minimality via parents' C⁺c (Lemma 8).
-            let a_ok = prev[&x.without(b).bits()].cc.contains(a);
-            let b_ok = prev[&x.without(a).bits()].cc.contains(b);
-            if !a_ok || !b_ok {
-                current.get_mut(&bits).expect("node exists").cs.remove(a, b); // line 19
-                continue;
-            }
-            let ctx_set = x.without(a).without(b);
-            let ctx = &prev_prev[&ctx_set.bits()].partition;
-            if validator.order_compat(ctx, ctx_set.bits() as usize, a, b, lstats) {
-                m.insert(CanonicalOd::order_compat(ctx_set, a, b)); // line 21
-                lstats.ocds_found += 1;
-                current.get_mut(&bits).expect("node exists").cs.remove(a, b); // line 22
-            }
-        }
-    }
-    Ok(())
-}
-
-/// `pruneLevels(L_l)` — Algorithm 4: delete nodes with both candidate sets
-/// empty (sound by Lemma 11).
-fn prune_levels(l: usize, current: &mut Level, lstats: &mut LevelStats) {
-    if l < 2 {
-        return;
-    }
-    let before = current.len();
-    current.retain(|_, node| !(node.cc.is_empty() && node.cs.is_empty()));
-    lstats.pruned_nodes = before - current.len();
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::FdCheckMode;
-    use fastod_relation::RelationBuilder;
+    use fastod_relation::{AttrSet, RelationBuilder};
     use fastod_theory::validate::canonical_od_holds_naive;
+    use fastod_theory::CanonicalOd;
 
     fn employee() -> EncodedRelation {
         RelationBuilder::new()

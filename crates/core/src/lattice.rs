@@ -8,35 +8,69 @@ use std::collections::HashMap;
 
 /// A lattice node: the attribute set is the map key; the node carries its
 /// stripped partition `Π*_X` and candidate sets `C⁺c(X)` / `C⁺s(X)`.
-pub(crate) struct Node {
+pub struct Node {
+    /// The stripped partition `Π*_X`.
     pub partition: StrippedPartition,
+    /// Candidate attributes `C⁺c(X)` (Definition 7).
     pub cc: AttrSet,
+    /// Candidate pairs `C⁺s(X)` (Definition 8).
     pub cs: PairSet,
 }
 
+impl Node {
+    /// A node with empty candidate sets (they are filled by
+    /// [`crate::snapshot::compute_candidate_sets`]).
+    pub fn new(partition: StrippedPartition, n_attrs: usize) -> Node {
+        Node {
+            partition,
+            cc: AttrSet::EMPTY,
+            cs: PairSet::new(n_attrs),
+        }
+    }
+}
+
 /// One lattice level `L_l`, keyed by the node's attribute-set bits.
-pub(crate) type Level = HashMap<u64, Node>;
+pub type Level = HashMap<u64, Node>;
 
 /// The keys of a level in ascending bit order (deterministic iteration).
-pub(crate) fn sorted_keys(level: &Level) -> Vec<u64> {
+pub fn sorted_keys(level: &Level) -> Vec<u64> {
     let mut keys: Vec<u64> = level.keys().copied().collect();
     keys.sort_unstable();
     keys
 }
 
-/// `calculateNextLevel(L_l)` — Algorithm 2.
-///
-/// Sets are grouped into *prefix blocks*: two sets join iff they share all
-/// attributes except their largest one (`singleAttrDiffBlocks`). A candidate
-/// `X = Y ∪ {B, C}` survives iff every `l`-subset `X\A` is present in `L_l`
-/// (the Apriori condition, Line 4). Its partition is the product of the two
-/// generating parents (`Π_{YB} · Π_{YC} = Π_X`).
-pub(crate) fn calculate_next_level(
+/// `calculateNextLevel(L_l)` — Algorithm 2, with partitions computed as
+/// products of the two generating parents.
+pub fn calculate_next_level(
     level: &Level,
     n_attrs: usize,
     scratch: &mut ProductScratch,
     cancel: &CancelToken,
 ) -> Result<Level, Cancelled> {
+    generate_next_level(level, n_attrs, cancel, |_, pi, pj, lvl| {
+        lvl[&pi.bits()].partition.product(&lvl[&pj.bits()].partition, scratch)
+    })
+}
+
+/// The structural half of Algorithm 2, with the partition source abstracted.
+///
+/// Sets are grouped into *prefix blocks*: two sets join iff they share all
+/// attributes except their largest one (`singleAttrDiffBlocks`). A candidate
+/// `X = Y ∪ {B, C}` survives iff every `l`-subset `X\A` is present in `L_l`
+/// (the Apriori condition, Line 4). `make_partition(x, parent_i, parent_j,
+/// level)` supplies `Π*_X`: the one-shot algorithm computes the product
+/// `Π_{YB} · Π_{YC}`, while the incremental engine may instead reuse a
+/// retained partition from a previous pass when the batch provably left it
+/// unchanged.
+pub fn generate_next_level<F>(
+    level: &Level,
+    n_attrs: usize,
+    cancel: &CancelToken,
+    mut make_partition: F,
+) -> Result<Level, Cancelled>
+where
+    F: FnMut(AttrSet, AttrSet, AttrSet, &Level) -> StrippedPartition,
+{
     // Group by "set minus largest attribute".
     let mut blocks: HashMap<u64, Vec<AttrSet>> = HashMap::new();
     for &bits in level.keys() {
@@ -58,17 +92,8 @@ pub(crate) fn calculate_next_level(
                 if !x.parents().all(|(_, sub)| level.contains_key(&sub.bits())) {
                     continue;
                 }
-                let partition = level[&members[i].bits()]
-                    .partition
-                    .product(&level[&members[j].bits()].partition, scratch);
-                next.insert(
-                    x.bits(),
-                    Node {
-                        partition,
-                        cc: AttrSet::EMPTY,          // filled by computeODs
-                        cs: PairSet::new(n_attrs),   // filled by computeODs
-                    },
-                );
+                let partition = make_partition(x, members[i], members[j], level);
+                next.insert(x.bits(), Node::new(partition, n_attrs));
             }
         }
     }
@@ -76,17 +101,16 @@ pub(crate) fn calculate_next_level(
 }
 
 /// Builds level 1: one node per attribute with `Π*_{{A}}` from its codes.
-pub(crate) fn build_level1(enc: &fastod_relation::EncodedRelation) -> Level {
+pub fn build_level1(enc: &fastod_relation::EncodedRelation) -> Level {
     let n_attrs = enc.n_attrs();
     let mut level = Level::with_capacity(n_attrs);
     for a in 0..n_attrs {
         level.insert(
             AttrSet::singleton(a).bits(),
-            Node {
-                partition: StrippedPartition::from_codes(enc.codes(a), enc.cardinality(a)),
-                cc: AttrSet::EMPTY,
-                cs: PairSet::new(n_attrs),
-            },
+            Node::new(
+                StrippedPartition::from_codes(enc.codes(a), enc.cardinality(a)),
+                n_attrs,
+            ),
         );
     }
     level
@@ -94,16 +118,11 @@ pub(crate) fn build_level1(enc: &fastod_relation::EncodedRelation) -> Level {
 
 /// Builds level 0: the single `{}` node with the unit partition and
 /// `C⁺c({}) = R` (Algorithm 1, lines 1–3).
-pub(crate) fn build_level0(n_rows: usize, n_attrs: usize) -> Level {
+pub fn build_level0(n_rows: usize, n_attrs: usize) -> Level {
     let mut level = Level::with_capacity(1);
-    level.insert(
-        AttrSet::EMPTY.bits(),
-        Node {
-            partition: StrippedPartition::unit(n_rows),
-            cc: AttrSet::full(n_attrs),
-            cs: PairSet::new(n_attrs),
-        },
-    );
+    let mut node = Node::new(StrippedPartition::unit(n_rows), n_attrs);
+    node.cc = AttrSet::full(n_attrs);
+    level.insert(AttrSet::EMPTY.bits(), node);
     level
 }
 

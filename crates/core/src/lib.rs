@@ -48,6 +48,7 @@ mod lattice;
 mod no_pruning;
 mod pairset;
 mod result;
+pub mod snapshot;
 mod stats;
 mod validators;
 
@@ -56,5 +57,7 @@ pub use approximate::{ApproxConfig, ApproxFastod};
 pub use cancel::{CancelToken, Cancelled};
 pub use config::{DiscoveryConfig, FdCheckMode};
 pub use no_pruning::{NoPruningFastod, NoPruningResult};
+pub use pairset::PairSet;
 pub use result::DiscoveryResult;
 pub use stats::{DiscoveryStats, LevelStats};
+pub use validators::{ApproxValidator, ExactValidator, OdJudge, OdValidator};

@@ -96,7 +96,7 @@ impl NoPruningFastod {
                     let parent_set = x.without(a);
                     let parent = &prev[&parent_set.bits()].partition;
                     let node_part = &current[&bits].partition;
-                    if validator.constancy(parent, node_part, a, &mut lstats) {
+                    if OdValidator::constancy(&mut validator, parent, node_part, a, &mut lstats) {
                         result.n_fds += 1;
                         lstats.fds_found += 1;
                         if let Some(ods) = &mut result.ods {
@@ -111,7 +111,8 @@ impl NoPruningFastod {
                         for &b in &attrs[i + 1..] {
                             let ctx_set = x.without(a).without(b);
                             let ctx = &prev_prev[&ctx_set.bits()].partition;
-                            if validator.order_compat(
+                            if OdValidator::order_compat(
+                                &mut validator,
                                 ctx,
                                 ctx_set.bits() as usize,
                                 a,

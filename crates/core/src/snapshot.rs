@@ -1,0 +1,278 @@
+//! Re-entrant traversal hooks and retained lattice state.
+//!
+//! The one-shot [`crate::Fastod`] driver streams through the lattice and
+//! drops each level once its children are generated. Long-lived consumers —
+//! the incremental maintenance engine in `fastod-incremental` foremost —
+//! need to *re-enter* the traversal after the relation changes: reuse
+//! partitions that provably did not change, skip candidate validations whose
+//! verdicts are still binding, and resume from nodes whose dependencies were
+//! falsified. This module exposes the pieces of Algorithms 1–4 they need:
+//!
+//! * [`Node`], [`Level`], [`build_level0`], [`build_level1`],
+//!   [`generate_next_level`] — lattice construction with a pluggable
+//!   partition source;
+//! * [`compute_candidate_sets`] — Algorithm 3 lines 1–8 (`C⁺c`/`C⁺s`);
+//! * [`validate_level`] — Algorithm 3 lines 9–24, generic over an
+//!   [`OdJudge`] so verdicts can be cached/memoized externally;
+//! * [`prune_level`] — Algorithm 4;
+//! * [`DiscoverySnapshot`] — the retained per-level node store.
+//!
+//! Running `compute_candidate_sets` → `validate_level` → `prune_level` →
+//! `generate_next_level` level by level with a plain validator reproduces
+//! `Fastod::discover` exactly; the equivalence is pinned by this crate's
+//! test suite and by the incremental engine's oracle tests.
+
+pub use crate::lattice::{
+    build_level0, build_level1, calculate_next_level, generate_next_level, sorted_keys, Level,
+    Node,
+};
+use crate::pairset::PairSet;
+use crate::stats::LevelStats;
+use crate::validators::OdJudge;
+use crate::{CancelToken, Cancelled};
+use fastod_relation::AttrSet;
+use fastod_theory::{CanonicalOd, OdSet};
+
+/// `computeODs(L_l)` lines 1–8: derives `C⁺c(X)` and `C⁺s(X)` for every node
+/// of level `l` from its parents in level `l−1`.
+pub fn compute_candidate_sets(l: usize, current: &mut Level, prev: &Level, n_attrs: usize) {
+    let keys = sorted_keys(current);
+    for &bits in &keys {
+        let x = AttrSet::from_bits(bits);
+        // C⁺c(X) = ∩_{A ∈ X} C⁺c(X\A)   (line 2).
+        let mut cc = AttrSet::full(n_attrs);
+        for (_, parent_set) in x.parents() {
+            cc = cc.intersect(prev[&parent_set.bits()].cc);
+        }
+        let mut cs = PairSet::new(n_attrs);
+        if l == 2 {
+            // Line 4: C⁺s({A,B}) = {{A,B}}.
+            let attrs = x.to_vec();
+            cs.insert(attrs[0], attrs[1]);
+        } else if l > 2 {
+            // Line 6: pairs present in C⁺s(X\D) for every D ∈ X\{A,B}.
+            let mut candidates = PairSet::new(n_attrs);
+            for (_, parent_set) in x.parents() {
+                candidates.union_with(&prev[&parent_set.bits()].cs);
+            }
+            for (a, b) in candidates.iter() {
+                let ok = x
+                    .without(a)
+                    .without(b)
+                    .iter()
+                    .all(|d| prev[&x.without(d).bits()].cs.contains(a, b));
+                if ok {
+                    cs.insert(a, b);
+                }
+            }
+        }
+        let node = current.get_mut(&bits).expect("node exists");
+        node.cc = cc;
+        node.cs = cs;
+    }
+}
+
+/// `computeODs(L_l)` lines 9–24: validates the candidate ODs of level `l`
+/// through `judge`, inserting minimal valid ODs into `m` and shrinking the
+/// candidate sets.
+///
+/// `lemma5_removals` applies the Lemma-5 candidate removal (line 14); exact
+/// discovery enables it, the approximate variant must not.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_level<J: OdJudge>(
+    l: usize,
+    current: &mut Level,
+    prev: &Level,
+    prev_prev: &Level,
+    judge: &mut J,
+    m: &mut OdSet,
+    lstats: &mut LevelStats,
+    lemma5_removals: bool,
+    cancel: &CancelToken,
+) -> Result<(), Cancelled> {
+    let keys = sorted_keys(current);
+    for &bits in &keys {
+        cancel.check()?;
+        let x = AttrSet::from_bits(bits);
+
+        // FD loop (lines 10–16): for A ∈ X ∩ C⁺c(X), check X\A: [] ↦ A.
+        let candidates: Vec<_> = x.intersect(current[&bits].cc).to_vec();
+        for a in candidates {
+            let parent_set = x.without(a);
+            let parent = &prev[&parent_set.bits()].partition;
+            let node_part = &current[&bits].partition;
+            if judge.constancy(parent_set, a, parent, node_part, lstats) {
+                m.insert(CanonicalOd::constancy(parent_set, a));
+                lstats.fds_found += 1;
+                let node = current.get_mut(&bits).expect("node exists");
+                node.cc = node.cc.without(a); // line 13
+                if lemma5_removals {
+                    // Line 14: remove all B ∈ R\X from C⁺c(X) (Lemma 5).
+                    node.cc = node.cc.intersect(x);
+                }
+            }
+        }
+
+        // OCD loop (lines 17–24): for {A,B} ∈ C⁺s(X).
+        if l < 2 {
+            continue;
+        }
+        let pairs = current[&bits].cs.to_vec();
+        for (a, b) in pairs {
+            // Line 18: minimality via parents' C⁺c (Lemma 8).
+            let a_ok = prev[&x.without(b).bits()].cc.contains(a);
+            let b_ok = prev[&x.without(a).bits()].cc.contains(b);
+            if !a_ok || !b_ok {
+                current.get_mut(&bits).expect("node exists").cs.remove(a, b); // line 19
+                continue;
+            }
+            let ctx_set = x.without(a).without(b);
+            let ctx = &prev_prev[&ctx_set.bits()].partition;
+            if judge.order_compat(ctx_set, a, b, ctx, lstats) {
+                m.insert(CanonicalOd::order_compat(ctx_set, a, b)); // line 21
+                lstats.ocds_found += 1;
+                current.get_mut(&bits).expect("node exists").cs.remove(a, b); // line 22
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `pruneLevels(L_l)` — Algorithm 4: delete nodes with both candidate sets
+/// empty (sound by Lemma 11).
+pub fn prune_level(l: usize, current: &mut Level, lstats: &mut LevelStats) {
+    if l < 2 {
+        return;
+    }
+    let before = current.len();
+    current.retain(|_, node| !(node.cc.is_empty() && node.cs.is_empty()));
+    lstats.pruned_nodes = before - current.len();
+}
+
+/// The retained lattice of a completed traversal: every post-prune level
+/// with its partitions and candidate sets, ready for a later pass to reuse.
+///
+/// A snapshot is a *warehouse*, not a live algorithm state: consumers take
+/// nodes out ([`DiscoverySnapshot::take_node`]) as they rebuild each level,
+/// and store the rebuilt levels back.
+#[derive(Default)]
+pub struct DiscoverySnapshot {
+    levels: Vec<Level>,
+    n_rows: usize,
+}
+
+impl DiscoverySnapshot {
+    /// An empty snapshot (no retained traversal).
+    pub fn empty() -> DiscoverySnapshot {
+        DiscoverySnapshot::default()
+    }
+
+    /// Wraps the retained levels of a finished traversal over `n_rows` rows.
+    pub fn from_levels(levels: Vec<Level>, n_rows: usize) -> DiscoverySnapshot {
+        DiscoverySnapshot { levels, n_rows }
+    }
+
+    /// Row count of the relation the snapshot was computed over.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The retained levels, index = lattice level.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Highest retained level.
+    pub fn max_level(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// Total nodes retained across all levels.
+    pub fn n_nodes(&self) -> usize {
+        self.levels.iter().map(Level::len).sum()
+    }
+
+    /// Looks up a node by level and attribute-set bits.
+    pub fn node(&self, level: usize, bits: u64) -> Option<&Node> {
+        self.levels.get(level)?.get(&bits)
+    }
+
+    /// Removes and returns a node, transferring ownership of its partition
+    /// to the caller (the reuse path of the incremental engine).
+    pub fn take_node(&mut self, level: usize, bits: u64) -> Option<Node> {
+        self.levels.get_mut(level)?.remove(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FdCheckMode;
+    use crate::validators::ExactValidator;
+    use crate::{DiscoveryConfig, Fastod};
+    use fastod_partition::ProductScratch;
+    use fastod_relation::{EncodedRelation, RelationBuilder};
+
+    fn enc() -> EncodedRelation {
+        RelationBuilder::new()
+            .column_i64("yr", vec![16, 16, 16, 15, 15, 15])
+            .column_i64("bin", vec![1, 2, 3, 1, 2, 3])
+            .column_f64("sal", vec![5.0, 8.0, 10.0, 4.5, 6.0, 8.0])
+            .build()
+            .unwrap()
+            .encode()
+    }
+
+    /// Driving the exposed hooks by hand reproduces `Fastod::discover`
+    /// exactly — the contract the incremental engine builds on.
+    #[test]
+    fn manual_traversal_equals_fastod() {
+        let enc = enc();
+        let n_attrs = enc.n_attrs();
+        let cancel = CancelToken::never();
+        let mut validator = ExactValidator::new(&enc, FdCheckMode::ErrorRate);
+        let mut scratch = ProductScratch::new();
+        let mut m = OdSet::new();
+        let mut levels: Vec<Level> = vec![build_level0(enc.n_rows(), n_attrs), build_level1(&enc)];
+        let mut l = 1;
+        loop {
+            let mut lstats = LevelStats::default();
+            let (before, rest) = levels.split_at_mut(l);
+            let current = &mut rest[0];
+            let prev = &before[l - 1];
+            let empty = Level::new();
+            let prev_prev = if l >= 2 { &before[l - 2] } else { &empty };
+            compute_candidate_sets(l, current, prev, n_attrs);
+            validate_level(
+                l, current, prev, prev_prev, &mut validator, &mut m, &mut lstats, true, &cancel,
+            )
+            .unwrap();
+            prune_level(l, current, &mut lstats);
+            let next = calculate_next_level(current, n_attrs, &mut scratch, &cancel).unwrap();
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next);
+            l += 1;
+        }
+        let reference = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        assert_eq!(m.sorted(), reference.ods.sorted());
+
+        let snap = DiscoverySnapshot::from_levels(levels, enc.n_rows());
+        assert!(snap.n_nodes() > n_attrs);
+        assert_eq!(snap.n_rows(), 6);
+        assert!(snap.node(0, AttrSet::EMPTY.bits()).is_some());
+    }
+
+    #[test]
+    fn snapshot_take_node() {
+        let enc = enc();
+        let levels = vec![build_level0(enc.n_rows(), 3), build_level1(&enc)];
+        let mut snap = DiscoverySnapshot::from_levels(levels, enc.n_rows());
+        let bits = AttrSet::singleton(0).bits();
+        assert!(snap.take_node(1, bits).is_some());
+        assert!(snap.take_node(1, bits).is_none(), "taken nodes are gone");
+        assert!(snap.take_node(7, bits).is_none(), "missing level is None");
+        assert_eq!(snap.max_level(), 1);
+    }
+}

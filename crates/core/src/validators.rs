@@ -11,10 +11,10 @@ use fastod_partition::{
     check_constancy, check_order_compat, constancy_removal_error, swap_removal_error,
     SortedColumn, StrippedPartition, SwapScratch,
 };
-use fastod_relation::{AttrId, EncodedRelation};
+use fastod_relation::{AttrId, AttrSet, EncodedRelation};
 
 /// Strategy for validating the two canonical OD shapes at a lattice node.
-pub(crate) trait OdValidator {
+pub trait OdValidator {
     /// Validates `X\A: [] ↦ A` given `Π*_{X\A}` (parent) and `Π*_X` (node).
     fn constancy(
         &mut self,
@@ -36,23 +36,79 @@ pub(crate) trait OdValidator {
     ) -> bool;
 }
 
+/// Identity-aware validation — what the lattice driver actually consults.
+///
+/// Unlike [`OdValidator`], the judge receives the *attribute-set identity* of
+/// the candidate OD alongside the partitions, which is what memoizing
+/// wrappers (the incremental engine's verdict cache) key on. Every
+/// `OdValidator` is an `OdJudge` through the blanket impl, which simply
+/// drops the identity (and derives the scratch-reuse token from the context
+/// bits, as the one-shot algorithm always did).
+pub trait OdJudge {
+    /// Judges the constancy OD `parent_set: [] ↦ rhs` given `Π*_{parent_set}`
+    /// and the node partition `Π*_{parent_set ∪ {rhs}}`.
+    fn constancy(
+        &mut self,
+        parent_set: AttrSet,
+        rhs: AttrId,
+        parent: &StrippedPartition,
+        node: &StrippedPartition,
+        stats: &mut LevelStats,
+    ) -> bool;
+
+    /// Judges the order-compatibility OD `ctx_set: a ~ b` given `Π*_{ctx_set}`.
+    fn order_compat(
+        &mut self,
+        ctx_set: AttrSet,
+        a: AttrId,
+        b: AttrId,
+        ctx: &StrippedPartition,
+        stats: &mut LevelStats,
+    ) -> bool;
+}
+
+impl<V: OdValidator> OdJudge for V {
+    fn constancy(
+        &mut self,
+        _parent_set: AttrSet,
+        rhs: AttrId,
+        parent: &StrippedPartition,
+        node: &StrippedPartition,
+        stats: &mut LevelStats,
+    ) -> bool {
+        OdValidator::constancy(self, parent, node, rhs, stats)
+    }
+
+    fn order_compat(
+        &mut self,
+        ctx_set: AttrSet,
+        a: AttrId,
+        b: AttrId,
+        ctx: &StrippedPartition,
+        stats: &mut LevelStats,
+    ) -> bool {
+        OdValidator::order_compat(self, ctx, ctx_set.bits() as usize, a, b, stats)
+    }
+}
+
 /// Exact validation (paper §4.6).
-pub(crate) struct ExactValidator<'a> {
+pub struct ExactValidator<'a> {
     enc: &'a EncodedRelation,
-    taus: Vec<SortedColumn>,
+    /// Sorted partitions `τ_A`, built lazily on an attribute's first swap
+    /// check. One-shot discovery touches (nearly) every attribute anyway,
+    /// but incremental maintenance passes often validate almost nothing —
+    /// they must not pay O(n) per attribute up front.
+    taus: Vec<Option<SortedColumn>>,
     scratch: SwapScratch,
     fd_mode: FdCheckMode,
 }
 
 impl<'a> ExactValidator<'a> {
-    /// Precomputes the sorted partitions `τ_A` for every attribute.
+    /// Creates a validator; sorted partitions `τ_A` are built on demand.
     pub fn new(enc: &'a EncodedRelation, fd_mode: FdCheckMode) -> ExactValidator<'a> {
-        let taus = (0..enc.n_attrs())
-            .map(|a| SortedColumn::build(enc.codes(a), enc.cardinality(a)))
-            .collect();
         ExactValidator {
             enc,
-            taus,
+            taus: vec![None; enc.n_attrs()],
             scratch: SwapScratch::new(),
             fd_mode,
         }
@@ -88,9 +144,11 @@ impl OdValidator for ExactValidator<'_> {
         stats: &mut LevelStats,
     ) -> bool {
         stats.swap_checks += 1;
+        let tau = self.taus[a]
+            .get_or_insert_with(|| SortedColumn::build(self.enc.codes(a), self.enc.cardinality(a)));
         check_order_compat(
             ctx,
-            &self.taus[a],
+            tau,
             self.enc.codes(a),
             self.enc.codes(b),
             &mut self.scratch,
@@ -101,12 +159,13 @@ impl OdValidator for ExactValidator<'_> {
 
 /// Approximate validation: an OD is accepted when at most `max_remove` rows
 /// must be deleted for it to hold exactly.
-pub(crate) struct ApproxValidator<'a> {
+pub struct ApproxValidator<'a> {
     enc: &'a EncodedRelation,
     max_remove: usize,
 }
 
 impl<'a> ApproxValidator<'a> {
+    /// Creates a validator accepting ODs within `max_remove` row removals.
     pub fn new(enc: &'a EncodedRelation, max_remove: usize) -> ApproxValidator<'a> {
         ApproxValidator { enc, max_remove }
     }
@@ -167,8 +226,8 @@ mod tests {
         let mut v1 = ExactValidator::new(&e, FdCheckMode::ErrorRate);
         let mut v2 = ExactValidator::new(&e, FdCheckMode::Scan);
         // {x}: [] -> y fails (split in class {2,3}).
-        assert!(!v1.constancy(&parent, &node, 1, &mut stats));
-        assert!(!v2.constancy(&parent, &node, 1, &mut stats));
+        assert!(!OdValidator::constancy(&mut v1, &parent, &node, 1, &mut stats));
+        assert!(!OdValidator::constancy(&mut v2, &parent, &node, 1, &mut stats));
         assert_eq!(stats.fd_checks, 2);
     }
 
@@ -179,7 +238,7 @@ mod tests {
         let node = superkey.clone();
         let mut stats = LevelStats::default();
         let mut v = ExactValidator::new(&e, FdCheckMode::ErrorRate);
-        assert!(v.constancy(&superkey, &node, 1, &mut stats));
+        assert!(OdValidator::constancy(&mut v, &superkey, &node, 1, &mut stats));
         assert_eq!(stats.fd_checks, 0);
         assert_eq!(stats.fd_checks_key_pruned, 1);
     }
@@ -193,8 +252,8 @@ mod tests {
         // Exactly: {x}: [] -> y fails; with one removal it holds.
         let mut strict = ApproxValidator::new(&e, 0);
         let mut loose = ApproxValidator::new(&e, 1);
-        assert!(!strict.constancy(&parent, &node, 1, &mut stats));
-        assert!(loose.constancy(&parent, &node, 1, &mut stats));
+        assert!(!OdValidator::constancy(&mut strict, &parent, &node, 1, &mut stats));
+        assert!(OdValidator::constancy(&mut loose, &parent, &node, 1, &mut stats));
     }
 
     #[test]
@@ -209,7 +268,7 @@ mod tests {
         let mut stats = LevelStats::default();
         let mut strict = ApproxValidator::new(&e, 0);
         let mut loose = ApproxValidator::new(&e, 1);
-        assert!(!strict.order_compat(&ctx, 0, 0, 1, &mut stats));
-        assert!(loose.order_compat(&ctx, 0, 0, 1, &mut stats));
+        assert!(!OdValidator::order_compat(&mut strict, &ctx, 0, 0, 1, &mut stats));
+        assert!(OdValidator::order_compat(&mut loose, &ctx, 0, 0, 1, &mut stats));
     }
 }

@@ -15,6 +15,42 @@
 use fastod_relation::{ColumnData, Relation, RelationBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Errors raised by [`TableSpec::try_build`] — misuse of the workload
+/// language is reported instead of aborting the process, so a bad spec in a
+/// long benchmark sweep fails one run, not the whole harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeneratorError {
+    /// A spec references a source column at or after its own position.
+    ForwardReference {
+        /// Name of the offending column.
+        column: String,
+        /// Its position in the spec.
+        position: usize,
+        /// The out-of-range source index it references.
+        source: usize,
+    },
+    /// The generated columns failed relation assembly.
+    Assembly(String),
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::ForwardReference { column, position, source } => write!(
+                f,
+                "column `{column}` (position {position}): source must precede the column, \
+                 but it references source index {source}"
+            ),
+            GeneratorError::Assembly(msg) => {
+                write!(f, "generated columns failed relation assembly: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
 
 /// Column generator specification. Sources refer to columns by index and
 /// must point at *earlier* columns.
@@ -95,16 +131,49 @@ impl TableSpec {
         self
     }
 
-    /// Generates the relation.
+    /// Generates the relation, panicking on a malformed spec — the
+    /// convenience wrapper around [`TableSpec::try_build`] used by code that
+    /// constructs specs statically.
     ///
     /// # Panics
-    /// If a spec references a source column at or after its own position.
+    /// If the spec is invalid (e.g. a source reference at or after its own
+    /// position); the message carries the offending column.
     pub fn build(&self) -> Relation {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid TableSpec `{}`: {e}", self.name))
+    }
+
+    /// Generates the relation, reporting spec misuse as a typed
+    /// [`GeneratorError`] instead of aborting the process.
+    ///
+    /// # Errors
+    /// [`GeneratorError::ForwardReference`] when a spec references a source
+    /// column at or after its own position; [`GeneratorError::Assembly`]
+    /// when the generated columns cannot form a relation (e.g. duplicate
+    /// column names).
+    pub fn try_build(&self) -> Result<Relation, GeneratorError> {
+        // Validate all source references up front so generation can index
+        // into `values` unconditionally.
+        for (idx, (name, spec)) in self.columns.iter().enumerate() {
+            let sources: &[usize] = match spec {
+                ColumnSpec::MonotoneOf { source, .. }
+                | ColumnSpec::NoisyMonotoneOf { source, .. } => std::slice::from_ref(source),
+                ColumnSpec::FdOf { sources, .. } => sources,
+                _ => &[],
+            };
+            if let Some(&source) = sources.iter().find(|&&s| s >= idx) {
+                return Err(GeneratorError::ForwardReference {
+                    column: name.clone(),
+                    position: idx,
+                    source,
+                });
+            }
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = self.n_rows;
         // Integer value matrix; string columns are materialized at the end.
         let mut values: Vec<Vec<i64>> = Vec::with_capacity(self.columns.len());
-        for (idx, (_, spec)) in self.columns.iter().enumerate() {
+        for (_, spec) in self.columns.iter() {
             let col: Vec<i64> = match spec {
                 ColumnSpec::Constant(v) => vec![*v; n],
                 ColumnSpec::SequentialKey => (0..n as i64).collect(),
@@ -122,12 +191,10 @@ impl TableSpec {
                     (0..n).map(|_| rng.gen_range(0..card)).collect()
                 }
                 ColumnSpec::MonotoneOf { source, plateau } => {
-                    assert!(*source < idx, "MonotoneOf source must precede column");
                     let plateau = (*plateau).max(1) as i64;
                     values[*source].iter().map(|&v| v.div_euclid(plateau)).collect()
                 }
                 ColumnSpec::FdOf { sources, cardinality } => {
-                    assert!(sources.iter().all(|&s| s < idx), "FdOf sources must precede column");
                     let card = (*cardinality).max(1) as u64;
                     // A fixed per-column scramble so the FD holds but the
                     // output ordering is unrelated to the inputs.
@@ -143,7 +210,6 @@ impl TableSpec {
                         .collect()
                 }
                 ColumnSpec::NoisyMonotoneOf { source, dirty_fraction } => {
-                    assert!(*source < idx, "NoisyMonotoneOf source must precede column");
                     let src = &values[*source];
                     let max = src.iter().copied().max().unwrap_or(0);
                     src.iter()
@@ -172,7 +238,7 @@ impl TableSpec {
                 }
             }
         }
-        builder.build().expect("spec produces a well-formed relation")
+        builder.build().map_err(|e| GeneratorError::Assembly(e.to_string()))
     }
 }
 
@@ -289,18 +355,59 @@ mod tests {
     #[test]
     fn string_columns_are_zero_padded() {
         let rel = spec().build();
-        if let Value::Str(s) = rel.value(0, 6) {
-            assert!(s.starts_with('v') && s.len() == 7);
-        } else {
-            panic!("expected string column");
-        }
+        let value = rel.value(0, 6);
+        assert!(
+            matches!(&value, Value::Str(s) if s.starts_with('v') && s.len() == 7),
+            "RandomStr must materialize zero-padded strings, got {value:?}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "source must precede")]
-    fn forward_reference_rejected() {
+    fn forward_reference_panics_in_build() {
         let _ = TableSpec::new("bad", 10, 0)
             .column("m", ColumnSpec::MonotoneOf { source: 0, plateau: 1 })
             .build();
+    }
+
+    #[test]
+    fn forward_reference_is_a_typed_error() {
+        // Self-reference.
+        let err = TableSpec::new("bad", 10, 0)
+            .column("m", ColumnSpec::MonotoneOf { source: 0, plateau: 1 })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GeneratorError::ForwardReference { column: "m".into(), position: 0, source: 0 }
+        );
+        // Forward FdOf reference, after a valid column.
+        let err = TableSpec::new("bad", 10, 0)
+            .column("k", ColumnSpec::SequentialKey)
+            .column("fd", ColumnSpec::FdOf { sources: vec![0, 2], cardinality: 3 })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GeneratorError::ForwardReference { position: 1, source: 2, .. }
+        ));
+        assert!(err.to_string().contains("source must precede"));
+    }
+
+    #[test]
+    fn try_build_matches_build_on_valid_specs() {
+        let a = spec().build();
+        let b = spec().try_build().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_column_names_are_assembly_errors() {
+        let err = TableSpec::new("dup", 5, 0)
+            .column("x", ColumnSpec::SequentialKey)
+            .column("x", ColumnSpec::Constant(1))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, GeneratorError::Assembly(_)));
     }
 }

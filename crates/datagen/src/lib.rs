@@ -21,5 +21,5 @@ pub use datasets::{
     dbtesma_like, employee_table, flight_like, hepatitis_like, ncvoter_like, random_relation,
     tpcds_date_dim,
 };
-pub use generator::{ColumnSpec, TableSpec};
+pub use generator::{ColumnSpec, GeneratorError, TableSpec};
 pub use noise::{inject_noise, InjectedError};

@@ -1,0 +1,579 @@
+//! The incremental maintenance engine.
+
+use crate::judge::CachedJudge;
+use crate::stats::{BatchReport, IncrementalStats};
+use fastod::snapshot::{
+    build_level0, compute_candidate_sets, generate_next_level, prune_level, validate_level,
+    DiscoverySnapshot, Level, Node,
+};
+use fastod::{Cancelled, DiscoveryConfig, ExactValidator, LevelStats};
+use fastod_partition::{ProductScratch, StrippedPartition};
+use fastod_relation::{GrowableRelation, Relation, RelationError, Schema};
+use fastod_relation::{AttrSet, EncodedRelation};
+use fastod_theory::{CanonicalOd, OdSet};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Errors surfaced by the incremental engine.
+#[derive(Debug)]
+pub enum IncrementalError {
+    /// The batch could not be appended (schema mismatch etc.).
+    Relation(RelationError),
+    /// The configured cancellation token fired mid-pass.
+    Cancelled,
+    /// A previous pass was cancelled mid-flight, leaving the retained state
+    /// unusable; rebuild the engine from the accumulated relation.
+    Poisoned,
+}
+
+impl fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncrementalError::Relation(e) => write!(f, "batch rejected: {e}"),
+            IncrementalError::Cancelled => f.write_str("maintenance pass cancelled"),
+            IncrementalError::Poisoned => {
+                f.write_str("engine poisoned by an earlier cancelled pass; rebuild it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IncrementalError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for IncrementalError {
+    fn from(e: RelationError) -> Self {
+        IncrementalError::Relation(e)
+    }
+}
+
+/// Maintains the complete, minimal OD cover of a growing relation.
+///
+/// See the crate docs for the algorithm and its invalidate-only
+/// monotonicity argument. Construction runs one full (retaining) discovery
+/// pass; every [`push_batch`](IncrementalDiscovery::push_batch) afterwards
+/// merges the batch into the retained lattice and re-checks only what the
+/// batch could have broken.
+pub struct IncrementalDiscovery {
+    grow: GrowableRelation,
+    config: DiscoveryConfig,
+    snapshot: DiscoverySnapshot,
+    cache: HashMap<CanonicalOd, bool>,
+    cover: OdSet,
+    stats: IncrementalStats,
+    queue: Vec<Relation>,
+    poisoned: bool,
+}
+
+impl IncrementalDiscovery {
+    /// Runs the initial discovery over `rel` with the default configuration
+    /// and retains the traversal for incremental maintenance.
+    pub fn new(rel: &Relation) -> IncrementalDiscovery {
+        Self::with_config(rel, DiscoveryConfig::default())
+            .expect("default configuration cannot cancel")
+    }
+
+    /// Like [`IncrementalDiscovery::new`] with an explicit configuration.
+    ///
+    /// # Errors
+    /// [`IncrementalError::Cancelled`] when the configured token fires
+    /// during the initial pass.
+    pub fn with_config(
+        rel: &Relation,
+        config: DiscoveryConfig,
+    ) -> Result<IncrementalDiscovery, IncrementalError> {
+        let mut engine = IncrementalDiscovery {
+            grow: GrowableRelation::new(rel),
+            config,
+            snapshot: DiscoverySnapshot::empty(),
+            cache: HashMap::new(),
+            cover: OdSet::new(),
+            stats: IncrementalStats::default(),
+            queue: Vec::new(),
+            poisoned: false,
+        };
+        engine.refresh(0).map_err(|Cancelled| IncrementalError::Cancelled)?;
+        Ok(engine)
+    }
+
+    /// The current complete, minimal cover — identical to what
+    /// `Fastod::discover` (same configuration) returns on the concatenation
+    /// of the seed relation and every pushed batch.
+    ///
+    /// After a cancelled pass the engine is poisoned and this is the *empty*
+    /// set — the pre-batch cover would silently disagree with
+    /// [`n_rows`](IncrementalDiscovery::n_rows)/[`encoded`](IncrementalDiscovery::encoded)
+    /// (which do include the half-absorbed batch), so no stale cover is
+    /// served. Check [`is_poisoned`](IncrementalDiscovery::is_poisoned).
+    pub fn cover(&self) -> &OdSet {
+        &self.cover
+    }
+
+    /// Whether a cancelled pass has invalidated the retained state. A
+    /// poisoned engine rejects further batches and serves an empty cover;
+    /// rebuild one from the source relation (the accumulated rows are still
+    /// available in encoded form via
+    /// [`encoded`](IncrementalDiscovery::encoded)).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The schema every batch must match exactly.
+    pub fn schema(&self) -> &Schema {
+        self.grow.schema()
+    }
+
+    /// Rows accumulated so far.
+    pub fn n_rows(&self) -> usize {
+        self.grow.n_rows()
+    }
+
+    /// The encoded relation over everything appended so far.
+    pub fn encoded(&self) -> &EncodedRelation {
+        self.grow.encoded()
+    }
+
+    /// The retained lattice (sizing/diagnostics).
+    pub fn snapshot(&self) -> &DiscoverySnapshot {
+        &self.snapshot
+    }
+
+    /// Cumulative statistics, including the initial pass.
+    pub fn stats(&self) -> &IncrementalStats {
+        &self.stats
+    }
+
+    /// Appends a batch and restores the cover invariant.
+    ///
+    /// # Errors
+    /// [`IncrementalError::Relation`] when the batch schema mismatches (the
+    /// engine is unchanged); [`IncrementalError::Cancelled`] when the token
+    /// fires mid-pass (the engine is then poisoned); `Poisoned` afterwards.
+    pub fn push_batch(&mut self, batch: &Relation) -> Result<BatchReport, IncrementalError> {
+        if self.poisoned {
+            return Err(IncrementalError::Poisoned);
+        }
+        let old_n = self.grow.n_rows();
+        self.grow.extend(batch)?;
+        if batch.n_rows() == 0 {
+            // Zero rows cannot change any verdict: skip the lattice pass
+            // entirely (the schema check above still applied).
+            return Ok(BatchReport {
+                appended_rows: 0,
+                n_rows: old_n,
+                retired: Vec::new(),
+                promoted: Vec::new(),
+                counters: crate::stats::BatchCounters::default(),
+                elapsed: std::time::Duration::ZERO,
+            });
+        }
+        match self.refresh(old_n) {
+            Ok(report) => Ok(report),
+            Err(Cancelled) => {
+                // The batch is half-absorbed (rows appended, lattice partly
+                // rebuilt, snapshot consumed): drop the now-inconsistent
+                // cover rather than serve pre-batch answers as current.
+                self.poisoned = true;
+                self.cover = OdSet::new();
+                Err(IncrementalError::Cancelled)
+            }
+        }
+    }
+
+    /// Queues a batch without processing it. Queued batches are merged and
+    /// absorbed in a single maintenance pass by
+    /// [`flush`](IncrementalDiscovery::flush) — cheaper than one pass per
+    /// batch when appends arrive faster than covers are consumed.
+    ///
+    /// # Errors
+    /// [`IncrementalError::Poisoned`] when the engine can no longer absorb
+    /// anything (accepting the batch would silently lose it);
+    /// [`IncrementalError::Relation`] on schema mismatch (checked eagerly so
+    /// a bad batch fails at enqueue time, not at flush time).
+    pub fn enqueue(&mut self, batch: Relation) -> Result<(), IncrementalError> {
+        if self.poisoned {
+            return Err(IncrementalError::Poisoned);
+        }
+        self.grow.schema().ensure_matches(batch.schema())?;
+        self.queue.push(batch);
+        Ok(())
+    }
+
+    /// Number of batches waiting in the queue.
+    pub fn queued_batches(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Merges all queued batches and absorbs them in one pass. Returns
+    /// `None` when the queue was empty.
+    pub fn flush(&mut self) -> Result<Option<BatchReport>, IncrementalError> {
+        if self.poisoned {
+            // Leave the queue intact: nothing has been consumed.
+            return Err(IncrementalError::Poisoned);
+        }
+        let mut queued = std::mem::take(&mut self.queue).into_iter();
+        let Some(mut merged) = queued.next() else {
+            return Ok(None);
+        };
+        for batch in queued {
+            merged.extend(&batch)?;
+        }
+        self.push_batch(&merged).map(Some)
+    }
+
+    /// One maintenance pass: rebuild the lattice over the current encoding,
+    /// reusing retained partitions and cached verdicts wherever the rows
+    /// appended since `old_n` provably cannot have changed them.
+    fn refresh(&mut self, old_n: usize) -> Result<BatchReport, Cancelled> {
+        let started = Instant::now();
+        let enc = self.grow.encoded();
+        let n_attrs = enc.n_attrs();
+        let n_rows = enc.n_rows();
+        let cancel = self.config.cancel.clone();
+        let mut old = std::mem::take(&mut self.snapshot);
+        let mut validator = ExactValidator::new(enc, self.config.fd_check);
+        let mut judge = CachedJudge::new(&mut validator, &mut self.cache);
+        let mut m = OdSet::new();
+        let mut scratch = ProductScratch::new();
+
+        let mut levels: Vec<Level> = vec![build_level0(n_rows, n_attrs)];
+        // The unit partition has one all-rows class: any append lands in it.
+        judge.set_dirty(AttrSet::EMPTY.bits(), n_rows > old_n && n_rows >= 2);
+
+        if n_attrs > 0 {
+            // Level 1: absorb the batch into the retained single-attribute
+            // partitions; the append delta is the ground truth of dirtiness.
+            let mut level1 = Level::with_capacity(n_attrs);
+            for a in 0..n_attrs {
+                let bits = AttrSet::singleton(a).bits();
+                let (node, dirty) = match old.take_node(1, bits) {
+                    Some(mut node) => {
+                        let delta = node
+                            .partition
+                            .append_codes(enc.codes(a), enc.cardinality(a));
+                        judge.counters.partitions_appended += 1;
+                        (node, delta.is_dirty())
+                    }
+                    None => {
+                        let p = StrippedPartition::from_codes(enc.codes(a), enc.cardinality(a));
+                        let dirty = covers_appended_row(&p, old_n);
+                        (Node::new(p, n_attrs), dirty)
+                    }
+                };
+                judge.set_dirty(bits, dirty);
+                level1.insert(bits, node);
+            }
+            levels.push(level1);
+
+            let mut l = 1usize;
+            while !levels[l].is_empty() {
+                let mut lstats = LevelStats {
+                    level: l,
+                    nodes: levels[l].len(),
+                    ..Default::default()
+                };
+                {
+                    let (before, rest) = levels.split_at_mut(l);
+                    let current = &mut rest[0];
+                    let prev = &before[l - 1];
+                    let empty = Level::new();
+                    let prev_prev = if l >= 2 { &before[l - 2] } else { &empty };
+                    compute_candidate_sets(l, current, prev, n_attrs);
+                    validate_level(
+                        l, current, prev, prev_prev, &mut judge, &mut m, &mut lstats, true,
+                        &cancel,
+                    )?;
+                    prune_level(l, current, &mut lstats);
+                }
+                let reached_cap = self.config.max_level.is_some_and(|cap| l >= cap);
+                let next = if reached_cap {
+                    Level::new()
+                } else {
+                    // A node is reusable iff the batch provably left its
+                    // partition alone: an appended row covered in X must be
+                    // covered in every subset of X, so one clean generating
+                    // parent certifies X clean.
+                    generate_next_level(&levels[l], n_attrs, &cancel, |x, pi, pj, lvl| {
+                        let both_dirty =
+                            judge.is_dirty(pi.bits()) && judge.is_dirty(pj.bits());
+                        if !both_dirty {
+                            if let Some(mut node) = old.take_node(l + 1, x.bits()) {
+                                node.partition.extend_rows(n_rows);
+                                judge.counters.nodes_reused += 1;
+                                judge.set_dirty(x.bits(), false);
+                                return node.partition;
+                            }
+                        }
+                        let p = lvl[&pi.bits()]
+                            .partition
+                            .product(&lvl[&pj.bits()].partition, &mut scratch);
+                        judge.counters.nodes_recomputed += 1;
+                        let dirty = both_dirty && covers_appended_row(&p, old_n);
+                        judge.set_dirty(x.bits(), dirty);
+                        p
+                    })?
+                };
+                levels.push(next);
+                l += 1;
+            }
+            while levels.last().is_some_and(Level::is_empty) && levels.len() > 1 {
+                levels.pop();
+            }
+        }
+
+        let counters = judge.counters.clone();
+        drop(judge);
+        drop(validator);
+        self.snapshot = DiscoverySnapshot::from_levels(levels, n_rows);
+        // Appends only retire cover members by falsifying them and only
+        // promote ODs uncovered by those falsifications — compute both diffs.
+        let retired: Vec<CanonicalOd> = self
+            .cover
+            .iter()
+            .filter(|od| !m.contains(od))
+            .copied()
+            .collect();
+        let promoted: Vec<CanonicalOd> = m
+            .iter()
+            .filter(|od| !self.cover.contains(od))
+            .copied()
+            .collect();
+        self.cover = m;
+        let report = BatchReport {
+            appended_rows: n_rows - old_n,
+            n_rows,
+            retired,
+            promoted,
+            counters,
+            elapsed: started.elapsed(),
+        };
+        self.stats.absorb(&report);
+        Ok(report)
+    }
+}
+
+/// Whether any class of `p` contains a row appended at or after `old_n`.
+///
+/// Every partition the engine builds keeps class rows in ascending row-id
+/// order (`from_codes` counting sort, `product` preserving operand order,
+/// `append_codes` pushing fresh — larger — ids at the tail), so checking
+/// each class's last element suffices: O(#classes), not O(covered rows).
+fn covers_appended_row(p: &StrippedPartition, old_n: usize) -> bool {
+    p.classes().iter().any(|class| {
+        debug_assert!(class.is_sorted(), "engine partitions keep classes in row order");
+        class.last().is_some_and(|&row| (row as usize) >= old_n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastod::{CancelToken, DiscoveryConfig, Fastod};
+    use fastod_datagen::random_relation;
+    use fastod_relation::RelationBuilder;
+
+    fn cover_matches_from_scratch(engine: &IncrementalDiscovery, concat: &Relation) {
+        let fresh = Fastod::new(DiscoveryConfig::default()).discover(&concat.encode());
+        assert_eq!(
+            engine.cover().sorted(),
+            fresh.ods.sorted(),
+            "incremental cover diverged at {} rows",
+            concat.n_rows()
+        );
+    }
+
+    #[test]
+    fn initial_pass_equals_fastod() {
+        let rel = fastod_datagen::employee_table();
+        let engine = IncrementalDiscovery::new(&rel);
+        cover_matches_from_scratch(&engine, &rel);
+        assert_eq!(engine.n_rows(), 6);
+        assert!(engine.snapshot().n_nodes() > 0);
+    }
+
+    #[test]
+    fn random_batches_stay_equivalent() {
+        for seed in 0..6u64 {
+            let base = random_relation(8, 4, 3, seed);
+            let mut engine = IncrementalDiscovery::new(&base);
+            let mut concat = base.clone();
+            for b in 0..6u64 {
+                let batch = random_relation(3, 4, 3, 1000 + seed * 10 + b);
+                engine.push_batch(&batch).unwrap();
+                concat.extend(&batch).unwrap();
+                cover_matches_from_scratch(&engine, &concat);
+            }
+        }
+    }
+
+    #[test]
+    fn falsification_retires_and_promotes() {
+        // c constant on the base: {}: [] -> c is in the cover.
+        let base = RelationBuilder::new()
+            .column_i64("k", vec![1, 2, 3])
+            .column_i64("c", vec![7, 7, 7])
+            .build()
+            .unwrap();
+        let mut engine = IncrementalDiscovery::new(&base);
+        let root = CanonicalOd::constancy(AttrSet::EMPTY, 1);
+        assert!(engine.cover().contains(&root));
+
+        // The batch breaks the constancy; k -> c gets promoted instead.
+        let batch = RelationBuilder::new()
+            .column_i64("k", vec![4])
+            .column_i64("c", vec![9])
+            .build()
+            .unwrap();
+        let report = engine.push_batch(&batch).unwrap();
+        assert!(report.retired.contains(&root));
+        assert!(!engine.cover().contains(&root));
+        assert!(report.counters.verdicts_flipped >= 1);
+        assert!(!report.promoted.is_empty());
+        let mut concat = base.clone();
+        concat.extend(&batch).unwrap();
+        cover_matches_from_scratch(&engine, &concat);
+    }
+
+    #[test]
+    fn clean_batches_skip_work() {
+        // Base: sequential key, a monotone coarsening, a low-card category.
+        let base = RelationBuilder::new()
+            .column_i64("k", (0..30).collect())
+            .column_i64("m", (0..30).map(|i| i / 3).collect())
+            .column_i64("c", (0..30).map(|i| i % 4).collect())
+            .build()
+            .unwrap();
+        let mut engine = IncrementalDiscovery::new(&base);
+        let initial_revalidated = engine.stats().totals.revalidated;
+        assert!(initial_revalidated > 0, "initial pass validates everything");
+
+        // Batch rows carry fresh, distinct values in *every* column: they are
+        // singletons under every non-empty context, so only `{}` is dirty.
+        let batch = RelationBuilder::new()
+            .column_i64("k", (100..105).collect())
+            .column_i64("m", (100..105).collect())
+            .column_i64("c", (100..105).collect())
+            .build()
+            .unwrap();
+        let report = engine.push_batch(&batch).unwrap();
+        assert!(report.retired.is_empty(), "{:?}", report.retired);
+        // Only the handful of `{}`-context true verdicts get re-checked;
+        // false verdicts and clean-context truths are skipped; every product
+        // node is reused.
+        assert!(
+            report.counters.revalidated < initial_revalidated / 2,
+            "{:?}",
+            report.counters
+        );
+        assert!(report.counters.skipped_false > 0, "{:?}", report.counters);
+        assert!(report.counters.skipped_clean > 0, "{:?}", report.counters);
+        assert!(report.counters.nodes_reused > 0, "{:?}", report.counters);
+        assert_eq!(report.counters.nodes_recomputed, 0, "{:?}", report.counters);
+    }
+
+    #[test]
+    fn empty_batch_changes_nothing() {
+        let base = random_relation(10, 3, 3, 1);
+        let mut engine = IncrementalDiscovery::new(&base);
+        let before = engine.cover().sorted();
+        let empty = random_relation(0, 3, 3, 2);
+        let report = engine.push_batch(&empty).unwrap();
+        assert_eq!(report.appended_rows, 0);
+        assert!(report.retired.is_empty() && report.promoted.is_empty());
+        assert_eq!(engine.cover().sorted(), before);
+    }
+
+    #[test]
+    fn queue_flushes_in_one_pass() {
+        let base = random_relation(10, 4, 3, 5);
+        let mut direct = IncrementalDiscovery::new(&base);
+        let mut queued = IncrementalDiscovery::new(&base);
+        let mut concat = base.clone();
+        for b in 0..3u64 {
+            let batch = random_relation(4, 4, 3, 600 + b);
+            direct.push_batch(&batch).unwrap();
+            queued.enqueue(batch.clone()).unwrap();
+            concat.extend(&batch).unwrap();
+        }
+        assert_eq!(queued.queued_batches(), 3);
+        let passes_before = queued.stats().passes;
+        let report = queued.flush().unwrap().expect("queue was non-empty");
+        assert_eq!(report.appended_rows, 12);
+        assert_eq!(queued.stats().passes, passes_before + 1);
+        assert_eq!(queued.queued_batches(), 0);
+        assert_eq!(queued.cover().sorted(), direct.cover().sorted());
+        cover_matches_from_scratch(&queued, &concat);
+        assert!(queued.flush().unwrap().is_none(), "empty queue is a no-op");
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let base = random_relation(5, 3, 3, 3);
+        let mut engine = IncrementalDiscovery::new(&base);
+        let wrong = random_relation(5, 4, 3, 3);
+        assert!(matches!(
+            engine.push_batch(&wrong),
+            Err(IncrementalError::Relation(_))
+        ));
+        assert!(matches!(
+            engine.enqueue(wrong),
+            Err(IncrementalError::Relation(_))
+        ));
+        // The engine stays usable after a rejected batch.
+        engine.push_batch(&random_relation(2, 3, 3, 8)).unwrap();
+    }
+
+    #[test]
+    fn cancellation_poisons_engine() {
+        let base = random_relation(30, 5, 3, 11);
+        let mut engine = IncrementalDiscovery::new(&base);
+        engine.config.cancel = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let batch = random_relation(5, 5, 3, 12);
+        assert!(!engine.is_poisoned());
+        assert!(matches!(
+            engine.push_batch(&batch),
+            Err(IncrementalError::Cancelled)
+        ));
+        assert!(engine.is_poisoned());
+        // No stale cover is served for the half-absorbed state.
+        assert!(engine.cover().is_empty());
+        assert!(matches!(
+            engine.push_batch(&batch),
+            Err(IncrementalError::Poisoned)
+        ));
+        // Poisoned engines refuse to take custody of batches they would lose.
+        assert!(matches!(
+            engine.enqueue(batch.clone()),
+            Err(IncrementalError::Poisoned)
+        ));
+        assert!(matches!(engine.flush(), Err(IncrementalError::Poisoned)));
+    }
+
+    #[test]
+    fn grows_from_empty_relation() {
+        let base = RelationBuilder::new()
+            .column_i64("a", vec![])
+            .column_i64("b", vec![])
+            .build()
+            .unwrap();
+        let mut engine = IncrementalDiscovery::new(&base);
+        // Vacuously, both attributes are constant.
+        assert_eq!(engine.cover().len(), 2);
+        let batch = RelationBuilder::new()
+            .column_i64("a", vec![1, 2])
+            .column_i64("b", vec![5, 5])
+            .build()
+            .unwrap();
+        engine.push_batch(&batch).unwrap();
+        let mut concat = base.clone();
+        concat.extend(&batch).unwrap();
+        cover_matches_from_scratch(&engine, &concat);
+    }
+}

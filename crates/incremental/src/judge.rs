@@ -1,0 +1,104 @@
+//! The memoizing verdict judge: where invalidate-only monotonicity becomes
+//! skipped work.
+
+use crate::stats::BatchCounters;
+use fastod::{LevelStats, OdJudge, OdValidator};
+use fastod_partition::StrippedPartition;
+use fastod_relation::{AttrId, AttrSet};
+use fastod_theory::CanonicalOd;
+use std::collections::HashMap;
+
+/// An [`OdJudge`] that consults a persistent verdict cache and the current
+/// batch's dirty-context map before falling back to a real validator.
+///
+/// * cached `false` → `false`, forever (appends cannot revive an OD);
+/// * cached `true` on a **clean** context → `true` without validation (the
+///   batch added no pair inside any class of that context);
+/// * otherwise → validate against the full instance and update the cache.
+pub(crate) struct CachedJudge<'a, V> {
+    inner: &'a mut V,
+    cache: &'a mut HashMap<CanonicalOd, bool>,
+    /// Dirtiness per lattice node (attribute-set bits), for *this* batch.
+    dirty: HashMap<u64, bool>,
+    pub(crate) counters: BatchCounters,
+}
+
+impl<'a, V: OdValidator> CachedJudge<'a, V> {
+    pub fn new(inner: &'a mut V, cache: &'a mut HashMap<CanonicalOd, bool>) -> CachedJudge<'a, V> {
+        CachedJudge {
+            inner,
+            cache,
+            dirty: HashMap::new(),
+            counters: BatchCounters::default(),
+        }
+    }
+
+    /// Records whether the batch touched a non-singleton class of `Π*_X`.
+    pub fn set_dirty(&mut self, bits: u64, dirty: bool) {
+        if dirty {
+            self.counters.dirty_nodes += 1;
+        }
+        self.dirty.insert(bits, dirty);
+    }
+
+    /// Whether node `bits` is dirty this batch. Unknown nodes are treated as
+    /// dirty — correctness must never hinge on a missing entry.
+    pub fn is_dirty(&self, bits: u64) -> bool {
+        debug_assert!(
+            self.dirty.contains_key(&bits),
+            "dirtiness queried for untracked node {bits:#b}"
+        );
+        self.dirty.get(&bits).copied().unwrap_or(true)
+    }
+
+    fn judge(&mut self, od: CanonicalOd, validate: impl FnOnce(&mut V) -> bool) -> bool {
+        let prior = self.cache.get(&od).copied();
+        match prior {
+            Some(false) => {
+                self.counters.skipped_false += 1;
+                false
+            }
+            Some(true) if !self.is_dirty(od.context().bits()) => {
+                self.counters.skipped_clean += 1;
+                true
+            }
+            _ => {
+                let verdict = validate(self.inner);
+                self.counters.revalidated += 1;
+                if prior == Some(true) && !verdict {
+                    self.counters.verdicts_flipped += 1;
+                }
+                self.cache.insert(od, verdict);
+                verdict
+            }
+        }
+    }
+}
+
+impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
+    fn constancy(
+        &mut self,
+        parent_set: AttrSet,
+        rhs: AttrId,
+        parent: &StrippedPartition,
+        node: &StrippedPartition,
+        stats: &mut LevelStats,
+    ) -> bool {
+        self.judge(CanonicalOd::constancy(parent_set, rhs), |v| {
+            OdValidator::constancy(v, parent, node, rhs, stats)
+        })
+    }
+
+    fn order_compat(
+        &mut self,
+        ctx_set: AttrSet,
+        a: AttrId,
+        b: AttrId,
+        ctx: &StrippedPartition,
+        stats: &mut LevelStats,
+    ) -> bool {
+        self.judge(CanonicalOd::order_compat(ctx_set, a, b), |v| {
+            OdValidator::order_compat(v, ctx, ctx_set.bits() as usize, a, b, stats)
+        })
+    }
+}

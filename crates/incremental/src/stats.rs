@@ -1,0 +1,138 @@
+//! Per-batch reports and cumulative engine statistics.
+
+use fastod_theory::CanonicalOd;
+use std::time::Duration;
+
+/// Work counters for one maintenance pass, split by how each piece of work
+/// was resolved. `skipped_*` are the incremental wins; `revalidated` and
+/// `nodes_recomputed` are where the engine actually touched data.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchCounters {
+    /// Candidate ODs skipped because a cached `false` verdict is binding
+    /// forever under appends.
+    pub skipped_false: usize,
+    /// Candidate ODs skipped because their cached `true` verdict's context
+    /// partition was untouched by the batch.
+    pub skipped_clean: usize,
+    /// Candidate ODs validated against the full instance (new candidates
+    /// plus dirty cached-`true` ones).
+    pub revalidated: usize,
+    /// Re-validations whose verdict flipped `true → false` (falsifications).
+    pub verdicts_flipped: usize,
+    /// Lattice nodes whose retained partition was reused with a row-count
+    /// bump (clean nodes).
+    pub nodes_reused: usize,
+    /// Lattice nodes whose partition was recomputed as a parent product
+    /// (dirty or newly generated nodes).
+    pub nodes_recomputed: usize,
+    /// Level-1 partitions that absorbed the batch via the append path.
+    pub partitions_appended: usize,
+    /// Nodes marked dirty — contexts the batch can actually have broken.
+    pub dirty_nodes: usize,
+}
+
+impl BatchCounters {
+    /// Folds another pass's counters into this one.
+    pub fn absorb(&mut self, other: &BatchCounters) {
+        self.skipped_false += other.skipped_false;
+        self.skipped_clean += other.skipped_clean;
+        self.revalidated += other.revalidated;
+        self.verdicts_flipped += other.verdicts_flipped;
+        self.nodes_reused += other.nodes_reused;
+        self.nodes_recomputed += other.nodes_recomputed;
+        self.partitions_appended += other.partitions_appended;
+        self.dirty_nodes += other.dirty_nodes;
+    }
+}
+
+/// What one [`crate::IncrementalDiscovery::push_batch`] call did to the cover.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Rows the batch appended.
+    pub appended_rows: usize,
+    /// Total rows after the batch.
+    pub n_rows: usize,
+    /// Cover members falsified by the batch (appends can *only* remove a
+    /// cover member by falsifying it — see the crate docs).
+    pub retired: Vec<CanonicalOd>,
+    /// ODs that entered the cover: previously implied by a now-falsified
+    /// member, they became minimal.
+    pub promoted: Vec<CanonicalOd>,
+    /// Work breakdown for the pass.
+    pub counters: BatchCounters,
+    /// Wall-clock time of the pass (excluding encoding of the batch).
+    pub elapsed: Duration,
+}
+
+/// Cumulative statistics over the engine's lifetime. The initial discovery
+/// counts as a pass: the engine conceptually starts empty, so the seed
+/// relation's rows are "appended" by pass 1 and the whole initial cover is
+/// "promoted" by it. Subtract pass 1's contribution when measuring batch
+/// churn alone.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalStats {
+    /// Maintenance passes run (including the initial discovery).
+    pub passes: usize,
+    /// Rows absorbed across all passes (the seed relation counts, via the
+    /// initial pass).
+    pub rows_appended: usize,
+    /// Cover members retired across all passes.
+    pub total_retired: usize,
+    /// Cover members promoted across all passes (the initial cover counts,
+    /// via the initial pass).
+    pub total_promoted: usize,
+    /// Summed work counters.
+    pub totals: BatchCounters,
+    /// Summed pass wall-clock time.
+    pub total_elapsed: Duration,
+}
+
+impl IncrementalStats {
+    pub(crate) fn absorb(&mut self, report: &BatchReport) {
+        self.passes += 1;
+        self.rows_appended += report.appended_rows;
+        self.total_retired += report.retired.len();
+        self.total_promoted += report.promoted.len();
+        self.totals.absorb(&report.counters);
+        self.total_elapsed += report.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_absorb() {
+        let mut a = BatchCounters {
+            skipped_false: 1,
+            revalidated: 2,
+            ..Default::default()
+        };
+        let b = BatchCounters {
+            skipped_false: 3,
+            nodes_reused: 5,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.skipped_false, 4);
+        assert_eq!(a.revalidated, 2);
+        assert_eq!(a.nodes_reused, 5);
+    }
+
+    #[test]
+    fn stats_absorb_report() {
+        let mut s = IncrementalStats::default();
+        s.absorb(&BatchReport {
+            appended_rows: 10,
+            n_rows: 30,
+            retired: vec![],
+            promoted: vec![],
+            counters: BatchCounters::default(),
+            elapsed: Duration::from_millis(5),
+        });
+        assert_eq!(s.passes, 1);
+        assert_eq!(s.rows_appended, 10);
+        assert_eq!(s.total_elapsed, Duration::from_millis(5));
+    }
+}

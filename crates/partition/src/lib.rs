@@ -27,4 +27,4 @@ pub use checks::{check_constancy, check_order_compat, find_constancy_violation, 
 pub use errors::{constancy_removal_error, swap_removal_error};
 pub use scratch::{ClassMap, ProductScratch, SwapScratch};
 pub use sorted::SortedColumn;
-pub use stripped::StrippedPartition;
+pub use stripped::{AppendDelta, StrippedPartition};

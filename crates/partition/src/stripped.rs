@@ -2,6 +2,24 @@
 
 use crate::scratch::ProductScratch;
 
+/// Outcome of [`StrippedPartition::append_codes`]: `new_covered` drives the
+/// incremental engine's dirty-node tracking via [`AppendDelta::is_dirty`].
+#[derive(Clone, Debug, Default)]
+pub struct AppendDelta {
+    /// Appended rows that joined (or formed) a non-singleton class. Empty
+    /// means the partition is structurally unchanged — every new row is a
+    /// singleton — so no dependency with this context can have been broken.
+    pub new_covered: Vec<u32>,
+}
+
+impl AppendDelta {
+    /// Whether any appended row participates in a class — i.e. whether the
+    /// append can invalidate dependencies evaluated against this partition.
+    pub fn is_dirty(&self) -> bool {
+        !self.new_covered.is_empty()
+    }
+}
+
 /// A stripped partition `Π*_X`: the equivalence classes of the tuples under
 /// attribute set `X`, with singleton classes removed (paper §4.6,
 /// Example 12, Lemma 14).
@@ -72,6 +90,97 @@ impl StrippedPartition {
     /// Number of rows in the underlying relation.
     pub fn n_rows(&self) -> usize {
         self.n_rows
+    }
+
+    /// Grows the underlying relation to `n_rows` rows, treating every
+    /// appended row as a singleton. For a *stripped* partition singletons are
+    /// not stored, so this only bumps the row count — it is the O(1) append
+    /// for partitions the incremental engine has proven untouched by a batch.
+    pub fn extend_rows(&mut self, n_rows: usize) {
+        debug_assert!(n_rows >= self.n_rows, "relations only grow");
+        self.n_rows = n_rows;
+    }
+
+    /// Merges appended rows into the partition of a single code column
+    /// (the incremental counterpart of [`StrippedPartition::from_codes`]).
+    ///
+    /// `codes` is the **full** code column after the append — possibly
+    /// remapped by dictionary growth, which preserves equality classes and
+    /// therefore leaves the stored row-id classes valid — and rows
+    /// `self.n_rows()..codes.len()` are the new ones. Each new row joins the
+    /// class of its code, resurrecting old singletons into fresh classes when
+    /// they gain their first partner.
+    ///
+    /// Cost: O(cardinality + |classes| + Δ), plus one O(old rows) scan only
+    /// when some new row's code belongs to an old singleton or unseen code.
+    pub fn append_codes(&mut self, codes: &[u32], cardinality: u32) -> AppendDelta {
+        let old_n = self.n_rows;
+        let new_n = codes.len();
+        debug_assert!(new_n >= old_n, "code column shrank");
+        let card = cardinality as usize;
+        debug_assert!(codes.iter().all(|&c| (c as usize) < card.max(1)));
+        let mut delta = AppendDelta::default();
+        if new_n == old_n {
+            return delta;
+        }
+
+        // Directory: code → class index, from each class's representative.
+        let mut class_idx: Vec<u32> = vec![u32::MAX; card];
+        for (ci, class) in self.classes.iter().enumerate() {
+            class_idx[codes[class[0] as usize] as usize] = ci as u32;
+        }
+
+        // First pass over the new rows: join known classes, bucket orphans
+        // (codes with no current class) by code.
+        let mut orphan_rows: Vec<Vec<u32>> = Vec::new();
+        for (row, &code_u32) in codes.iter().enumerate().skip(old_n) {
+            let code = code_u32 as usize;
+            let ci = class_idx[code];
+            if ci != u32::MAX && (ci as usize) < self.classes.len() {
+                self.classes[ci as usize].push(row as u32);
+                delta.new_covered.push(row as u32);
+            } else {
+                if ci == u32::MAX {
+                    class_idx[code] = self.classes.len() as u32 + orphan_rows.len() as u32;
+                    orphan_rows.push(Vec::new());
+                }
+                let oi = class_idx[code] as usize - self.classes.len();
+                orphan_rows[oi].push(row as u32);
+            }
+        }
+
+        // Orphan codes may have exactly one old occurrence (an old singleton,
+        // stripped away): find those with a single scan of the old region.
+        if !orphan_rows.is_empty() {
+            let mut old_partner: Vec<u32> = vec![u32::MAX; orphan_rows.len()];
+            for row in 0..old_n {
+                let ci = class_idx[codes[row] as usize];
+                if ci != u32::MAX && (ci as usize) >= self.classes.len() {
+                    let oi = ci as usize - self.classes.len();
+                    // ≥2 old occurrences would already form a class.
+                    debug_assert_eq!(old_partner[oi], u32::MAX, "stripped invariant broken");
+                    old_partner[oi] = row as u32;
+                }
+            }
+            for (oi, mut rows) in orphan_rows.into_iter().enumerate() {
+                let partner = old_partner[oi];
+                if partner != u32::MAX {
+                    rows.insert(0, partner);
+                }
+                // A lone orphan row stays a singleton and is simply dropped
+                // (stripped partitions do not store singletons).
+                if rows.len() >= 2 {
+                    for &r in &rows {
+                        if (r as usize) >= old_n {
+                            delta.new_covered.push(r);
+                        }
+                    }
+                    self.classes.push(rows);
+                }
+            }
+        }
+        self.n_rows = new_n;
+        delta
     }
 
     /// The non-singleton equivalence classes.
@@ -274,6 +383,88 @@ mod tests {
         // A = [0,0,1,1], C = [3,3,9,9]: A→C holds.
         let pac = pa.product_simple(&StrippedPartition::from_codes(&[0, 0, 1, 1], 2));
         assert_eq!(pa.error(), pac.error());
+    }
+
+    /// Appending incrementally must agree with rebuilding from scratch.
+    fn check_append(old_codes: &[u32], new_codes: &[u32]) {
+        let full: Vec<u32> = old_codes.iter().chain(new_codes).copied().collect();
+        let card = full.iter().max().map_or(0, |&m| m + 1);
+        let mut incr = StrippedPartition::from_codes(old_codes, card);
+        let delta = incr.append_codes(&full, card);
+        let fresh = StrippedPartition::from_codes(&full, card);
+        assert_eq!(incr, fresh, "old={old_codes:?} new={new_codes:?}");
+        // Delta covers exactly the appended rows that are non-singletons now.
+        let mut expected: Vec<u32> = fresh
+            .classes()
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&r| (r as usize) >= old_codes.len())
+            .collect();
+        expected.sort_unstable();
+        let mut got = delta.new_covered.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn append_codes_matches_rebuild() {
+        // New row joins an existing class.
+        check_append(&[0, 0, 1], &[0]);
+        // New row resurrects an old singleton.
+        check_append(&[0, 0, 1], &[1]);
+        // Two new rows form a class of their own (code unseen before).
+        check_append(&[0, 0, 1], &[2, 2]);
+        // Lone new row with an unseen code stays a singleton.
+        check_append(&[0, 0, 1], &[3]);
+        // Mixed batch hitting every case at once.
+        check_append(&[0, 0, 1, 2, 2], &[1, 3, 3, 0, 4]);
+        // Append onto an empty relation.
+        check_append(&[], &[1, 0, 1]);
+        // Empty batch.
+        check_append(&[0, 0, 1], &[]);
+    }
+
+    #[test]
+    fn append_codes_delta_dirtiness() {
+        let mut p = StrippedPartition::from_codes(&[0, 0, 1], 4);
+        // Singleton-only batch: clean.
+        let d = p.append_codes(&[0, 0, 1, 2, 3], 4);
+        assert!(!d.is_dirty());
+        // Batch joining the {0,0} class: dirty.
+        let d = p.append_codes(&[0, 0, 1, 2, 3, 0], 4);
+        assert!(d.is_dirty());
+        assert_eq!(d.new_covered, vec![5]);
+    }
+    #[test]
+    fn append_codes_randomized_against_rebuild() {
+        // xorshift sweep over random splits, codes and cardinalities.
+        let mut seed = 0xA076_1D64_78BD_642Fu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..300 {
+            let n_old = (next() % 12) as usize;
+            let n_new = (next() % 8) as usize;
+            let card = 1 + (next() % 5) as u32;
+            let old: Vec<u32> = (0..n_old).map(|_| (next() % u64::from(card)) as u32).collect();
+            let new: Vec<u32> = (0..n_new).map(|_| (next() % u64::from(card)) as u32).collect();
+            check_append(&old, &new);
+        }
+    }
+
+    #[test]
+    fn extend_rows_keeps_classes() {
+        let mut p = part(4, &[&[0, 1], &[2, 3]]);
+        p.extend_rows(7);
+        assert_eq!(p.n_rows(), 7);
+        assert_eq!(p.n_classes(), 2);
+        // Appended singletons do not change the product behaviour.
+        let u = StrippedPartition::unit(7);
+        assert_eq!(p.product_simple(&u), p);
     }
 
     #[test]

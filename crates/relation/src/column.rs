@@ -66,6 +66,19 @@ impl ColumnData {
         }
     }
 
+    /// Appends all rows of `other` to this column. Returns `false` (leaving
+    /// `self` untouched) when the payload types differ.
+    pub fn extend(&mut self, other: &ColumnData) -> bool {
+        match (self, other) {
+            (ColumnData::Int(v), ColumnData::Int(o)) => v.extend_from_slice(o),
+            (ColumnData::Float(v), ColumnData::Float(o)) => v.extend_from_slice(o),
+            (ColumnData::Str(v), ColumnData::Str(o)) => v.extend_from_slice(o),
+            (ColumnData::Date(v), ColumnData::Date(o)) => v.extend_from_slice(o),
+            _ => return false,
+        }
+        true
+    }
+
     /// Computes order-preserving dense-rank codes for this column
     /// (paper §4.6): equal values get equal codes, and `v < w` implies
     /// `code(v) < code(w)`. Returns `(codes, cardinality)`.
@@ -140,6 +153,11 @@ impl Column {
     /// The cell at `row`.
     pub fn value(&self, row: usize) -> Value {
         self.data.value(row)
+    }
+
+    /// Appends all rows of `other`; returns `false` on a type mismatch.
+    pub fn extend(&mut self, other: &Column) -> bool {
+        self.data.extend(&other.data)
     }
 }
 

@@ -93,6 +93,21 @@ impl EncodedRelation {
         self.cardinalities[a]
     }
 
+    /// Mutable access to one code column, for the incremental grower.
+    pub(crate) fn codes_mut(&mut self, a: AttrId) -> &mut Vec<u32> {
+        &mut self.codes[a]
+    }
+
+    /// Updates one cardinality slot after dictionary growth.
+    pub(crate) fn set_cardinality(&mut self, a: AttrId, card: u32) {
+        self.cardinalities[a] = card;
+    }
+
+    /// Updates the row count after an append.
+    pub(crate) fn set_n_rows(&mut self, n: usize) {
+        self.n_rows = n;
+    }
+
     /// Whether attribute `a` is constant over the whole relation
     /// (`{}: [] ↦ A` in canonical-OD terms).
     pub fn is_constant(&self, a: AttrId) -> bool {

@@ -13,6 +13,9 @@ pub enum RelationError {
     RaggedColumns { expected: usize, found: usize, column: String },
     /// A cell value did not match its column's declared type.
     TypeMismatch { column: String, row: usize },
+    /// Appending rows from a relation whose schema differs from the target's
+    /// (attribute names, order and types must all match).
+    SchemaMismatch { expected: String, found: String },
     /// CSV parsing failed.
     Csv { line: usize, message: String },
     /// Underlying I/O failure.
@@ -35,6 +38,10 @@ impl fmt::Display for RelationError {
             RelationError::TypeMismatch { column, row } => {
                 write!(f, "value in column {column}, row {row} has the wrong type")
             }
+            RelationError::SchemaMismatch { expected, found } => write!(
+                f,
+                "schema mismatch: cannot append rows of {found} to a relation over {expected}"
+            ),
             RelationError::Csv { line, message } => {
                 write!(f, "CSV parse error at line {line}: {message}")
             }

@@ -1,0 +1,325 @@
+//! Incrementally growable encoded relations — the append path for streaming
+//! workloads.
+//!
+//! [`crate::EncodedRelation`] replaces every value with its dense rank, and
+//! dense ranks are *canonical*: the codes are fully determined by the value
+//! multiset, independent of how the relation was assembled. A
+//! [`GrowableRelation`] maintains that invariant under appends without
+//! re-sorting history: per column it keeps the **code dictionary** — the
+//! distinct raw values in ascending order, so `dict[code] == value` — and on
+//! each batch
+//!
+//! 1. merges the batch's unseen values into the dictionary (O(Δ log card) to
+//!    find them, O(card + Δ) to merge);
+//! 2. when the dictionary grew, shifts the existing codes through the
+//!    monotone old-code → new-code remap (O(n) per affected column; equality
+//!    classes and relative order are untouched);
+//! 3. encodes the batch rows by dictionary lookup and appends them.
+//!
+//! The result after every batch is *identical*, code for code, to freshly
+//! encoding the concatenated relation — the property the incremental
+//! discovery engine's equivalence tests pin down.
+
+use crate::{Column, ColumnData, Date, EncodedRelation, Relation, RelationError, Schema};
+use std::cmp::Ordering;
+
+/// One column's code dictionary: distinct raw values, ascending.
+#[derive(Clone, Debug)]
+enum Dict {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Date(Vec<Date>),
+}
+
+impl Dict {
+    /// Reconstructs the dictionary from a raw column and its codes
+    /// (`dict[code] = value`), in O(n).
+    fn build(column: &Column, codes: &[u32], cardinality: u32) -> Dict {
+        let card = cardinality as usize;
+        match column.data() {
+            ColumnData::Int(v) => Dict::Int(scatter(v, codes, card, 0)),
+            ColumnData::Float(v) => Dict::Float(scatter(v, codes, card, 0.0)),
+            ColumnData::Str(v) => Dict::Str(scatter(v, codes, card, String::new())),
+            ColumnData::Date(v) => Dict::Date(scatter(v, codes, card, Date(0))),
+        }
+    }
+
+    /// Grows the dictionary with the batch's values, remapping `codes` when
+    /// new values land between existing ones, and appends the batch's codes.
+    /// Returns whether existing codes were remapped.
+    fn grow(&mut self, batch: &Column, codes: &mut Vec<u32>) -> bool {
+        match (self, batch.data()) {
+            (Dict::Int(d), ColumnData::Int(v)) => grow_column(d, codes, v, |a, b| a.cmp(b)),
+            (Dict::Float(d), ColumnData::Float(v)) => {
+                grow_column(d, codes, v, |a, b| a.total_cmp(b))
+            }
+            (Dict::Str(d), ColumnData::Str(v)) => grow_column(d, codes, v, |a, b| a.cmp(b)),
+            (Dict::Date(d), ColumnData::Date(v)) => grow_column(d, codes, v, |a, b| a.cmp(b)),
+            _ => unreachable!("schema equality guarantees matching column types"),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Dict::Int(d) => d.len(),
+            Dict::Float(d) => d.len(),
+            Dict::Str(d) => d.len(),
+            Dict::Date(d) => d.len(),
+        }
+    }
+}
+
+/// `out[codes[row]] = values[row]` — inverts the encoding into a dictionary.
+fn scatter<T: Clone>(values: &[T], codes: &[u32], card: usize, fill: T) -> Vec<T> {
+    let mut out = vec![fill; card];
+    for (row, value) in values.iter().enumerate() {
+        out[codes[row] as usize] = value.clone();
+    }
+    out
+}
+
+/// The generic merge-and-remap step shared by all column types.
+fn grow_column<T: Clone>(
+    dict: &mut Vec<T>,
+    codes: &mut Vec<u32>,
+    batch: &[T],
+    cmp: impl Fn(&T, &T) -> Ordering,
+) -> bool {
+    // Unseen values, sorted and deduplicated.
+    let mut missing: Vec<T> = batch
+        .iter()
+        .filter(|v| dict.binary_search_by(|d| cmp(d, v)).is_err())
+        .cloned()
+        .collect();
+    missing.sort_by(&cmp);
+    missing.dedup_by(|a, b| cmp(a, b) == Ordering::Equal);
+    let tail_only = match (dict.last(), missing.first()) {
+        (Some(top), Some(low)) => cmp(top, low) == Ordering::Less,
+        _ => true,
+    };
+    let remapped = !missing.is_empty() && !tail_only;
+    if tail_only {
+        // Append-only streams (sequential keys, timestamps): every unseen
+        // value sorts above the current maximum, so existing codes stand and
+        // the dictionary just grows at the tail — O(Δ), no remap.
+        dict.extend(missing);
+    } else if remapped {
+        // Merge (old and missing are disjoint) and shift the live codes.
+        let old = std::mem::take(dict);
+        let mut remap = vec![0u32; old.len()];
+        let mut merged = Vec::with_capacity(old.len() + missing.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() || j < missing.len() {
+            let take_old = j >= missing.len()
+                || (i < old.len() && cmp(&old[i], &missing[j]) == Ordering::Less);
+            if take_old {
+                remap[i] = merged.len() as u32;
+                merged.push(old[i].clone());
+                i += 1;
+            } else {
+                merged.push(missing[j].clone());
+                j += 1;
+            }
+        }
+        for c in codes.iter_mut() {
+            *c = remap[*c as usize];
+        }
+        *dict = merged;
+    }
+    for v in batch {
+        let code = dict
+            .binary_search_by(|d| cmp(d, v))
+            .expect("batch value present after dictionary merge");
+        codes.push(code as u32);
+    }
+    remapped
+}
+
+/// Outcome of one [`GrowableRelation::extend`] call.
+#[derive(Clone, Debug)]
+pub struct AppendReport {
+    /// Row count before the batch.
+    pub old_n_rows: usize,
+    /// Rows appended by the batch.
+    pub appended: usize,
+    /// Per attribute: whether existing codes were shifted because the batch
+    /// introduced values between (or below) already-seen ones. Class
+    /// structure and relative order are preserved either way; sorted
+    /// partitions `τ_A` must be rebuilt regardless (new rows joined).
+    pub remapped: Vec<bool>,
+}
+
+/// An [`EncodedRelation`] that accepts appended tuple batches while keeping
+/// the canonical dense-rank encoding — see the module docs for the scheme.
+///
+/// Raw history is *not* retained (only the dictionaries are), so memory is
+/// O(n) codes + O(Σ cardinality) dictionary entries.
+///
+/// ```
+/// use fastod_relation::{GrowableRelation, RelationBuilder};
+/// let base = RelationBuilder::new().column_i64("x", vec![10, 30]).build().unwrap();
+/// let mut grow = GrowableRelation::new(&base);
+/// let batch = RelationBuilder::new().column_i64("x", vec![20]).build().unwrap();
+/// grow.extend(&batch).unwrap();
+/// // Codes are exactly those of encoding [10, 30, 20] from scratch.
+/// assert_eq!(grow.encoded().codes(0), &[0, 2, 1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GrowableRelation {
+    schema: Schema,
+    dicts: Vec<Dict>,
+    enc: EncodedRelation,
+}
+
+impl GrowableRelation {
+    /// Encodes `rel` and derives the per-column dictionaries.
+    pub fn new(rel: &Relation) -> GrowableRelation {
+        let enc = rel.encode();
+        let dicts = (0..rel.n_attrs())
+            .map(|a| Dict::build(rel.column(a), enc.codes(a), enc.cardinality(a)))
+            .collect();
+        GrowableRelation {
+            schema: rel.schema().clone(),
+            dicts,
+            enc,
+        }
+    }
+
+    /// The schema shared by every accepted batch.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Current row count.
+    pub fn n_rows(&self) -> usize {
+        self.enc.n_rows()
+    }
+
+    /// The encoded relation over everything appended so far. Canonical: equal
+    /// to freshly encoding the concatenation of all batches.
+    pub fn encoded(&self) -> &EncodedRelation {
+        &self.enc
+    }
+
+    /// Appends a batch, growing dictionaries and codes in place.
+    ///
+    /// # Errors
+    /// [`RelationError::SchemaMismatch`] when the batch schema differs;
+    /// `self` is left unchanged in that case.
+    pub fn extend(&mut self, batch: &Relation) -> Result<AppendReport, RelationError> {
+        self.schema.ensure_matches(batch.schema())?;
+        let old_n_rows = self.enc.n_rows();
+        let mut remapped = Vec::with_capacity(self.dicts.len());
+        for (a, dict) in self.dicts.iter_mut().enumerate() {
+            remapped.push(dict.grow(batch.column(a), self.enc.codes_mut(a)));
+            self.enc.set_cardinality(a, dict.len() as u32);
+        }
+        self.enc.set_n_rows(old_n_rows + batch.n_rows());
+        Ok(AppendReport {
+            old_n_rows,
+            appended: batch.n_rows(),
+            remapped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelationBuilder;
+
+    fn rel(xs: Vec<i64>, ys: Vec<&str>) -> Relation {
+        RelationBuilder::new()
+            .column_i64("x", xs)
+            .column_str("y", ys)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_fresh_encoding_batch_by_batch() {
+        let base = rel(vec![30, 10, 30], vec!["b", "a", "b"]);
+        let mut grow = GrowableRelation::new(&base);
+        let mut concat = base.clone();
+        let batches = [
+            rel(vec![20, 10], vec!["c", "a"]), // 20 lands between 10 and 30
+            rel(vec![5], vec!["a"]),           // 5 lands below everything
+            rel(vec![30, 30], vec!["b", "d"]), // no new x values
+        ];
+        for batch in &batches {
+            let report = grow.extend(batch).unwrap();
+            concat.extend(batch).unwrap();
+            assert_eq!(report.appended, batch.n_rows());
+            let fresh = concat.encode();
+            for a in 0..concat.n_attrs() {
+                assert_eq!(grow.encoded().codes(a), fresh.codes(a), "attr {a}");
+                assert_eq!(grow.encoded().cardinality(a), fresh.cardinality(a));
+            }
+            assert_eq!(grow.n_rows(), concat.n_rows());
+        }
+    }
+
+    #[test]
+    fn remap_flags_track_dictionary_growth() {
+        let base = rel(vec![10, 20], vec!["a", "b"]);
+        let mut grow = GrowableRelation::new(&base);
+        // x gains 15 between 10 and 20 (remap); y repeats known values.
+        let r = grow.extend(&rel(vec![15], vec!["a"])).unwrap();
+        assert_eq!(r.remapped, vec![true, false]);
+        // 99 sorts above everything: the dictionary grows at the tail and no
+        // existing code moves — the append-only fast path, no remap.
+        let r = grow.extend(&rel(vec![99], vec!["b"])).unwrap();
+        assert_eq!(r.remapped, vec![false, false]);
+        assert_eq!(grow.encoded().cardinality(0), 4);
+        let r = grow.extend(&rel(vec![10], vec!["b"])).unwrap();
+        assert_eq!(r.remapped, vec![false, false]);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected_without_mutation() {
+        let mut grow = GrowableRelation::new(&rel(vec![1], vec!["a"]));
+        let wrong = RelationBuilder::new()
+            .column_i64("x", vec![2])
+            .column_i64("y", vec![3])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            grow.extend(&wrong),
+            Err(RelationError::SchemaMismatch { .. })
+        ));
+        assert_eq!(grow.n_rows(), 1);
+    }
+
+    #[test]
+    fn grows_from_empty() {
+        let empty = rel(vec![], vec![]);
+        let mut grow = GrowableRelation::new(&empty);
+        assert_eq!(grow.n_rows(), 0);
+        grow.extend(&rel(vec![7, 3], vec!["q", "p"])).unwrap();
+        assert_eq!(grow.encoded().codes(0), &[1, 0]);
+        assert_eq!(grow.encoded().codes(1), &[1, 0]);
+        assert_eq!(grow.encoded().cardinality(0), 2);
+    }
+
+    #[test]
+    fn float_and_date_columns_grow() {
+        let base = RelationBuilder::new()
+            .column_f64("f", vec![1.5, 0.5])
+            .column_date("d", vec![Date(10), Date(20)])
+            .build()
+            .unwrap();
+        let mut grow = GrowableRelation::new(&base);
+        let batch = RelationBuilder::new()
+            .column_f64("f", vec![1.0, 1.5])
+            .column_date("d", vec![Date(5), Date(20)])
+            .build()
+            .unwrap();
+        grow.extend(&batch).unwrap();
+        let mut concat = base.clone();
+        concat.extend(&batch).unwrap();
+        let fresh = concat.encode();
+        assert_eq!(grow.encoded().codes(0), fresh.codes(0));
+        assert_eq!(grow.encoded().codes(1), fresh.codes(1));
+    }
+}

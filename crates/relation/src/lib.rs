@@ -38,6 +38,7 @@ mod column;
 pub mod csv;
 mod encode;
 mod error;
+mod grow;
 mod relation;
 pub mod sample;
 mod schema;
@@ -50,6 +51,7 @@ pub use stats::{profile, ColumnProfile, RelationProfile};
 pub use column::{Column, ColumnData};
 pub use encode::EncodedRelation;
 pub use error::RelationError;
+pub use grow::{AppendReport, GrowableRelation};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::Schema;
 pub use value::{DataType, Date, Value};

@@ -115,6 +115,24 @@ impl Relation {
         self.select_rows(&rows)
     }
 
+    /// Appends every tuple of `batch` to this relation (streaming append).
+    ///
+    /// The batch must carry *exactly* this relation's schema — same attribute
+    /// names, order and types. Returns the new row count.
+    ///
+    /// # Errors
+    /// [`RelationError::SchemaMismatch`] when the schemas differ; `self` is
+    /// left unchanged in that case.
+    pub fn extend(&mut self, batch: &Relation) -> Result<usize, RelationError> {
+        self.schema.ensure_matches(batch.schema())?;
+        for (col, other) in self.columns.iter_mut().zip(&batch.columns) {
+            let ok = col.extend(other);
+            debug_assert!(ok, "schema equality implies matching column types");
+        }
+        self.n_rows += batch.n_rows();
+        Ok(self.n_rows)
+    }
+
     /// Rank-encodes every column (paper §4.6), producing the integer-coded
     /// relation all validation runs on.
     pub fn encode(&self) -> EncodedRelation {
@@ -239,6 +257,40 @@ mod tests {
         assert_eq!(s.value(1, 0), Value::Int(3));
         assert_eq!(r.head(2).n_rows(), 2);
         assert_eq!(r.head(10).n_rows(), 3);
+    }
+
+    #[test]
+    fn extend_appends_rows() {
+        let mut r = sample();
+        let batch = RelationBuilder::new()
+            .column_i64("a", vec![9])
+            .column_str("b", vec!["z"])
+            .build()
+            .unwrap();
+        assert_eq!(r.extend(&batch).unwrap(), 4);
+        assert_eq!(r.n_rows(), 4);
+        assert_eq!(r.value(3, 0), Value::Int(9));
+        assert_eq!(r.value(3, 1), Value::Str("z".into()));
+        // Extending by an empty batch is a no-op.
+        let empty = RelationBuilder::new()
+            .column_i64("a", vec![])
+            .column_str("b", Vec::<String>::new())
+            .build()
+            .unwrap();
+        assert_eq!(r.extend(&empty).unwrap(), 4);
+    }
+
+    #[test]
+    fn extend_rejects_schema_mismatch() {
+        let mut r = sample();
+        let wrong = RelationBuilder::new()
+            .column_i64("a", vec![1])
+            .column_i64("b", vec![2]) // b is a string column in `sample`
+            .build()
+            .unwrap();
+        let err = r.extend(&wrong).unwrap_err();
+        assert!(matches!(err, RelationError::SchemaMismatch { .. }));
+        assert_eq!(r.n_rows(), 3, "failed extend must not mutate");
     }
 
     #[test]

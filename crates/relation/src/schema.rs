@@ -69,6 +69,22 @@ impl Schema {
             .map(|(i, (n, &t))| (i, n.as_str(), t))
     }
 
+    /// Checks that `other` is exactly this schema (names, order, types) —
+    /// the precondition for appending rows across relations.
+    ///
+    /// # Errors
+    /// [`RelationError::SchemaMismatch`] describing both schemas otherwise.
+    pub fn ensure_matches(&self, other: &Schema) -> Result<(), RelationError> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(RelationError::SchemaMismatch {
+                expected: self.to_string(),
+                found: other.to_string(),
+            })
+        }
+    }
+
     /// Builds the sub-schema for the given attributes (in ascending id
     /// order), as used when projecting a relation.
     pub fn project(&self, attrs: AttrSet) -> Schema {

@@ -9,13 +9,22 @@
 //!
 //! Complexity is exponential in attributes and quadratic in rows; intended
 //! for instances with ≤ [`MAX_ORACLE_ATTRS`] attributes and a few dozen rows.
+//!
+//! Context classes are **memoized over the subset lattice**: `Π_X` for every
+//! context `X` is derived by refining `Π_{X \ {a}}` (with `a` the smallest
+//! attribute of `X`) against `a`'s codes, so the `2^n` contexts cost
+//! `O(2^n · n_rows)` id assignments instead of `2^n` independent
+//! `O(n · n_rows)` tuple-key groupings — which is what lets the oracle reach
+//! 6 attributes while staying a pile of direct code comparisons. The OD
+//! checks themselves stay deliberately naive (per-class pair scans).
 
 use fastod_relation::{AttrId, AttrSet, EncodedRelation};
 use fastod_theory::{CanonicalOd, OdSet};
+use std::collections::HashMap;
 
 /// Largest schema the oracle accepts; beyond this the 2^n context sweep and
 /// O(n²) pair scans stop being "obviously correct by inspection *and* fast".
-pub const MAX_ORACLE_ATTRS: usize = 4;
+pub const MAX_ORACLE_ATTRS: usize = 6;
 
 /// Ground truth for one instance: every valid non-trivial canonical OD, and
 /// the unique minimal subset of it from which all the rest follow.
@@ -28,16 +37,37 @@ pub struct OracleReport {
     pub minimal: Vec<CanonicalOd>,
 }
 
-/// Groups row indices into context equivalence classes by direct comparison
-/// of the context's code tuples (no partitions involved).
-fn context_classes(enc: &EncodedRelation, ctx_mask: u64) -> Vec<Vec<usize>> {
-    let attrs: Vec<AttrId> = (0..enc.n_attrs()).filter(|a| ctx_mask >> a & 1 == 1).collect();
-    let mut classes: std::collections::BTreeMap<Vec<u32>, Vec<usize>> = Default::default();
-    for row in 0..enc.n_rows() {
-        let key: Vec<u32> = attrs.iter().map(|&a| enc.code(row, a)).collect();
-        classes.entry(key).or_default().push(row);
+/// Context equivalence classes for *every* context mask at once, memoized
+/// bottom-up over the subset lattice: each context's per-row class ids come
+/// from refining its smallest-attribute-removed parent by one code column.
+/// Only direct code comparisons are involved — no partition machinery.
+fn all_context_classes(enc: &EncodedRelation) -> HashMap<u64, Vec<Vec<usize>>> {
+    let n = enc.n_attrs();
+    let n_rows = enc.n_rows();
+    let mut ids: HashMap<u64, Vec<u32>> = HashMap::with_capacity(1 << n);
+    ids.insert(0, vec![0; n_rows]);
+    for ctx_mask in 1u64..(1 << n) {
+        let a = ctx_mask.trailing_zeros() as AttrId;
+        let parent = &ids[&(ctx_mask & (ctx_mask - 1))];
+        let mut fresh: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut out = Vec::with_capacity(n_rows);
+        for (row, &parent_id) in parent.iter().enumerate() {
+            let key = (parent_id, enc.code(row, a));
+            let next = fresh.len() as u32;
+            out.push(*fresh.entry(key).or_insert(next));
+        }
+        ids.insert(ctx_mask, out);
     }
-    classes.into_values().collect()
+    ids.into_iter()
+        .map(|(ctx_mask, ids)| {
+            let k = ids.iter().max().map_or(0, |&m| m as usize + 1);
+            let mut classes = vec![Vec::new(); k];
+            for (row, &id) in ids.iter().enumerate() {
+                classes[id as usize].push(row);
+            }
+            (ctx_mask, classes)
+        })
+        .collect()
 }
 
 /// `ctx: [] ↦ rhs` by definition: within every context class, all `rhs`
@@ -78,17 +108,18 @@ pub fn oracle_valid_ods(enc: &EncodedRelation) -> Vec<CanonicalOd> {
         "brute-force oracle is limited to {MAX_ORACLE_ATTRS} attributes, got {n}"
     );
     let mut out = Vec::new();
+    let memo = all_context_classes(enc);
     for ctx_mask in 0u64..(1 << n) {
-        let classes = context_classes(enc, ctx_mask);
+        let classes = &memo[&ctx_mask];
         let ctx = AttrSet::from_bits(ctx_mask);
         for a in 0..n {
             let od = CanonicalOd::constancy(ctx, a);
-            if !od.is_trivial() && constancy_holds(enc, &classes, a) {
+            if !od.is_trivial() && constancy_holds(enc, classes, a) {
                 out.push(od);
             }
             for b in (a + 1)..n {
                 let od = CanonicalOd::order_compat(ctx, a, b);
-                if !od.is_trivial() && order_compat_holds(enc, &classes, a, b) {
+                if !od.is_trivial() && order_compat_holds(enc, classes, a, b) {
                     out.push(od);
                 }
             }
@@ -230,7 +261,58 @@ mod tests {
             ("c", vec![1]),
             ("d", vec![1]),
             ("e", vec![1]),
+            ("f", vec![1]),
+            ("g", vec![1]),
         ]);
         assert!(std::panic::catch_unwind(move || oracle_valid_ods(&e)).is_err());
+    }
+
+    #[test]
+    fn memoized_classes_match_direct_grouping() {
+        // 6-attribute instance: the lattice-refined classes must equal the
+        // classes from independent tuple-key grouping on every context.
+        let e = enc_of(vec![
+            ("a", vec![0, 0, 1, 1, 2, 0, 1]),
+            ("b", vec![1, 1, 0, 0, 1, 0, 1]),
+            ("c", vec![0, 1, 0, 1, 0, 1, 0]),
+            ("d", vec![2, 2, 2, 0, 0, 0, 1]),
+            ("e", vec![0, 0, 0, 0, 0, 0, 0]),
+            ("f", vec![3, 1, 4, 1, 5, 9, 2]),
+        ]);
+        let memo = all_context_classes(&e);
+        for ctx_mask in 0u64..(1 << 6) {
+            let attrs: Vec<usize> = (0..6).filter(|a| ctx_mask >> a & 1 == 1).collect();
+            let mut direct: std::collections::BTreeMap<Vec<u32>, Vec<usize>> = Default::default();
+            for row in 0..e.n_rows() {
+                let key: Vec<u32> = attrs.iter().map(|&a| e.code(row, a)).collect();
+                direct.entry(key).or_default().push(row);
+            }
+            let mut expected: Vec<Vec<usize>> = direct.into_values().collect();
+            expected.sort();
+            let mut got = memo[&ctx_mask].clone();
+            got.sort();
+            assert_eq!(got, expected, "context {ctx_mask:#b}");
+        }
+    }
+
+    #[test]
+    fn six_attribute_cover_is_sound() {
+        let e = enc_of(vec![
+            ("k", vec![0, 1, 2, 3, 4, 5]),
+            ("m", vec![0, 0, 1, 1, 2, 2]),
+            ("c", vec![7, 7, 7, 7, 7, 7]),
+            ("x", vec![1, 0, 1, 0, 1, 0]),
+            ("y", vec![2, 2, 0, 0, 1, 1]),
+            ("z", vec![5, 4, 5, 4, 3, 3]),
+        ]);
+        let report = oracle_minimal_cover(&e);
+        // Constant column at the root; monotone pair k ~ m.
+        assert!(report.minimal.contains(&CanonicalOd::constancy(AttrSet::EMPTY, 2)));
+        assert!(report.minimal.contains(&CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1)));
+        // Every minimal OD is valid and non-trivial.
+        for od in &report.minimal {
+            assert!(report.valid.contains(od));
+            assert!(!od.is_trivial());
+        }
     }
 }

@@ -12,6 +12,8 @@
 //! * [`theory`] — list/canonical ODs, axioms, mapping, violations;
 //! * [`discovery`] — the FASTOD algorithm (plus no-pruning and approximate
 //!   variants);
+//! * [`incremental`] — streaming maintenance of the discovered cover under
+//!   appended tuple batches;
 //! * [`baselines`] — the ORDER and TANE comparators;
 //! * [`datagen`] — synthetic dataset generators for the paper's workloads.
 //!
@@ -36,6 +38,7 @@
 pub use fastod as discovery;
 pub use fastod_baselines as baselines;
 pub use fastod_datagen as datagen;
+pub use fastod_incremental as incremental;
 pub use fastod_partition as partition;
 pub use fastod_relation as relation;
 pub use fastod_theory as theory;
@@ -43,8 +46,10 @@ pub use fastod_theory as theory;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use fastod::{DiscoveryConfig, DiscoveryResult, Fastod};
+    pub use fastod_incremental::{BatchReport, IncrementalDiscovery};
     pub use fastod_relation::{
-        AttrId, AttrSet, DataType, EncodedRelation, Relation, RelationBuilder, Schema, Value,
+        AttrId, AttrSet, DataType, EncodedRelation, GrowableRelation, Relation, RelationBuilder,
+        Schema, Value,
     };
     pub use fastod_theory::{CanonicalOd, OdSet};
 }

@@ -1,0 +1,114 @@
+//! The incremental engine's central contract: after **every** appended
+//! batch, `IncrementalDiscovery::cover` is set-exactly what a fresh
+//! `Fastod::discover` returns on the concatenated relation — and therefore,
+//! through `tests/oracle_theorem8.rs`, exactly the minimal cover of all
+//! valid canonical ODs (Theorem 8 keeps holding under streaming appends).
+//!
+//! The oracle cross-check here is deliberately redundant with transitivity:
+//! it pins the incremental cover against a partition-free ground truth, so a
+//! bug that somehow slipped into *both* traversal paths would still be
+//! caught.
+
+use fastod_suite::prelude::*;
+use fastod_testkit::oracle_minimal_cover;
+use proptest::prelude::*;
+
+fn assert_cover_matches(engine: &IncrementalDiscovery, concat: &Relation, batch_no: usize) {
+    let enc = concat.encode();
+    let fresh = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+    assert_eq!(
+        engine.cover().sorted(),
+        fresh.ods.sorted(),
+        "incremental != from-scratch after batch {batch_no} ({} rows)",
+        concat.n_rows()
+    );
+    // Oracle ground truth wherever the schema fits it.
+    if concat.n_attrs() <= fastod_testkit::oracle::MAX_ORACLE_ATTRS {
+        let report = oracle_minimal_cover(&enc);
+        assert!(
+            report.matches(engine.cover()),
+            "incremental != oracle after batch {batch_no}:\n{}",
+            report.diff(engine.cover())
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized schemas (≤ 6 attrs), 10 appended batches each, cover
+    /// checked after every batch against both from-scratch discovery and
+    /// the brute-force oracle.
+    #[test]
+    fn cover_tracks_appends(
+        n_attrs in 1usize..=6,
+        base_rows in 0usize..=10,
+        max_card in 1u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let base = fastod_suite::datagen::random_relation(base_rows, n_attrs, max_card, seed);
+        let mut engine = IncrementalDiscovery::new(&base);
+        let mut concat = base.clone();
+        for b in 0..10u64 {
+            let batch = fastod_suite::datagen::random_relation(
+                1 + (b as usize % 3),
+                n_attrs,
+                max_card,
+                seed ^ (0xB000 + b),
+            );
+            engine.push_batch(&batch).unwrap();
+            concat.extend(&batch).unwrap();
+            assert_cover_matches(&engine, &concat, b as usize + 1);
+        }
+    }
+}
+
+/// A deterministic wider run (8 attributes — beyond the oracle, still cheap
+/// for from-scratch cross-checking) over 12 batches of structured data.
+#[test]
+fn structured_stream_stays_equivalent() {
+    let base = fastod_suite::datagen::flight_like(60, 8, 0xF00D);
+    let mut engine = IncrementalDiscovery::new(&base);
+    let mut concat = base.clone();
+    for b in 0..12u64 {
+        // Fresh slices of the same generator family: realistic appends that
+        // share dictionaries with history but keep introducing new values.
+        let batch = fastod_suite::datagen::flight_like(10, 8, 0x1000 + b);
+        engine.push_batch(&batch).unwrap();
+        concat.extend(&batch).unwrap();
+        assert_cover_matches(&engine, &concat, b as usize + 1);
+    }
+    // The engine did find real reuse along the way.
+    let totals = &engine.stats().totals;
+    assert!(totals.skipped_false > 0, "{totals:?}");
+    assert!(totals.nodes_reused + totals.skipped_clean > 0, "{totals:?}");
+}
+
+/// Batches that monotonically extend every column (the time-series shape:
+/// fresh keys, fresh timestamps) must keep monotone ODs alive and the cover
+/// equivalent throughout.
+#[test]
+fn monotone_append_only_stream() {
+    fn chunk(from: i64, n: i64) -> Relation {
+        RelationBuilder::new()
+            .column_i64("seq", (from..from + n).collect())
+            .column_i64("band", (from..from + n).map(|i| i / 4).collect())
+            .column_i64("cat", (from..from + n).map(|i| i % 3).collect())
+            .build()
+            .unwrap()
+    }
+    let base = chunk(0, 20);
+    let mut engine = IncrementalDiscovery::new(&base);
+    let mut concat = base.clone();
+    let target = CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1);
+    assert!(engine.cover().contains(&target));
+    for b in 0..10 {
+        let batch = chunk(20 + b * 5, 5);
+        let report = engine.push_batch(&batch).unwrap();
+        concat.extend(&batch).unwrap();
+        assert!(report.retired.is_empty(), "batch {b}: {:?}", report.retired);
+        assert_cover_matches(&engine, &concat, b as usize + 1);
+    }
+    assert!(engine.cover().contains(&target));
+    assert_eq!(engine.n_rows(), 70);
+}

@@ -12,10 +12,21 @@ use fastod_suite::prelude::*;
 use fastod_testkit::{oracle_minimal_cover, oracle_valid_ods};
 use proptest::prelude::*;
 
-/// Oracle-sized instances: ≤ 4 attributes, ≤ 20 rows, low cardinality so
-/// dependencies actually occur.
+/// Oracle-sized instances: ≤ 6 attributes (the memoized-refinement oracle's
+/// cap), ≤ 18 rows, low cardinality so dependencies actually occur. The
+/// 5–6-attribute band is where candidate-set pruning interacts non-trivially
+/// across three lattice levels, which 4-attribute schemas never exercise.
 fn arb_small_relation() -> impl Strategy<Value = EncodedRelation> {
-    (1usize..=4, 0usize..=20, 1u32..=4, any::<u64>()).prop_map(
+    (1usize..=6, 0usize..=18, 1u32..=4, any::<u64>()).prop_map(
+        |(n_attrs, n_rows, max_card, seed)| {
+            fastod_suite::datagen::random_relation(n_rows, n_attrs, max_card, seed).encode()
+        },
+    )
+}
+
+/// Wide-band instances only: every case has 5 or 6 attributes.
+fn arb_wide_relation() -> impl Strategy<Value = EncodedRelation> {
+    (5usize..=6, 4usize..=16, 1u32..=3, any::<u64>()).prop_map(
         |(n_attrs, n_rows, max_card, seed)| {
             fastod_suite::datagen::random_relation(n_rows, n_attrs, max_card, seed).encode()
         },
@@ -51,6 +62,22 @@ proptest! {
         prop_assert_eq!(from_oracle, from_theory);
     }
 
+    /// Theorem 8 on the 5–6-attribute band specifically (the ROADMAP's
+    /// "larger-schema oracle" item): set-exact equality again, but every
+    /// case exercises the deeper lattice.
+    #[test]
+    fn fastod_equals_oracle_on_wide_schemas(enc in arb_wide_relation()) {
+        let report = oracle_minimal_cover(&enc);
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        prop_assert!(
+            report.matches(&result.ods),
+            "FASTOD != oracle minimal cover on {} attrs x {} rows:\n{}",
+            enc.n_attrs(),
+            enc.n_rows(),
+            report.diff(&result.ods)
+        );
+    }
+
     /// Every OD the oracle calls minimal is non-trivial and valid; nothing
     /// in the minimal cover is implied by the rest of it.
     #[test]
@@ -78,14 +105,14 @@ proptest! {
 }
 
 /// The oracle pipeline on the paper's employee relation (Table 1): the
-/// discovered set matches the cover exactly, deterministically.
+/// discovered set matches the cover exactly, deterministically — now on a
+/// 6-attribute projection carrying the paper's headline dependencies.
 #[test]
 fn employee_table_matches_oracle() {
-    // Table 1 has 9 attributes; project onto 4 so the oracle can take it,
-    // keeping posit/bin/sal which carry the paper's headline dependencies.
     let rel = fastod_suite::datagen::employee_table();
     let enc = rel.encode();
-    let keep = AttrSet::from_iter([1usize, 2, 3, 4]); // yr, posit, bin, sal
+    // yr, posit, bin, sal, perc, tax — the salary/tax core of Table 1.
+    let keep = AttrSet::from_iter([1usize, 2, 3, 4, 5, 6]);
     let proj = enc.project(keep);
     let report = oracle_minimal_cover(&proj);
     let result = Fastod::new(DiscoveryConfig::default()).discover(&proj);
