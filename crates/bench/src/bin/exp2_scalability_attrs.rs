@@ -9,15 +9,18 @@
 //! attributes (the paper's "* 5h"), while finishing instantly on
 //! swap-dense hepatitis/ncvoter by finding (almost) nothing.
 
-use fastod::{DiscoveryConfig, Fastod};
 use fastod_baselines::{Order, OrderConfig, Tane, TaneConfig};
-use fastod_bench::{budget_from_env, run_budgeted, table::Table, write_csv, Scale};
+use fastod_bench::{
+    budget_from_env, fastod_thread_sweep, run_budgeted, sweep_speedup, table::Table,
+    thread_sweep_from_env, write_csv, Scale,
+};
 use fastod_datagen::{dbtesma_like, flight_like, hepatitis_like, ncvoter_like};
 use fastod_relation::Relation;
 
 fn main() {
     let scale = Scale::from_env();
     let budget = budget_from_env();
+    let threads_sweep = thread_sweep_from_env();
     let rows = scale.pick(300, 1_000, 1_000);
     type Gen = Box<dyn Fn(usize, usize) -> Relation>;
     let datasets: Vec<(&str, usize, Vec<usize>, Gen)> = vec![
@@ -47,34 +50,63 @@ fn main() {
         ),
     ];
 
-    println!("== Exp-2 (Figure 5): scalability in |R| — {rows} rows, budget {budget:?} ==\n");
+    println!(
+        "== Exp-2 (Figure 5): scalability in |R| — {rows} rows, budget {budget:?}, \
+         threads {threads_sweep:?} ==\n"
+    );
+    let mut header = vec!["dataset".to_string(), "|R|".to_string(), "TANE".to_string()];
+    for &t in &threads_sweep {
+        header.push(format!("FASTOD t={t}"));
+    }
+    header.extend([
+        "val speedup".to_string(),
+        "ORDER".to_string(),
+        "FASTOD #ODs (#FDs + #OCDs)".to_string(),
+        "ORDER #ODs".to_string(),
+    ]);
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for (name, n_rows, attr_sweep, gen) in datasets {
-        let mut table = Table::new(&[
-            "dataset", "|R|", "TANE", "FASTOD", "ORDER",
-            "FASTOD #ODs (#FDs + #OCDs)", "ORDER #ODs",
-        ]);
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
         for n_attrs in attr_sweep {
             let enc = gen(n_rows, n_attrs).encode();
             let tane = run_budgeted(budget, |t| {
                 Tane::new(TaneConfig { cancel: t, ..Default::default() }).try_discover(&enc)
             });
-            let fast = run_budgeted(budget, |t| {
-                Fastod::new(DiscoveryConfig::default().with_cancel(t)).try_discover(&enc)
-            });
             let order = run_budgeted(budget, |t| {
                 Order::new(OrderConfig { cancel: t, ..Default::default() }).try_discover(&enc)
             });
-            let row = vec![
-                name.to_string(),
-                n_attrs.to_string(),
-                tane.time_str(),
-                fast.time_str(),
+            let runs = fastod_thread_sweep(
+                &enc,
+                &threads_sweep,
+                budget,
+                &format!("{name} |R|={n_attrs}"),
+            );
+            let fast_summary = runs
+                .iter()
+                .rev()
+                .find(|r| r.summary != "—")
+                .map_or("—".to_string(), |r| r.summary.clone());
+            for run in &runs {
+                csv_rows.push(vec![
+                    name.to_string(),
+                    n_attrs.to_string(),
+                    run.threads.to_string(),
+                    tane.time_str(),
+                    run.time_str.clone(),
+                    order.time_str(),
+                    run.summary.clone(),
+                    order.annotate(|r| r.summary()),
+                ]);
+            }
+            let mut row = vec![name.to_string(), n_attrs.to_string(), tane.time_str()];
+            row.extend(runs.iter().map(|r| r.time_str.clone()));
+            row.extend([
+                sweep_speedup(&runs),
                 order.time_str(),
-                fast.annotate(|r| r.summary()),
+                fast_summary,
                 order.annotate(|r| r.summary()),
-            ];
-            csv_rows.push(row.clone());
+            ]);
             table.row(row);
         }
         table.print();
@@ -82,7 +114,10 @@ fn main() {
     }
     write_csv(
         "exp2_scalability_attrs",
-        &["dataset", "attrs", "tane_time", "fastod_time", "order_time", "fastod_ods", "order_ods"],
+        &[
+            "dataset", "attrs", "threads", "tane_time", "fastod_time", "order_time",
+            "fastod_ods", "order_ods",
+        ],
         &csv_rows,
     );
     println!("(CSV written to results/exp2_scalability_attrs.csv)");

@@ -13,7 +13,8 @@
 //!   5 hours). Runs exceeding it are reported as `*TIMEOUT`, mirroring the
 //!   paper's "* 5h" markers.
 
-use fastod::{CancelToken, Cancelled};
+use fastod::{CancelToken, Cancelled, DiscoveryConfig, Fastod};
+use fastod_relation::EncodedRelation;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -124,6 +125,100 @@ impl Scale {
     }
 }
 
+/// Thread counts for the FASTOD threads columns of `exp1`/`exp2`, read from
+/// `FASTOD_THREADS` (comma-separated, e.g. `1,2,4,8`; default `1,2,4`).
+/// `1` is always included (and listed first) so the speedup baseline exists.
+pub fn thread_sweep_from_env() -> Vec<usize> {
+    let mut sweep: Vec<usize> = std::env::var("FASTOD_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                // `0` (auto-detect) would sort before the `t=1` baseline and
+                // corrupt the speedup column; require explicit counts here.
+                .filter(|&t: &usize| t >= 1)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    if !sweep.contains(&1) {
+        sweep.push(1);
+    }
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+/// `t1 / tN` as a table cell (e.g. `2.1x`), or a dash when either run timed
+/// out or the denominator is ~zero.
+pub fn speedup_str(baseline: Option<Duration>, contender: Option<Duration>) -> String {
+    match (baseline, contender) {
+        (Some(b), Some(c)) if c.as_secs_f64() > 1e-9 => {
+            format!("{:.2}x", b.as_secs_f64() / c.as_secs_f64())
+        }
+        _ => "—".to_string(),
+    }
+}
+
+/// One budgeted FASTOD run of a threads sweep (see [`fastod_thread_sweep`]).
+pub struct ThreadRun {
+    /// The worker-thread count of this run.
+    pub threads: usize,
+    /// Rendered total running time (timeouts render `*>budget`).
+    pub time_str: String,
+    /// Validation-phase wall clock, when the run completed.
+    pub val_time: Option<Duration>,
+    /// This run's own `#ODs (#FDs + #OCDs)` summary, `—` on timeout.
+    pub summary: String,
+}
+
+/// Runs FASTOD once per thread count in `sweep` under `budget`, returning
+/// per-run timings and summaries. Completed runs are cross-checked for a
+/// **set-identical cover** (panicking with `label` on divergence — the
+/// executor's determinism contract, re-asserted on real workloads); the
+/// validation-phase times of the first and last completed entries feed
+/// [`speedup_str`].
+pub fn fastod_thread_sweep(
+    enc: &EncodedRelation,
+    sweep: &[usize],
+    budget: Duration,
+    label: &str,
+) -> Vec<ThreadRun> {
+    let mut runs = Vec::with_capacity(sweep.len());
+    let mut reference_cover: Option<Vec<fastod_theory::CanonicalOd>> = None;
+    for &threads in sweep {
+        let outcome = run_budgeted(budget, |t| {
+            Fastod::new(DiscoveryConfig::default().with_cancel(t).with_threads(threads))
+                .try_discover(enc)
+        });
+        let mut summary = "—".to_string();
+        if let Some(r) = outcome.value() {
+            summary = r.summary();
+            let cover = r.ods.sorted();
+            if let Some(reference) = &reference_cover {
+                assert_eq!(reference, &cover, "cover diverged across thread counts on {label}");
+            } else {
+                reference_cover = Some(cover);
+            }
+        }
+        runs.push(ThreadRun {
+            threads,
+            time_str: outcome.time_str(),
+            val_time: outcome.value().map(|r| r.stats.validation_time()),
+            summary,
+        });
+    }
+    runs
+}
+
+/// The `t=1` → `t=max` validation-phase speedup cell for a sweep's runs.
+pub fn sweep_speedup(runs: &[ThreadRun]) -> String {
+    speedup_str(
+        runs.first().and_then(|r| r.val_time),
+        runs.last().and_then(|r| r.val_time),
+    )
+}
+
 /// Per-run time budget from `FASTOD_BUDGET_SECS` (default 60 s).
 pub fn budget_from_env() -> Duration {
     let secs = std::env::var("FASTOD_BUDGET_SECS")
@@ -190,5 +285,23 @@ mod tests {
         assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
         assert_eq!(Scale::Default.pick(1, 2, 3), 2);
         assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn thread_sweep_always_has_baseline() {
+        let sweep = thread_sweep_from_env();
+        assert!(sweep.contains(&1));
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        let s = speedup_str(
+            Some(Duration::from_millis(400)),
+            Some(Duration::from_millis(200)),
+        );
+        assert_eq!(s, "2.00x");
+        assert_eq!(speedup_str(None, Some(Duration::from_millis(1))), "—");
+        assert_eq!(speedup_str(Some(Duration::from_millis(1)), None), "—");
     }
 }

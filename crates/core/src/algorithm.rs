@@ -2,7 +2,8 @@
 //! driver also used by the approximate variant.
 
 use crate::config::DiscoveryConfig;
-use crate::lattice::{build_level0, build_level1, calculate_next_level, Level};
+use crate::lattice::{build_level0, build_level1, calculate_next_level_parallel, Level};
+use crate::parallel::Executor;
 use crate::result::DiscoveryResult;
 use crate::snapshot::{compute_candidate_sets, prune_level, validate_level};
 use crate::stats::{DiscoveryStats, LevelStats};
@@ -21,6 +22,9 @@ pub(crate) struct DriverOptions {
     /// line 14). Exact discovery enables it; the approximate variant
     /// disables it because Strengthen does not hold under error budgets.
     pub lemma5_removals: bool,
+    /// Worker threads for validation and partition products (see
+    /// [`crate::DiscoveryConfig::threads`]).
+    pub threads: usize,
 }
 
 /// The exact FASTOD discovery algorithm (Algorithm 1).
@@ -41,6 +45,24 @@ impl Fastod {
 
     /// Runs discovery; panics only if the configured token cancels
     /// (use [`Fastod::try_discover`] with deadline tokens).
+    ///
+    /// ```
+    /// use fastod::{DiscoveryConfig, Fastod};
+    /// use fastod_relation::RelationBuilder;
+    ///
+    /// let enc = RelationBuilder::new()
+    ///     .column_i64("week", vec![1, 1, 2, 2])
+    ///     .column_i64("month", vec![1, 1, 1, 1])
+    ///     .build()
+    ///     .unwrap()
+    ///     .encode();
+    /// let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+    /// // `month` is constant: the cover contains {}: [] ↦ month.
+    /// assert!(result.ods.iter().any(|od| od.is_constancy()));
+    /// // Thread count never changes the cover, only the wall-clock.
+    /// let par = Fastod::new(DiscoveryConfig::default().with_threads(4)).discover(&enc);
+    /// assert_eq!(par.ods.sorted(), result.ods.sorted());
+    /// ```
     pub fn discover(&self, enc: &EncodedRelation) -> DiscoveryResult {
         self.try_discover(enc)
             .expect("discovery cancelled; use try_discover with cancellation tokens")
@@ -53,6 +75,7 @@ impl Fastod {
             max_level: self.config.max_level,
             cancel: self.config.cancel.clone(),
             lemma5_removals: true,
+            threads: self.config.threads,
         };
         run_lattice(enc, &mut validator, &opts)
     }
@@ -68,7 +91,9 @@ pub(crate) fn run_lattice<J: OdJudge>(
     let n_attrs = enc.n_attrs();
     let mut m = OdSet::new();
     let mut stats = DiscoveryStats::default();
-    let mut scratch = ProductScratch::new();
+    let exec = Executor::new(opts.threads);
+    // One product arena per worker, reused across every lattice level.
+    let mut product_pool: Vec<ProductScratch> = Vec::new();
 
     if n_attrs == 0 {
         stats.total_time = start.elapsed();
@@ -89,6 +114,7 @@ pub(crate) fn run_lattice<J: OdJudge>(
             ..Default::default()
         };
         compute_candidate_sets(l, &mut current, &prev, n_attrs);
+        let validate_start = Instant::now();
         validate_level(
             l,
             &mut current,
@@ -98,15 +124,25 @@ pub(crate) fn run_lattice<J: OdJudge>(
             &mut m,
             &mut lstats,
             opts.lemma5_removals,
+            &exec,
             &opts.cancel,
         )?;
+        lstats.validate_time = validate_start.elapsed();
         prune_level(l, &mut current, &mut lstats);
         let reached_cap = opts.max_level.is_some_and(|cap| l >= cap);
+        let generate_start = Instant::now();
         let next = if reached_cap {
             Level::new()
         } else {
-            calculate_next_level(&current, n_attrs, &mut scratch, &opts.cancel)?
+            calculate_next_level_parallel(
+                &current,
+                n_attrs,
+                &exec,
+                &mut product_pool,
+                &opts.cancel,
+            )?
         };
+        lstats.generate_time = generate_start.elapsed();
         lstats.time = level_start.elapsed();
         stats.levels.push(lstats);
         prev_prev = std::mem::take(&mut prev);

@@ -29,6 +29,8 @@ pub struct ApproxConfig {
     pub max_level: Option<usize>,
     /// Cancellation token.
     pub cancel: CancelToken,
+    /// Worker threads (see [`crate::DiscoveryConfig::threads`]).
+    pub threads: usize,
 }
 
 impl ApproxConfig {
@@ -39,6 +41,7 @@ impl ApproxConfig {
             epsilon,
             max_level: None,
             cancel: CancelToken::never(),
+            threads: 1,
         }
     }
 
@@ -51,6 +54,12 @@ impl ApproxConfig {
     /// Sets a cancellation token.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -80,6 +89,7 @@ impl ApproxFastod {
             max_level: self.config.max_level,
             cancel: self.config.cancel.clone(),
             lemma5_removals: false,
+            threads: self.config.threads,
         };
         run_lattice(enc, &mut validator, &opts)
     }

@@ -16,7 +16,17 @@ pub enum FdCheckMode {
 }
 
 /// Configuration for [`crate::Fastod`].
-#[derive(Clone, Default)]
+///
+/// ```
+/// use fastod::{DiscoveryConfig, FdCheckMode};
+///
+/// let cfg = DiscoveryConfig::new()
+///     .with_threads(4)            // shard validations over 4 workers
+///     .with_max_level(5)          // stop after contexts of size 4
+///     .with_fd_check(FdCheckMode::Scan);
+/// assert_eq!(cfg.threads, 4);
+/// ```
+#[derive(Clone)]
 pub struct DiscoveryConfig {
     /// Stop after this lattice level (context size + 1); `None` = unbounded.
     pub max_level: Option<usize>,
@@ -24,11 +34,28 @@ pub struct DiscoveryConfig {
     pub cancel: CancelToken,
     /// FD validation strategy.
     pub fd_check: FdCheckMode,
+    /// Worker threads for the validation and partition-product hot paths.
+    /// `1` (the default) runs everything inline on the calling thread; `0`
+    /// selects [`std::thread::available_parallelism`]. The discovered cover
+    /// is **identical at every thread count** — verdicts are merged in
+    /// deterministic input order (see [`crate::parallel::Executor`]).
+    pub threads: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> DiscoveryConfig {
+        DiscoveryConfig {
+            max_level: None,
+            cancel: CancelToken::never(),
+            fd_check: FdCheckMode::default(),
+            threads: 1,
+        }
+    }
 }
 
 impl DiscoveryConfig {
     /// Default configuration: unbounded levels, no cancellation, error-rate
-    /// FD checks.
+    /// FD checks, single-threaded.
     pub fn new() -> DiscoveryConfig {
         DiscoveryConfig::default()
     }
@@ -50,6 +77,12 @@ impl DiscoveryConfig {
         self.fd_check = mode;
         self
     }
+
+    /// Sets the worker-thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -64,6 +97,12 @@ mod tests {
         assert_eq!(cfg.max_level, Some(3));
         assert_eq!(cfg.fd_check, FdCheckMode::Scan);
         assert!(!cfg.cancel.is_cancelled());
+    }
+
+    #[test]
+    fn default_is_single_threaded() {
+        assert_eq!(DiscoveryConfig::default().threads, 1);
+        assert_eq!(DiscoveryConfig::new().with_threads(0).threads, 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Lattice levels and nodes (paper §4.1, Figure 3; Algorithm 2).
 
 use crate::pairset::PairSet;
+use crate::parallel::Executor;
 use crate::{CancelToken, Cancelled};
 use fastod_partition::{ProductScratch, StrippedPartition};
 use fastod_relation::AttrSet;
@@ -52,16 +53,79 @@ pub fn calculate_next_level(
     })
 }
 
-/// The structural half of Algorithm 2, with the partition source abstracted.
+/// [`calculate_next_level`] with the partition products sharded across
+/// `exec`'s worker threads.
 ///
-/// Sets are grouped into *prefix blocks*: two sets join iff they share all
-/// attributes except their largest one (`singleAttrDiffBlocks`). A candidate
-/// `X = Y ∪ {B, C}` survives iff every `l`-subset `X\A` is present in `L_l`
-/// (the Apriori condition, Line 4). `make_partition(x, parent_i, parent_j,
-/// level)` supplies `Π*_X`: the one-shot algorithm computes the product
-/// `Π_{YB} · Π_{YC}`, while the incremental engine may instead reuse a
-/// retained partition from a previous pass when the batch provably left it
-/// unchanged.
+/// `pool` holds one [`ProductScratch`] arena per worker and persists across
+/// calls — the lattice driver passes the same pool for every level, so the
+/// row-indexed probe/stamp buffers grown at level 2 are reused all the way
+/// to the deepest level instead of being reallocated per node. The produced
+/// level is identical to the sequential one at any thread count (products
+/// are pure; the join list is deterministic).
+pub fn calculate_next_level_parallel(
+    level: &Level,
+    n_attrs: usize,
+    exec: &Executor,
+    pool: &mut Vec<ProductScratch>,
+    cancel: &CancelToken,
+) -> Result<Level, Cancelled> {
+    cancel.check()?;
+    let joins = candidate_joins(level);
+    let partitions = exec.try_map_with(
+        pool,
+        ProductScratch::new,
+        &joins,
+        cancel,
+        |scratch, _i, &(_x, pi, pj)| {
+            level[&pi.bits()].partition.product(&level[&pj.bits()].partition, scratch)
+        },
+    )?;
+    let mut next = Level::with_capacity(joins.len());
+    for ((x, _, _), partition) in joins.into_iter().zip(partitions) {
+        next.insert(x.bits(), Node::new(partition, n_attrs));
+    }
+    Ok(next)
+}
+
+/// The structural half of Algorithm 2: every `(X, Y, Z)` with `X = Y ∪ Z`
+/// where `Y, Z ∈ L_l` share a prefix block and all `l`-subsets of `X` are
+/// present (the Apriori condition, Line 4). Deterministically ordered by
+/// block, then member pair.
+pub fn candidate_joins(level: &Level) -> Vec<(AttrSet, AttrSet, AttrSet)> {
+    // Group by "set minus largest attribute" (`singleAttrDiffBlocks`).
+    let mut blocks: HashMap<u64, Vec<AttrSet>> = HashMap::new();
+    for &bits in level.keys() {
+        let set = AttrSet::from_bits(bits);
+        let largest = 63 - bits.leading_zeros() as usize;
+        blocks.entry(set.without(largest).bits()).or_default().push(set);
+    }
+    let mut block_keys: Vec<u64> = blocks.keys().copied().collect();
+    block_keys.sort_unstable();
+    let mut joins = Vec::new();
+    for key in block_keys {
+        let members = &mut blocks.get_mut(&key).unwrap()[..];
+        members.sort_unstable();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let x = members[i].union(members[j]);
+                // Apriori: all l-subsets must be present.
+                if !x.parents().all(|(_, sub)| level.contains_key(&sub.bits())) {
+                    continue;
+                }
+                joins.push((x, members[i], members[j]));
+            }
+        }
+    }
+    joins
+}
+
+/// Algorithm 2 with the partition source abstracted.
+///
+/// The join structure comes from [`candidate_joins`]; `make_partition(x,
+/// parent_i, parent_j, level)` supplies `Π*_X`: the one-shot algorithm
+/// computes the product `Π_{YB} · Π_{YC}`, while the incremental engine may
+/// instead reuse a retained partition from a previous pass when the batch
+/// provably left it unchanged.
 pub fn generate_next_level<F>(
     level: &Level,
     n_attrs: usize,
@@ -71,31 +135,14 @@ pub fn generate_next_level<F>(
 where
     F: FnMut(AttrSet, AttrSet, AttrSet, &Level) -> StrippedPartition,
 {
-    // Group by "set minus largest attribute".
-    let mut blocks: HashMap<u64, Vec<AttrSet>> = HashMap::new();
-    for &bits in level.keys() {
-        let set = AttrSet::from_bits(bits);
-        let largest = 63 - bits.leading_zeros() as usize;
-        blocks.entry(set.without(largest).bits()).or_default().push(set);
-    }
-    let mut next = Level::new();
-    let mut block_keys: Vec<u64> = blocks.keys().copied().collect();
-    block_keys.sort_unstable();
-    for key in block_keys {
-        let members = &mut blocks.get_mut(&key).unwrap()[..];
-        members.sort_unstable();
-        for i in 0..members.len() {
+    let joins = candidate_joins(level);
+    let mut next = Level::with_capacity(joins.len());
+    for (i, (x, pi, pj)) in joins.into_iter().enumerate() {
+        if i % 64 == 0 {
             cancel.check()?;
-            for j in (i + 1)..members.len() {
-                let x = members[i].union(members[j]);
-                // Apriori: all l-subsets must be present.
-                if !x.parents().all(|(_, sub)| level.contains_key(&sub.bits())) {
-                    continue;
-                }
-                let partition = make_partition(x, members[i], members[j], level);
-                next.insert(x.bits(), Node::new(partition, n_attrs));
-            }
         }
+        let partition = make_partition(x, pi, pj, level);
+        next.insert(x.bits(), Node::new(partition, n_attrs));
     }
     Ok(next)
 }

@@ -40,6 +40,8 @@
 //! assert!(result.ods.iter().any(|od| od.is_constancy()));
 //! ```
 
+#![deny(missing_docs)]
+
 mod algorithm;
 mod approximate;
 mod cancel;
@@ -47,6 +49,7 @@ mod config;
 mod lattice;
 mod no_pruning;
 mod pairset;
+pub mod parallel;
 mod result;
 pub mod snapshot;
 mod stats;
@@ -58,6 +61,7 @@ pub use cancel::{CancelToken, Cancelled};
 pub use config::{DiscoveryConfig, FdCheckMode};
 pub use no_pruning::{NoPruningFastod, NoPruningResult};
 pub use pairset::PairSet;
+pub use parallel::Executor;
 pub use result::DiscoveryResult;
 pub use stats::{DiscoveryStats, LevelStats};
-pub use validators::{ApproxValidator, ExactValidator, OdJudge, OdValidator};
+pub use validators::{ApproxValidator, ExactValidator, OdJudge, OdValidator, ValidationTask};

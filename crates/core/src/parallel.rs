@@ -1,0 +1,266 @@
+//! A small scoped-thread executor for the validation and product hot paths.
+//!
+//! The build environment is fully offline (no `rayon`), so data parallelism
+//! is built directly on [`std::thread::scope`]: each call spawns up to
+//! `threads` workers that pull item indices from a shared atomic counter and
+//! write `(index, result)` pairs into per-worker buffers. The caller merges
+//! the buffers back into **input order**, which is what makes every parallel
+//! stage of the suite deterministic — the *scheduling* is free-running, but
+//! the merged result vector (and therefore every downstream mutation applied
+//! from it) is independent of thread count and interleaving.
+//!
+//! Worker-local scratch state (partition-product arenas, swap-scan buffers)
+//! lives in a caller-owned pool that persists **across** calls: the lattice
+//! driver keeps one pool for the whole discovery run, so level `l + 1`
+//! reuses the arenas grown during level `l` instead of reallocating per
+//! node. With `threads == 1` no thread is ever spawned and the items run
+//! inline on the caller's stack, byte-for-byte like the historical
+//! sequential code path.
+
+use crate::{CancelToken, Cancelled};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How often a worker polls the cancellation token, in items.
+const CANCEL_POLL_ITEMS: usize = 64;
+
+/// A deterministic fork/join executor over a fixed worker count.
+///
+/// Cloning is cheap (the executor is just a thread count); workers are
+/// spawned per call and joined before the call returns, so no state outlives
+/// a `map`. See the [module docs](self) for the determinism contract.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor with the given worker count. `0` selects
+    /// [`std::thread::available_parallelism`]; `1` (the
+    /// [`crate::DiscoveryConfig`] default) runs everything inline on the
+    /// caller's thread.
+    pub fn new(threads: usize) -> Executor {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Executor { threads }
+    }
+
+    /// The resolved worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether calls may actually spawn worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Applies `f` to every item, returning the results in **input order**.
+    ///
+    /// `pool` holds one scratch value per worker and is grown on demand with
+    /// `make`; it persists across calls so arenas are reused instead of
+    /// reallocated (pass the same pool for every lattice level). `f` receives
+    /// the worker's scratch, the item index, and the item.
+    ///
+    /// # Errors
+    /// Returns [`Cancelled`] when `cancel` fires; workers stop pulling new
+    /// items promptly (within `CANCEL_POLL_ITEMS` items) and partial
+    /// results are discarded.
+    pub fn try_map_with<S, T, R, F, M>(
+        &self,
+        pool: &mut Vec<S>,
+        make: M,
+        items: &[T],
+        cancel: &CancelToken,
+        f: F,
+    ) -> Result<Vec<R>, Cancelled>
+    where
+        S: Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+        M: Fn() -> S,
+    {
+        let n_workers = self.threads.min(items.len()).max(1);
+        if pool.len() < n_workers {
+            pool.resize_with(n_workers, make);
+        }
+        if n_workers == 1 {
+            // Inline path: no spawn, identical to the historical sequential
+            // loop (same scratch, same item order).
+            let scratch = &mut pool[0];
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                if i % CANCEL_POLL_ITEMS == 0 {
+                    cancel.check()?;
+                }
+                out.push(f(scratch, i, item));
+            }
+            return Ok(out);
+        }
+
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let mut buffers: Vec<Vec<(u32, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pool[..n_workers]
+                .iter_mut()
+                .map(|scratch| {
+                    let (next, stop, f) = (&next, &stop, &f);
+                    scope.spawn(move || {
+                        let mut local: Vec<(u32, R)> = Vec::new();
+                        let mut processed = 0usize;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            // Poll before the first item (matching the inline
+                            // path's `i == 0` check) and every poll interval
+                            // thereafter.
+                            if processed.is_multiple_of(CANCEL_POLL_ITEMS)
+                                && (stop.load(Ordering::Relaxed) || cancel.is_cancelled())
+                            {
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            processed += 1;
+                            local.push((i as u32, f(scratch, i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        });
+        // Only a worker-observed stop counts: when `stop` is unset every
+        // index was processed, and a deadline elapsing after the fact must
+        // not discard a complete result (the inline path would return Ok).
+        if stop.load(Ordering::Relaxed) {
+            return Err(Cancelled);
+        }
+        // Deterministic merge: place each result at its item index.
+        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || None);
+        for buffer in &mut buffers {
+            for (i, r) in buffer.drain(..) {
+                out[i as usize] = Some(r);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every item index produced a result"))
+            .collect())
+    }
+
+    /// Infallible convenience wrapper over
+    /// [`try_map_with`](Executor::try_map_with) with a throwaway pool.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut pool: Vec<()> = Vec::new();
+        self.try_map_with(&mut pool, || (), items, &CancelToken::never(), |(), i, t| {
+            f(i, t)
+        })
+        .expect("never-cancelled map cannot be cancelled")
+    }
+}
+
+impl Default for Executor {
+    /// The single-threaded (inline) executor.
+    fn default() -> Executor {
+        Executor::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let exec = Executor::new(threads);
+            let items: Vec<usize> = (0..1000).collect();
+            let out = exec.map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let exec = Executor::new(0);
+        assert!(exec.threads() >= 1);
+    }
+
+    #[test]
+    fn pool_persists_across_calls() {
+        let exec = Executor::new(3);
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        let items = [1u32; 100];
+        // Each worker records into its scratch; pool survives the call.
+        let _ = exec
+            .try_map_with(&mut pool, Vec::new, &items, &CancelToken::never(), |s, i, _| {
+                s.push(i as u32);
+            })
+            .unwrap();
+        assert!(pool.len() <= 3 && !pool.is_empty());
+        let total: usize = pool.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        // Second call reuses (and keeps growing) the same scratches.
+        let _ = exec
+            .try_map_with(&mut pool, Vec::new, &items, &CancelToken::never(), |s, i, _| {
+                s.push(i as u32);
+            })
+            .unwrap();
+        let total: usize = pool.iter().map(Vec::len).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn cancellation_aborts_parallel_map() {
+        let exec = Executor::new(4);
+        let items: Vec<usize> = (0..10_000).collect();
+        let cancel = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let mut pool: Vec<()> = Vec::new();
+        let result = exec.try_map_with(&mut pool, || (), &items, &cancel, |(), _, &x| x);
+        assert_eq!(result.unwrap_err(), Cancelled);
+    }
+
+    #[test]
+    fn cancellation_aborts_inline_map() {
+        let exec = Executor::new(1);
+        let items: Vec<usize> = (0..10_000).collect();
+        let cancel = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let mut pool: Vec<()> = Vec::new();
+        let result = exec.try_map_with(&mut pool, || (), &items, &cancel, |(), _, &x| x);
+        assert_eq!(result.unwrap_err(), Cancelled);
+    }
+
+    #[test]
+    fn empty_items() {
+        let exec = Executor::new(4);
+        let out: Vec<u32> = exec.map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..517).map(|i| i * 37 % 101).collect();
+        let reference = Executor::new(1).map(&items, |i, &x| x.wrapping_mul(i as u64 + 1));
+        for threads in [2, 3, 4, 7] {
+            let out = Executor::new(threads).map(&items, |i, &x| x.wrapping_mul(i as u64 + 1));
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+}

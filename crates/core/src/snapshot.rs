@@ -23,14 +23,15 @@
 //! test suite and by the incremental engine's oracle tests.
 
 pub use crate::lattice::{
-    build_level0, build_level1, calculate_next_level, generate_next_level, sorted_keys, Level,
-    Node,
+    build_level0, build_level1, calculate_next_level, calculate_next_level_parallel,
+    candidate_joins, generate_next_level, sorted_keys, Level, Node,
 };
 use crate::pairset::PairSet;
+use crate::parallel::Executor;
 use crate::stats::LevelStats;
-use crate::validators::OdJudge;
+use crate::validators::{OdJudge, ValidationTask};
 use crate::{CancelToken, Cancelled};
-use fastod_relation::AttrSet;
+use fastod_relation::{AttrId, AttrSet};
 use fastod_theory::{CanonicalOd, OdSet};
 
 /// `computeODs(L_l)` lines 1–8: derives `C⁺c(X)` and `C⁺s(X)` for every node
@@ -72,9 +73,29 @@ pub fn compute_candidate_sets(l: usize, current: &mut Level, prev: &Level, n_att
     }
 }
 
+/// What a validated candidate does to the level state once its verdict is
+/// known; recorded during gather, applied in gather order.
+enum Action {
+    /// Constancy `X\A: [] ↦ A` at node `X = bits`.
+    Fd { bits: u64, a: AttrId },
+    /// Order compatibility at node `bits` with pair `{a, b}`.
+    Ocd { bits: u64, a: AttrId, b: AttrId },
+}
+
 /// `computeODs(L_l)` lines 9–24: validates the candidate ODs of level `l`
 /// through `judge`, inserting minimal valid ODs into `m` and shrinking the
 /// candidate sets.
+///
+/// Structured as **gather → judge → apply** so the expensive middle phase
+/// can be sharded across `exec`'s worker threads: the gather phase walks the
+/// nodes in deterministic (ascending-bits) order collecting one
+/// [`ValidationTask`] per candidate, the judge phase produces verdicts in
+/// task order (in parallel when `exec` allows it), and the apply phase
+/// re-plays the paper's per-candidate mutations sequentially in gather
+/// order. Because verdicts are pure functions of the immutable level
+/// partitions, this is observationally identical to the historical
+/// interleaved loop at any thread count — same cover, same insertion order,
+/// same candidate-set shrinkage.
 ///
 /// `lemma5_removals` applies the Lemma-5 candidate removal (line 14); exact
 /// discovery enables it, the approximate variant must not.
@@ -88,21 +109,75 @@ pub fn validate_level<J: OdJudge>(
     m: &mut OdSet,
     lstats: &mut LevelStats,
     lemma5_removals: bool,
+    exec: &Executor,
     cancel: &CancelToken,
 ) -> Result<(), Cancelled> {
     let keys = sorted_keys(current);
+
+    // Gather: one task per candidate OD, in the historical validation order
+    // (per node: FD candidates, then surviving C⁺s pairs).
+    let mut tasks: Vec<ValidationTask<'_>> = Vec::new();
+    let mut actions: Vec<Action> = Vec::new();
+    // Pairs failing the Lemma-8 minimality pre-check (line 18) are removed
+    // without validation (line 19); deferred here because the gather phase
+    // holds shared borrows of the level.
+    let mut non_minimal: Vec<(u64, AttrId, AttrId)> = Vec::new();
     for &bits in &keys {
         cancel.check()?;
         let x = AttrSet::from_bits(bits);
+        let node = &current[&bits];
 
-        // FD loop (lines 10–16): for A ∈ X ∩ C⁺c(X), check X\A: [] ↦ A.
-        let candidates: Vec<_> = x.intersect(current[&bits].cc).to_vec();
-        for a in candidates {
+        // FD candidates (lines 10–16): A ∈ X ∩ C⁺c(X) ⇒ check X\A: [] ↦ A.
+        for a in x.intersect(node.cc).to_vec() {
             let parent_set = x.without(a);
-            let parent = &prev[&parent_set.bits()].partition;
-            let node_part = &current[&bits].partition;
-            if judge.constancy(parent_set, a, parent, node_part, lstats) {
-                m.insert(CanonicalOd::constancy(parent_set, a));
+            tasks.push(ValidationTask::Constancy {
+                parent_set,
+                rhs: a,
+                parent: &prev[&parent_set.bits()].partition,
+                node: &node.partition,
+            });
+            actions.push(Action::Fd { bits, a });
+        }
+
+        // OCD candidates (lines 17–24): {A,B} ∈ C⁺s(X).
+        if l < 2 {
+            continue;
+        }
+        for (a, b) in node.cs.to_vec() {
+            // Line 18: minimality via parents' C⁺c (Lemma 8).
+            let a_ok = prev[&x.without(b).bits()].cc.contains(a);
+            let b_ok = prev[&x.without(a).bits()].cc.contains(b);
+            if !a_ok || !b_ok {
+                non_minimal.push((bits, a, b)); // line 19
+                continue;
+            }
+            let ctx_set = x.without(a).without(b);
+            tasks.push(ValidationTask::OrderCompat {
+                ctx_set,
+                a,
+                b,
+                ctx: &prev_prev[&ctx_set.bits()].partition,
+            });
+            actions.push(Action::Ocd { bits, a, b });
+        }
+    }
+
+    // Judge: verdicts in task order, parallel when the executor allows.
+    let verdicts = judge.judge_batch(&tasks, exec, cancel, lstats)?;
+    drop(tasks);
+
+    // Apply: replay the paper's mutations sequentially, in gather order.
+    for (bits, a, b) in non_minimal {
+        current.get_mut(&bits).expect("node exists").cs.remove(a, b);
+    }
+    for (action, verdict) in actions.into_iter().zip(verdicts) {
+        if !verdict {
+            continue;
+        }
+        match action {
+            Action::Fd { bits, a } => {
+                let x = AttrSet::from_bits(bits);
+                m.insert(CanonicalOd::constancy(x.without(a), a));
                 lstats.fds_found += 1;
                 let node = current.get_mut(&bits).expect("node exists");
                 node.cc = node.cc.without(a); // line 13
@@ -111,24 +186,8 @@ pub fn validate_level<J: OdJudge>(
                     node.cc = node.cc.intersect(x);
                 }
             }
-        }
-
-        // OCD loop (lines 17–24): for {A,B} ∈ C⁺s(X).
-        if l < 2 {
-            continue;
-        }
-        let pairs = current[&bits].cs.to_vec();
-        for (a, b) in pairs {
-            // Line 18: minimality via parents' C⁺c (Lemma 8).
-            let a_ok = prev[&x.without(b).bits()].cc.contains(a);
-            let b_ok = prev[&x.without(a).bits()].cc.contains(b);
-            if !a_ok || !b_ok {
-                current.get_mut(&bits).expect("node exists").cs.remove(a, b); // line 19
-                continue;
-            }
-            let ctx_set = x.without(a).without(b);
-            let ctx = &prev_prev[&ctx_set.bits()].partition;
-            if judge.order_compat(ctx_set, a, b, ctx, lstats) {
+            Action::Ocd { bits, a, b } => {
+                let ctx_set = AttrSet::from_bits(bits).without(a).without(b);
                 m.insert(CanonicalOd::order_compat(ctx_set, a, b)); // line 21
                 lstats.ocds_found += 1;
                 current.get_mut(&bits).expect("node exists").cs.remove(a, b); // line 22
@@ -244,7 +303,8 @@ mod tests {
             let prev_prev = if l >= 2 { &before[l - 2] } else { &empty };
             compute_candidate_sets(l, current, prev, n_attrs);
             validate_level(
-                l, current, prev, prev_prev, &mut validator, &mut m, &mut lstats, true, &cancel,
+                l, current, prev, prev_prev, &mut validator, &mut m, &mut lstats, true,
+                &Executor::new(1), &cancel,
             )
             .unwrap();
             prune_level(l, current, &mut lstats);

@@ -24,6 +24,12 @@ pub struct LevelStats {
     pub swap_checks: usize,
     /// Wall-clock time spent on this level.
     pub time: Duration,
+    /// Wall-clock time of the validation phase (`validate_level`) alone —
+    /// the part sharded across worker threads.
+    pub validate_time: Duration,
+    /// Wall-clock time spent generating the next level's partitions
+    /// (products), the other parallel phase.
+    pub generate_time: Duration,
 }
 
 impl LevelStats {
@@ -57,6 +63,19 @@ impl DiscoveryStats {
     /// level 9 for flight 1K×40.
     pub fn max_level(&self) -> usize {
         self.levels.last().map_or(0, |l| l.level)
+    }
+
+    /// Total wall-clock time of the validation phase across levels — the
+    /// quantity the `exp1`/`exp2` threads columns compare across worker
+    /// counts.
+    pub fn validation_time(&self) -> Duration {
+        self.levels.iter().map(|l| l.validate_time).sum()
+    }
+
+    /// Total wall-clock time spent computing next-level partitions
+    /// (products) across levels.
+    pub fn generation_time(&self) -> Duration {
+        self.levels.iter().map(|l| l.generate_time).sum()
     }
 
     /// Renders an aligned per-level table (level, nodes, ODs, time) like

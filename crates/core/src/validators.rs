@@ -1,17 +1,63 @@
 //! OD validation strategies plugged into the lattice driver.
 //!
-//! The exact validator implements §4.6 (error rates, τ-scans, key pruning);
-//! the approximate validator implements the §7 extension via removal-based
-//! error measures (both monotone under context refinement, so the candidate
-//! machinery stays sound).
+//! The exact validator implements §4.6 (error rates, τ-scans, key pruning)
+//! plus two additions over the paper: a per-class **sort-then-sweep** swap
+//! check used when a context covers few rows (see
+//! [`fastod_partition::check_order_compat_sweep`]), and a **batched** entry
+//! point ([`OdValidator::validate_batch`]) through which a whole lattice
+//! level's candidate validations are sharded across the worker threads of a
+//! [`crate::parallel::Executor`]. The approximate validator implements the
+//! §7 extension via removal-based error measures (both monotone under
+//! context refinement, so the candidate machinery stays sound).
 
 use crate::config::FdCheckMode;
+use crate::parallel::Executor;
 use crate::stats::LevelStats;
+use crate::{CancelToken, Cancelled};
 use fastod_partition::{
-    check_constancy, check_order_compat, constancy_removal_error, swap_removal_error,
-    SortedColumn, StrippedPartition, SwapScratch,
+    check_constancy, check_constancy_classes, check_order_compat, check_order_compat_sweep,
+    check_order_compat_sweep_classes, constancy_removal_error, swap_removal_error, SortedColumn,
+    StrippedPartition, SwapScratch,
 };
 use fastod_relation::{AttrId, AttrSet, EncodedRelation};
+use std::sync::OnceLock;
+
+/// When the covered rows of a context are below `|r| / SWEEP_DENSITY_CUTOFF`,
+/// the sort-then-sweep swap check beats the `O(|r|)` τ-scan.
+const SWEEP_DENSITY_CUTOFF: usize = 4;
+
+/// One candidate-OD validation with its partition inputs resolved — the unit
+/// of work sharded across the executor's threads.
+///
+/// Tasks are created by [`crate::snapshot::validate_level`]'s gather phase
+/// and judged in bulk; the borrowed partitions come from the retained
+/// lattice levels, which are immutable while a batch is in flight.
+#[derive(Clone, Copy)]
+pub enum ValidationTask<'p> {
+    /// The constancy OD `parent_set: [] ↦ rhs` (the FD fragment), judged
+    /// from `Π*_{parent_set}` and `Π*_{parent_set ∪ {rhs}}`.
+    Constancy {
+        /// Context attribute set `X\A`.
+        parent_set: AttrSet,
+        /// The determined attribute `A`.
+        rhs: AttrId,
+        /// `Π*_{X\A}`.
+        parent: &'p StrippedPartition,
+        /// `Π*_X`.
+        node: &'p StrippedPartition,
+    },
+    /// The order-compatibility OD `ctx_set: a ~ b`, judged from `Π*_{ctx_set}`.
+    OrderCompat {
+        /// Context attribute set `X\{A,B}`.
+        ctx_set: AttrSet,
+        /// First attribute of the unordered pair.
+        a: AttrId,
+        /// Second attribute of the unordered pair.
+        b: AttrId,
+        /// `Π*_{ctx_set}`.
+        ctx: &'p StrippedPartition,
+    },
+}
 
 /// Strategy for validating the two canonical OD shapes at a lattice node.
 pub trait OdValidator {
@@ -34,6 +80,68 @@ pub trait OdValidator {
         b: AttrId,
         stats: &mut LevelStats,
     ) -> bool;
+
+    /// Validates a batch of tasks, returning verdicts in task order.
+    ///
+    /// The default runs the tasks sequentially in order — exactly the
+    /// historical per-candidate loop. Implementations may override it to
+    /// shard the batch across `exec`'s worker threads; verdicts must still
+    /// come back in task order (the executor's merge guarantees this), which
+    /// keeps the discovered cover independent of the thread count.
+    ///
+    /// # Errors
+    /// [`Cancelled`] when `cancel` fires mid-batch.
+    fn validate_batch(
+        &mut self,
+        tasks: &[ValidationTask<'_>],
+        exec: &Executor,
+        cancel: &CancelToken,
+        stats: &mut LevelStats,
+    ) -> Result<Vec<bool>, Cancelled> {
+        let _ = exec;
+        sequential_validate(self, tasks, cancel, stats)
+    }
+}
+
+/// The shared sequential fallback: judge tasks one by one, in order.
+fn sequential_validate<V: OdValidator + ?Sized>(
+    v: &mut V,
+    tasks: &[ValidationTask<'_>],
+    cancel: &CancelToken,
+    stats: &mut LevelStats,
+) -> Result<Vec<bool>, Cancelled> {
+    let mut out = Vec::with_capacity(tasks.len());
+    for (i, task) in tasks.iter().enumerate() {
+        if i % 64 == 0 {
+            cancel.check()?;
+        }
+        out.push(match *task {
+            ValidationTask::Constancy { rhs, parent, node, .. } => {
+                v.constancy(parent, node, rhs, stats)
+            }
+            ValidationTask::OrderCompat { ctx_set, a, b, ctx } => {
+                v.order_compat(ctx, ctx_set.bits() as usize, a, b, stats)
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Tallies the per-kind check counters exactly as the sequential validators
+/// do (superkey contexts count as key-pruned, not as performed checks).
+fn tally_stats(tasks: &[ValidationTask<'_>], stats: &mut LevelStats) {
+    for task in tasks {
+        match task {
+            ValidationTask::Constancy { parent, .. } => {
+                if parent.is_superkey() {
+                    stats.fd_checks_key_pruned += 1;
+                } else {
+                    stats.fd_checks += 1;
+                }
+            }
+            ValidationTask::OrderCompat { .. } => stats.swap_checks += 1,
+        }
+    }
 }
 
 /// Identity-aware validation — what the lattice driver actually consults.
@@ -65,6 +173,37 @@ pub trait OdJudge {
         ctx: &StrippedPartition,
         stats: &mut LevelStats,
     ) -> bool;
+
+    /// Judges a batch of tasks, returning verdicts in task order; see
+    /// [`OdValidator::validate_batch`] for the parallelism and determinism
+    /// contract.
+    ///
+    /// # Errors
+    /// [`Cancelled`] when `cancel` fires mid-batch.
+    fn judge_batch(
+        &mut self,
+        tasks: &[ValidationTask<'_>],
+        exec: &Executor,
+        cancel: &CancelToken,
+        stats: &mut LevelStats,
+    ) -> Result<Vec<bool>, Cancelled> {
+        let _ = exec;
+        let mut out = Vec::with_capacity(tasks.len());
+        for (i, task) in tasks.iter().enumerate() {
+            if i % 64 == 0 {
+                cancel.check()?;
+            }
+            out.push(match *task {
+                ValidationTask::Constancy { parent_set, rhs, parent, node } => {
+                    self.constancy(parent_set, rhs, parent, node, stats)
+                }
+                ValidationTask::OrderCompat { ctx_set, a, b, ctx } => {
+                    self.order_compat(ctx_set, a, b, ctx, stats)
+                }
+            });
+        }
+        Ok(out)
+    }
 }
 
 impl<V: OdValidator> OdJudge for V {
@@ -89,17 +228,30 @@ impl<V: OdValidator> OdJudge for V {
     ) -> bool {
         OdValidator::order_compat(self, ctx, ctx_set.bits() as usize, a, b, stats)
     }
+
+    fn judge_batch(
+        &mut self,
+        tasks: &[ValidationTask<'_>],
+        exec: &Executor,
+        cancel: &CancelToken,
+        stats: &mut LevelStats,
+    ) -> Result<Vec<bool>, Cancelled> {
+        OdValidator::validate_batch(self, tasks, exec, cancel, stats)
+    }
 }
 
 /// Exact validation (paper §4.6).
 pub struct ExactValidator<'a> {
     enc: &'a EncodedRelation,
-    /// Sorted partitions `τ_A`, built lazily on an attribute's first swap
-    /// check. One-shot discovery touches (nearly) every attribute anyway,
-    /// but incremental maintenance passes often validate almost nothing —
-    /// they must not pay O(n) per attribute up front.
-    taus: Vec<Option<SortedColumn>>,
-    scratch: SwapScratch,
+    /// Sorted partitions `τ_A`, built lazily on an attribute's first
+    /// τ-scanned swap check (worker threads race benignly through the
+    /// `OnceLock`). One-shot discovery touches (nearly) every attribute
+    /// anyway, but incremental maintenance passes often validate almost
+    /// nothing — they must not pay O(n) per attribute up front; and contexts
+    /// sparse enough for the sort-then-sweep path never need `τ_A` at all.
+    taus: Vec<OnceLock<SortedColumn>>,
+    /// Per-worker scratch arenas, persisted across lattice levels.
+    pools: Vec<SwapScratch>,
     fd_mode: FdCheckMode,
 }
 
@@ -108,11 +260,44 @@ impl<'a> ExactValidator<'a> {
     pub fn new(enc: &'a EncodedRelation, fd_mode: FdCheckMode) -> ExactValidator<'a> {
         ExactValidator {
             enc,
-            taus: vec![None; enc.n_attrs()],
-            scratch: SwapScratch::new(),
+            taus: (0..enc.n_attrs()).map(|_| OnceLock::new()).collect(),
+            pools: vec![SwapScratch::new()],
             fd_mode,
         }
     }
+}
+
+/// The constancy verdict, shared by the sequential and worker paths.
+fn exact_constancy(
+    enc: &EncodedRelation,
+    fd_mode: FdCheckMode,
+    parent: &StrippedPartition,
+    node: &StrippedPartition,
+    a: AttrId,
+) -> bool {
+    match fd_mode {
+        FdCheckMode::ErrorRate => parent.error() == node.error(),
+        FdCheckMode::Scan => check_constancy(parent, enc.codes(a)),
+    }
+}
+
+/// The order-compatibility verdict, shared by the sequential and worker
+/// paths: sort-then-sweep for sparse contexts, τ-scan otherwise.
+fn exact_order_compat(
+    enc: &EncodedRelation,
+    taus: &[OnceLock<SortedColumn>],
+    scratch: &mut SwapScratch,
+    ctx: &StrippedPartition,
+    token: usize,
+    a: AttrId,
+    b: AttrId,
+) -> bool {
+    let covered = ctx.covered_rows();
+    if covered.saturating_mul(SWEEP_DENSITY_CUTOFF) < ctx.n_rows() {
+        return check_order_compat_sweep(ctx, enc.codes(a), enc.codes(b), scratch);
+    }
+    let tau = taus[a].get_or_init(|| SortedColumn::build(enc.codes(a), enc.cardinality(a)));
+    check_order_compat(ctx, tau, enc.codes(a), enc.codes(b), scratch, Some(token))
 }
 
 impl OdValidator for ExactValidator<'_> {
@@ -129,10 +314,7 @@ impl OdValidator for ExactValidator<'_> {
             return true;
         }
         stats.fd_checks += 1;
-        match self.fd_mode {
-            FdCheckMode::ErrorRate => parent.error() == node.error(),
-            FdCheckMode::Scan => check_constancy(parent, self.enc.codes(a)),
-        }
+        exact_constancy(self.enc, self.fd_mode, parent, node, a)
     }
 
     fn order_compat(
@@ -144,17 +326,131 @@ impl OdValidator for ExactValidator<'_> {
         stats: &mut LevelStats,
     ) -> bool {
         stats.swap_checks += 1;
-        let tau = self.taus[a]
-            .get_or_insert_with(|| SortedColumn::build(self.enc.codes(a), self.enc.cardinality(a)));
-        check_order_compat(
-            ctx,
-            tau,
-            self.enc.codes(a),
-            self.enc.codes(b),
-            &mut self.scratch,
-            Some(token),
-        )
+        exact_order_compat(self.enc, &self.taus, &mut self.pools[0], ctx, token, a, b)
     }
+
+    fn validate_batch(
+        &mut self,
+        tasks: &[ValidationTask<'_>],
+        exec: &Executor,
+        cancel: &CancelToken,
+        stats: &mut LevelStats,
+    ) -> Result<Vec<bool>, Cancelled> {
+        if !exec.is_parallel() || tasks.len() < 2 {
+            return sequential_validate(self, tasks, cancel, stats);
+        }
+        tally_stats(tasks, stats);
+        let (enc, fd_mode, taus) = (self.enc, self.fd_mode, &self.taus);
+        if tasks.len() >= exec.threads() {
+            // Task-level sharding: one candidate validation per work item.
+            return exec.try_map_with(
+                &mut self.pools,
+                SwapScratch::new,
+                tasks,
+                cancel,
+                |scratch, _i, task| match *task {
+                    ValidationTask::Constancy { rhs, parent, node, .. } => {
+                        parent.is_superkey() || exact_constancy(enc, fd_mode, parent, node, rhs)
+                    }
+                    ValidationTask::OrderCompat { ctx_set, a, b, ctx } => exact_order_compat(
+                        enc,
+                        taus,
+                        scratch,
+                        ctx,
+                        ctx_set.bits() as usize,
+                        a,
+                        b,
+                    ),
+                },
+            );
+        }
+        // Fewer tasks than workers (typical at the lowest lattice levels,
+        // where each scan is largest): shard each task's *classes* instead.
+        // Contexts too dense to split (a single chunk — e.g. the unit
+        // partition's one all-rows class) gain nothing from sharding and
+        // fall back to the sequential heuristic scan (τ-scan on dense
+        // contexts), so this branch never regresses below the `threads: 1`
+        // algorithm.
+        let mut verdicts = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            cancel.check()?;
+            verdicts.push(match *task {
+                ValidationTask::Constancy { rhs, parent, node, .. } => {
+                    if parent.is_superkey() {
+                        true
+                    } else {
+                        match fd_mode {
+                            FdCheckMode::ErrorRate => parent.error() == node.error(),
+                            FdCheckMode::Scan => {
+                                let chunks = class_chunks(parent, exec.threads());
+                                if chunks.len() < 2 {
+                                    check_constancy(parent, enc.codes(rhs))
+                                } else {
+                                    exec.try_map_with(
+                                        &mut self.pools,
+                                        SwapScratch::new,
+                                        &chunks,
+                                        cancel,
+                                        |_s, _i, range| {
+                                            check_constancy_classes(
+                                                &parent.classes()[range.clone()],
+                                                enc.codes(rhs),
+                                            )
+                                        },
+                                    )?
+                                    .into_iter()
+                                    .all(|ok| ok)
+                                }
+                            }
+                        }
+                    }
+                }
+                ValidationTask::OrderCompat { ctx_set, a, b, ctx } => {
+                    let chunks = class_chunks(ctx, exec.threads());
+                    if chunks.len() < 2 {
+                        exact_order_compat(
+                            enc,
+                            taus,
+                            &mut self.pools[0],
+                            ctx,
+                            ctx_set.bits() as usize,
+                            a,
+                            b,
+                        )
+                    } else {
+                        exec.try_map_with(
+                            &mut self.pools,
+                            SwapScratch::new,
+                            &chunks,
+                            cancel,
+                            |scratch, _i, range| {
+                                check_order_compat_sweep_classes(
+                                    &ctx.classes()[range.clone()],
+                                    enc.codes(a),
+                                    enc.codes(b),
+                                    scratch,
+                                )
+                            },
+                        )?
+                        .into_iter()
+                        .all(|ok| ok)
+                    }
+                }
+            });
+        }
+        Ok(verdicts)
+    }
+}
+
+/// Splits a partition's class indices into roughly even contiguous ranges,
+/// one unit of scan work per range.
+fn class_chunks(p: &StrippedPartition, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let n = p.n_classes();
+    let want = (threads * 4).clamp(1, n.max(1));
+    let step = n.div_ceil(want).max(1);
+    (0..n.div_ceil(step))
+        .map(|i| i * step..((i + 1) * step).min(n))
+        .collect()
 }
 
 /// Approximate validation: an OD is accepted when at most `max_remove` rows
@@ -197,6 +493,30 @@ impl OdValidator for ApproxValidator<'_> {
     ) -> bool {
         stats.swap_checks += 1;
         swap_removal_error(ctx, self.enc.codes(a), self.enc.codes(b)) <= self.max_remove
+    }
+
+    fn validate_batch(
+        &mut self,
+        tasks: &[ValidationTask<'_>],
+        exec: &Executor,
+        cancel: &CancelToken,
+        stats: &mut LevelStats,
+    ) -> Result<Vec<bool>, Cancelled> {
+        if !exec.is_parallel() || tasks.len() < 2 {
+            return sequential_validate(self, tasks, cancel, stats);
+        }
+        tally_stats(tasks, stats);
+        let (enc, max_remove) = (self.enc, self.max_remove);
+        let mut pool: Vec<()> = Vec::new();
+        exec.try_map_with(&mut pool, || (), tasks, cancel, |(), _i, task| match *task {
+            ValidationTask::Constancy { rhs, parent, .. } => {
+                parent.is_superkey()
+                    || constancy_removal_error(parent, enc.codes(rhs)) <= max_remove
+            }
+            ValidationTask::OrderCompat { a, b, ctx, .. } => {
+                swap_removal_error(ctx, enc.codes(a), enc.codes(b)) <= max_remove
+            }
+        })
     }
 }
 
@@ -270,5 +590,100 @@ mod tests {
         let mut loose = ApproxValidator::new(&e, 1);
         assert!(!OdValidator::order_compat(&mut strict, &ctx, 0, 0, 1, &mut stats));
         assert!(OdValidator::order_compat(&mut loose, &ctx, 0, 0, 1, &mut stats));
+    }
+
+    /// Batched verdicts must equal per-task verdicts, at every thread count
+    /// and with both FD-check modes, including the class-sharded route
+    /// (fewer tasks than workers).
+    #[test]
+    fn batch_matches_sequential_across_thread_counts() {
+        let e = RelationBuilder::new()
+            .column_i64("w", vec![0, 0, 0, 1, 1, 1, 2, 2])
+            .column_i64("x", vec![0, 1, 2, 0, 1, 2, 0, 1])
+            .column_i64("y", vec![5, 5, 6, 6, 7, 7, 8, 8])
+            .column_i64("z", vec![3, 1, 4, 1, 5, 9, 2, 6])
+            .build()
+            .unwrap()
+            .encode();
+        let parts: Vec<StrippedPartition> = (0..4)
+            .map(|a| StrippedPartition::from_codes(e.codes(a), e.cardinality(a)))
+            .collect();
+        let unit = StrippedPartition::unit(8);
+        let mut tasks: Vec<ValidationTask> = Vec::new();
+        for a in 0..4usize {
+            tasks.push(ValidationTask::Constancy {
+                parent_set: AttrSet::singleton((a + 1) % 4),
+                rhs: a,
+                parent: &parts[(a + 1) % 4],
+                node: &parts[a],
+            });
+            for b in (a + 1)..4 {
+                tasks.push(ValidationTask::OrderCompat {
+                    ctx_set: AttrSet::EMPTY,
+                    a,
+                    b,
+                    ctx: &unit,
+                });
+                tasks.push(ValidationTask::OrderCompat {
+                    ctx_set: AttrSet::singleton(0),
+                    a,
+                    b,
+                    ctx: &parts[0],
+                });
+            }
+        }
+        let cancel = CancelToken::never();
+        for fd_mode in [FdCheckMode::ErrorRate, FdCheckMode::Scan] {
+            let mut stats = LevelStats::default();
+            let mut v = ExactValidator::new(&e, fd_mode);
+            let reference = v
+                .validate_batch(&tasks, &Executor::new(1), &cancel, &mut stats)
+                .unwrap();
+            for threads in [2, 4, 16, 64] {
+                let mut stats_n = LevelStats::default();
+                let mut v = ExactValidator::new(&e, fd_mode);
+                let got = v
+                    .validate_batch(&tasks, &Executor::new(threads), &cancel, &mut stats_n)
+                    .unwrap();
+                assert_eq!(got, reference, "threads={threads} mode={fd_mode:?}");
+                assert_eq!(stats_n.fd_checks, stats.fd_checks);
+                assert_eq!(stats_n.swap_checks, stats.swap_checks);
+                assert_eq!(stats_n.fd_checks_key_pruned, stats.fd_checks_key_pruned);
+            }
+            // Approximate validator: same contract (budget 0 ≙ exact scans).
+            let mut stats1 = LevelStats::default();
+            let approx_ref = ApproxValidator::new(&e, 0)
+                .validate_batch(&tasks, &Executor::new(1), &cancel, &mut stats1)
+                .unwrap();
+            let mut stats4 = LevelStats::default();
+            let approx_par = ApproxValidator::new(&e, 0)
+                .validate_batch(&tasks, &Executor::new(4), &cancel, &mut stats4)
+                .unwrap();
+            assert_eq!(approx_ref, approx_par);
+        }
+    }
+
+    #[test]
+    fn batch_cancellation_propagates() {
+        let e = enc();
+        let unit = StrippedPartition::unit(4);
+        let tasks: Vec<ValidationTask> = (0..200)
+            .map(|_| ValidationTask::OrderCompat {
+                ctx_set: AttrSet::EMPTY,
+                a: 0,
+                b: 1,
+                ctx: &unit,
+            })
+            .collect();
+        let cancel = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let mut stats = LevelStats::default();
+        let mut v = ExactValidator::new(&e, FdCheckMode::ErrorRate);
+        for threads in [1, 4] {
+            assert_eq!(
+                v.validate_batch(&tasks, &Executor::new(threads), &cancel, &mut stats)
+                    .unwrap_err(),
+                Cancelled
+            );
+        }
     }
 }

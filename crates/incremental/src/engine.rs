@@ -2,6 +2,7 @@
 
 use crate::judge::CachedJudge;
 use crate::stats::{BatchReport, IncrementalStats};
+use fastod::parallel::Executor;
 use fastod::snapshot::{
     build_level0, compute_candidate_sets, generate_next_level, prune_level, validate_level,
     DiscoverySnapshot, Level, Node,
@@ -152,6 +153,30 @@ impl IncrementalDiscovery {
 
     /// Appends a batch and restores the cover invariant.
     ///
+    /// ```
+    /// use fastod_incremental::IncrementalDiscovery;
+    /// use fastod_relation::RelationBuilder;
+    ///
+    /// let base = RelationBuilder::new()
+    ///     .column_i64("id", vec![1, 2, 3])
+    ///     .column_i64("grp", vec![7, 7, 7])
+    ///     .build()
+    ///     .unwrap();
+    /// let mut engine = IncrementalDiscovery::new(&base);
+    /// let before = engine.cover().len();
+    ///
+    /// // A batch that breaks grp's constancy retires that OD from the cover.
+    /// let batch = RelationBuilder::new()
+    ///     .column_i64("id", vec![4])
+    ///     .column_i64("grp", vec![9])
+    ///     .build()
+    ///     .unwrap();
+    /// let report = engine.push_batch(&batch).unwrap();
+    /// assert_eq!(report.appended_rows, 1);
+    /// assert!(!report.retired.is_empty());
+    /// assert!(before > 0 && engine.n_rows() == 4);
+    /// ```
+    ///
     /// # Errors
     /// [`IncrementalError::Relation`] when the batch schema mismatches (the
     /// engine is unchanged); [`IncrementalError::Cancelled`] when the token
@@ -237,6 +262,9 @@ impl IncrementalDiscovery {
         let n_attrs = enc.n_attrs();
         let n_rows = enc.n_rows();
         let cancel = self.config.cancel.clone();
+        // Unresolved re-validations shard across the same executor the
+        // one-shot driver uses; cache bookkeeping stays sequential.
+        let exec = Executor::new(self.config.threads);
         let mut old = std::mem::take(&mut self.snapshot);
         let mut validator = ExactValidator::new(enc, self.config.fd_check);
         let mut judge = CachedJudge::new(&mut validator, &mut self.cache);
@@ -288,7 +316,7 @@ impl IncrementalDiscovery {
                     compute_candidate_sets(l, current, prev, n_attrs);
                     validate_level(
                         l, current, prev, prev_prev, &mut judge, &mut m, &mut lstats, true,
-                        &cancel,
+                        &exec, &cancel,
                     )?;
                     prune_level(l, current, &mut lstats);
                 }

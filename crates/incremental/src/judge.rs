@@ -2,7 +2,8 @@
 //! skipped work.
 
 use crate::stats::BatchCounters;
-use fastod::{LevelStats, OdJudge, OdValidator};
+use fastod::parallel::Executor;
+use fastod::{CancelToken, Cancelled, LevelStats, OdJudge, OdValidator, ValidationTask};
 use fastod_partition::StrippedPartition;
 use fastod_relation::{AttrId, AttrSet};
 use fastod_theory::CanonicalOd;
@@ -75,7 +76,69 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
     }
 }
 
+/// The canonical OD a task is asking about — the verdict cache's key.
+fn od_of(task: &ValidationTask<'_>) -> CanonicalOd {
+    match *task {
+        ValidationTask::Constancy { parent_set, rhs, .. } => {
+            CanonicalOd::constancy(parent_set, rhs)
+        }
+        ValidationTask::OrderCompat { ctx_set, a, b, .. } => {
+            CanonicalOd::order_compat(ctx_set, a, b)
+        }
+    }
+}
+
 impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
+    /// Batch judging with the cache consulted up front: resolved verdicts
+    /// (cached `false`, or cached `true` on a clean context) never reach the
+    /// validator, and only the unresolved remainder is sharded across the
+    /// executor's workers. Cache updates and counters are applied
+    /// sequentially in task order, so the judge's observable state is
+    /// independent of the thread count.
+    fn judge_batch(
+        &mut self,
+        tasks: &[ValidationTask<'_>],
+        exec: &Executor,
+        cancel: &CancelToken,
+        stats: &mut LevelStats,
+    ) -> Result<Vec<bool>, Cancelled> {
+        let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(tasks.len());
+        let mut unresolved: Vec<ValidationTask<'_>> = Vec::new();
+        let mut unresolved_at: Vec<usize> = Vec::new();
+        for (i, task) in tasks.iter().enumerate() {
+            let od = od_of(task);
+            match self.cache.get(&od).copied() {
+                Some(false) => {
+                    self.counters.skipped_false += 1;
+                    verdicts.push(Some(false));
+                }
+                Some(true) if !self.is_dirty(od.context().bits()) => {
+                    self.counters.skipped_clean += 1;
+                    verdicts.push(Some(true));
+                }
+                _ => {
+                    verdicts.push(None);
+                    unresolved.push(*task);
+                    unresolved_at.push(i);
+                }
+            }
+        }
+        let fresh = self.inner.validate_batch(&unresolved, exec, cancel, stats)?;
+        for (&i, verdict) in unresolved_at.iter().zip(fresh) {
+            let od = od_of(&tasks[i]);
+            self.counters.revalidated += 1;
+            if self.cache.get(&od).copied() == Some(true) && !verdict {
+                self.counters.verdicts_flipped += 1;
+            }
+            self.cache.insert(od, verdict);
+            verdicts[i] = Some(verdict);
+        }
+        Ok(verdicts
+            .into_iter()
+            .map(|v| v.expect("every task resolved or validated"))
+            .collect())
+    }
+
     fn constancy(
         &mut self,
         parent_set: AttrSet,

@@ -17,7 +17,14 @@ use crate::{SortedColumn, StrippedPartition};
 /// Superkey contexts (empty stripped partition) are trivially valid — the
 /// key-pruning shortcut of Lemma 12.
 pub fn check_constancy(ctx: &StrippedPartition, codes_a: &[u32]) -> bool {
-    ctx.classes().iter().all(|class| {
+    check_constancy_classes(ctx.classes(), codes_a)
+}
+
+/// [`check_constancy`] over an explicit class slice. Classes are independent,
+/// so a caller may shard a large partition's classes across worker threads
+/// and AND the per-shard results.
+pub fn check_constancy_classes(classes: &[Vec<u32>], codes_a: &[u32]) -> bool {
+    classes.iter().all(|class| {
         let first = codes_a[class[0] as usize];
         class[1..].iter().all(|&row| codes_a[row as usize] == first)
     })
@@ -69,6 +76,69 @@ pub fn find_swap(
     scratch: &mut SwapScratch,
 ) -> Option<(u32, u32)> {
     swap_scan(ctx, tau_a, codes_a, codes_b, scratch, None)
+}
+
+/// Checks `X: A ~ B` by per-class **sort-then-sweep** instead of the full
+/// `τ_A` walk: each class's `(A, B)` code pairs are collected, sorted, and
+/// swept once for a swap. Cost is `O(Σ |E| log |E|)` over the classes of
+/// `Π*_X` — independent of the relation size, so it beats the `O(|r|)`
+/// τ-scan whenever the context's covered rows are a small fraction of the
+/// relation (deep lattice levels, incremental re-validations). It also
+/// replaces the naive `O(|E|²)` all-pairs scan that capped the brute-force
+/// oracle at 6 attributes.
+///
+/// The verdict is identical to [`check_order_compat`]; which one is faster
+/// depends on `||Π*_X||` versus `|r|` (see `ExactValidator` in `fastod` for
+/// the selection heuristic).
+pub fn check_order_compat_sweep(
+    ctx: &StrippedPartition,
+    codes_a: &[u32],
+    codes_b: &[u32],
+    scratch: &mut SwapScratch,
+) -> bool {
+    check_order_compat_sweep_classes(ctx.classes(), codes_a, codes_b, scratch)
+}
+
+/// [`check_order_compat_sweep`] over an explicit class slice, for sharding a
+/// single large context's classes across worker threads (classes are
+/// independent: a swap never crosses class boundaries).
+pub fn check_order_compat_sweep_classes(
+    classes: &[Vec<u32>],
+    codes_a: &[u32],
+    codes_b: &[u32],
+    scratch: &mut SwapScratch,
+) -> bool {
+    let pairs = &mut scratch.pairs;
+    classes.iter().all(|class| {
+        pairs.clear();
+        pairs.extend(
+            class
+                .iter()
+                .map(|&row| (codes_a[row as usize], codes_b[row as usize])),
+        );
+        pairs.sort_unstable();
+        // Sweep in A-order: a swap exists iff some pair's B-code undercuts
+        // the max B-code of an earlier, strictly-smaller-A run.
+        let mut last_a = u32::MAX;
+        let mut run_max_b = 0u32;
+        let mut prev_max_b = -1i64;
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            if i == 0 {
+                last_a = a;
+                run_max_b = b;
+            } else if a != last_a {
+                prev_max_b = prev_max_b.max(i64::from(run_max_b));
+                last_a = a;
+                run_max_b = b;
+            } else {
+                run_max_b = run_max_b.max(b);
+            }
+            if i64::from(b) < prev_max_b {
+                return false;
+            }
+        }
+        true
+    })
 }
 
 fn swap_scan(
@@ -147,7 +217,34 @@ mod tests {
         let mut scratch = SwapScratch::new();
         let fast = check_order_compat(ctx, &tau, codes_a, codes_b, &mut scratch, None);
         assert_eq!(fast, swap_naive(ctx, codes_a, codes_b), "fast vs naive");
+        let sweep = check_order_compat_sweep(ctx, codes_a, codes_b, &mut scratch);
+        assert_eq!(fast, sweep, "tau-scan vs sort-then-sweep");
         fast
+    }
+
+    #[test]
+    fn sweep_shards_agree_with_whole_partition() {
+        // Sharding the classes across "workers" and ANDing per-shard results
+        // must equal the whole-partition verdict.
+        let ctx = StrippedPartition::from_classes(
+            8,
+            vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7]],
+        );
+        let a = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let b = vec![0, 1, 2, 1, 0, 2, 2, 1];
+        let mut scratch = SwapScratch::new();
+        let whole = check_order_compat_sweep(&ctx, &a, &b, &mut scratch);
+        let sharded = ctx
+            .classes()
+            .chunks(1)
+            .all(|chunk| check_order_compat_sweep_classes(chunk, &a, &b, &mut scratch));
+        assert_eq!(whole, sharded);
+        let whole_const = check_constancy(&ctx, &b);
+        let sharded_const = ctx
+            .classes()
+            .chunks(2)
+            .all(|chunk| check_constancy_classes(chunk, &b));
+        assert_eq!(whole_const, sharded_const);
     }
 
     #[test]

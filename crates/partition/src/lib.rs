@@ -17,13 +17,18 @@
 //! * removal-based error measures ([`constancy_removal_error`],
 //!   [`swap_removal_error`]) used by the approximate-OD extension.
 
+#![deny(missing_docs)]
+
 mod checks;
 mod errors;
 mod scratch;
 mod sorted;
 mod stripped;
 
-pub use checks::{check_constancy, check_order_compat, find_constancy_violation, find_swap};
+pub use checks::{
+    check_constancy, check_constancy_classes, check_order_compat, check_order_compat_sweep,
+    check_order_compat_sweep_classes, find_constancy_violation, find_swap,
+};
 pub use errors::{constancy_removal_error, swap_removal_error};
 pub use scratch::{ClassMap, ProductScratch, SwapScratch};
 pub use sorted::SortedColumn;

@@ -132,12 +132,18 @@ impl Default for SwapState {
 
 /// Scratch space for swap checks: one per-class run state, plus a
 /// [`ClassMap`]. Reused across checks that share a context partition.
+///
+/// Validators keep one `SwapScratch` per worker thread for the whole
+/// discovery run, so the buffers grown at one lattice level are reused at
+/// every later level instead of being reallocated per node.
 #[derive(Default)]
 pub struct SwapScratch {
     pub(crate) class_map: ClassMap,
     pub(crate) states: Vec<SwapState>,
     /// Row achieving `run_max_b` in the current run, for witnesses.
     pub(crate) run_max_row: Vec<u32>,
+    /// `(A, B)` code pairs of one class, for the sort-then-sweep check.
+    pub(crate) pairs: Vec<(u32, u32)>,
     /// Whether `class_map` currently holds the partition given by this token.
     loaded_for: Option<usize>,
 }

@@ -217,6 +217,21 @@ impl StrippedPartition {
     ///
     /// A row lands in a product class iff it is in a non-singleton class of
     /// *both* operands and shares both class memberships with another row.
+    /// The scratch arena is caller-owned so hot paths (the lattice driver
+    /// keeps one per worker thread) reuse its row-indexed buffers across
+    /// millions of products instead of reallocating per node.
+    ///
+    /// ```
+    /// use fastod_partition::{ProductScratch, StrippedPartition};
+    ///
+    /// // Π*_A = {{0,1,2,3}}, Π*_B = {{0,1},{2,3,4}} over 5 rows.
+    /// let pa = StrippedPartition::from_codes(&[0, 0, 0, 0, 1], 2);
+    /// let pb = StrippedPartition::from_codes(&[0, 0, 1, 1, 1], 2);
+    /// let mut scratch = ProductScratch::new();
+    /// let pab = pa.product(&pb, &mut scratch);
+    /// // Rows agreeing on BOTH A and B: {0,1} and {2,3} (4 is singleton in A).
+    /// assert_eq!(pab.normalized(), vec![vec![0, 1], vec![2, 3]]);
+    /// ```
     pub fn product(&self, other: &StrippedPartition, scratch: &mut ProductScratch) -> StrippedPartition {
         debug_assert_eq!(self.n_rows, other.n_rows);
         // Probe with the smaller-class-count side for better bucket reuse.

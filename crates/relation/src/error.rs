@@ -10,14 +10,36 @@ pub enum RelationError {
     /// More than 64 attributes (the [`crate::AttrSet`] width).
     TooManyAttributes(usize),
     /// Columns of differing lengths were supplied.
-    RaggedColumns { expected: usize, found: usize, column: String },
+    RaggedColumns {
+        /// Row count of the first column.
+        expected: usize,
+        /// Row count of the offending column.
+        found: usize,
+        /// Name of the offending column.
+        column: String,
+    },
     /// A cell value did not match its column's declared type.
-    TypeMismatch { column: String, row: usize },
+    TypeMismatch {
+        /// Column holding the mistyped value.
+        column: String,
+        /// Row index of the mistyped value.
+        row: usize,
+    },
     /// Appending rows from a relation whose schema differs from the target's
     /// (attribute names, order and types must all match).
-    SchemaMismatch { expected: String, found: String },
+    SchemaMismatch {
+        /// Rendered schema of the append target.
+        expected: String,
+        /// Rendered schema of the batch.
+        found: String,
+    },
     /// CSV parsing failed.
-    Csv { line: usize, message: String },
+    Csv {
+        /// 1-based source line of the malformed record.
+        line: usize,
+        /// Parser diagnostic.
+        message: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }

@@ -33,6 +33,8 @@
 //! assert_eq!(enc.code(3, 0), 0);
 //! ```
 
+#![deny(missing_docs)]
+
 mod attr;
 mod column;
 pub mod csv;

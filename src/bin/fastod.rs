@@ -8,6 +8,9 @@
 //!   --no-header            treat the first line as data (columns named c0, c1, ...)
 //!   --max-level <N>        cap the lattice level (context size + 1)
 //!   --timeout <SECS>       cancel discovery after this budget
+//!   --threads <N>          worker threads for validation/products
+//!                          (default 1; 0 = all cores; the discovered
+//!                          cover is identical at any thread count)
 //!   --epsilon <F>          approximate discovery: tolerate removing an
 //!                          F-fraction of rows (0.0 = exact)
 //!   --violations <OD>      instead of discovering, check one OD and print
@@ -28,6 +31,7 @@ struct Args {
     header: bool,
     max_level: Option<usize>,
     timeout: Option<u64>,
+    threads: usize,
     epsilon: Option<f64>,
     violations: Option<String>,
     stats: bool,
@@ -39,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         header: true,
         max_level: None,
         timeout: None,
+        threads: 1,
         epsilon: None,
         violations: None,
         stats: false,
@@ -71,6 +76,11 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--epsilon: {e}"))?,
                 )
+            }
+            "--threads" => {
+                args.threads = need(&mut iter, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--violations" => args.violations = Some(need(&mut iter, "--violations")?),
             "--help" | "-h" => return Err("help".into()),
@@ -118,7 +128,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: fastod <FILE.csv> [--no-header] [--max-level N] [--timeout SECS] \
-                 [--epsilon F] [--violations OD] [--stats]"
+                 [--threads N] [--epsilon F] [--violations OD] [--stats]"
             );
             return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
@@ -165,13 +175,17 @@ fn main() -> ExitCode {
         None => CancelToken::never(),
     };
     let result = if let Some(eps) = args.epsilon {
-        let mut cfg = ApproxConfig::new(eps).with_cancel(cancel);
+        let mut cfg = ApproxConfig::new(eps)
+            .with_cancel(cancel)
+            .with_threads(args.threads);
         if let Some(l) = args.max_level {
             cfg = cfg.with_max_level(l);
         }
         ApproxFastod::new(cfg).try_discover(&enc)
     } else {
-        let mut cfg = DiscoveryConfig::default().with_cancel(cancel);
+        let mut cfg = DiscoveryConfig::default()
+            .with_cancel(cancel)
+            .with_threads(args.threads);
         if let Some(l) = args.max_level {
             cfg = cfg.with_max_level(l);
         }

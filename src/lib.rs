@@ -17,6 +17,13 @@
 //! * [`baselines`] — the ORDER and TANE comparators;
 //! * [`datagen`] — synthetic dataset generators for the paper's workloads.
 //!
+//! The crate map and data flow are documented in `ARCHITECTURE.md`;
+//! `README.md` has a CSV-to-cover quickstart and the experiment-harness
+//! knobs. Discovery is data-parallel: set
+//! [`DiscoveryConfig::threads`](discovery::DiscoveryConfig) to shard
+//! validation scans and partition products across worker threads — the
+//! discovered cover is identical at every thread count.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -33,6 +33,15 @@ fn arb_wide_relation() -> impl Strategy<Value = EncodedRelation> {
     )
 }
 
+/// The 7-attribute band opened up by the oracle's sort-then-sweep pair scan
+/// (128 contexts per instance; rows kept small so the `O(|valid|²)`
+/// minimality filter stays fast).
+fn arb_seven_attr_relation() -> impl Strategy<Value = EncodedRelation> {
+    (4usize..=12, 1u32..=3, any::<u64>()).prop_map(|(n_rows, max_card, seed)| {
+        fastod_suite::datagen::random_relation(n_rows, 7, max_card, seed).encode()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -75,6 +84,30 @@ proptest! {
             enc.n_attrs(),
             enc.n_rows(),
             report.diff(&result.ods)
+        );
+    }
+
+    /// Theorem 8 on the 7-attribute band — the deepest lattice the oracle
+    /// reaches (ROADMAP's "7–8-attribute" goal, unblocked by the
+    /// sub-quadratic per-class pair scan). Also cross-checks that a
+    /// multi-threaded run agrees with the oracle, closing the loop between
+    /// the parallel executor and ground truth.
+    #[test]
+    fn fastod_equals_oracle_on_seven_attrs(enc in arb_seven_attr_relation()) {
+        let report = oracle_minimal_cover(&enc);
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        prop_assert!(
+            report.matches(&result.ods),
+            "FASTOD != oracle minimal cover on 7 attrs x {} rows:\n{}",
+            enc.n_rows(),
+            report.diff(&result.ods)
+        );
+        let parallel = Fastod::new(DiscoveryConfig::default().with_threads(4)).discover(&enc);
+        prop_assert!(
+            report.matches(&parallel.ods),
+            "parallel FASTOD != oracle minimal cover on 7 attrs x {} rows:\n{}",
+            enc.n_rows(),
+            report.diff(&parallel.ods)
         );
     }
 

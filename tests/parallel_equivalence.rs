@@ -1,0 +1,134 @@
+//! The parallel executor's determinism contract, pinned.
+//!
+//! `DiscoveryConfig::threads` shards candidate validations and partition
+//! products across worker threads, but the discovered cover must be — and
+//! is, by construction — **independent of the thread count**: verdicts are
+//! merged back in deterministic task order and every mutation of algorithm
+//! state is applied sequentially from that merged order. These tests pin
+//! both halves of the claim: set-identity of the cover across thread counts
+//! (on generated tables, via proptest) and bit-identical *result ordering*
+//! (the insertion order of `DiscoveryResult::ods`, which downstream
+//! consumers may iterate).
+
+use fastod_suite::discovery::{ApproxConfig, ApproxFastod};
+use fastod_suite::prelude::*;
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (1usize..=6, 0usize..=24, 1u32..=4, any::<u64>()).prop_map(
+        |(n_attrs, n_rows, max_card, seed)| {
+            fastod_suite::datagen::random_relation(n_rows, n_attrs, max_card, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The cover from `threads: N` is identical — same ODs, same insertion
+    /// order — to `threads: 1` across generated tables. `threads: 0`
+    /// (auto-detect) is included since it resolves to whatever the host has.
+    #[test]
+    fn cover_identical_across_thread_counts(rel in arb_relation()) {
+        let enc = rel.encode();
+        let reference = Fastod::new(DiscoveryConfig::default().with_threads(1)).discover(&enc);
+        let ref_order: Vec<CanonicalOd> = reference.ods.iter().copied().collect();
+        for threads in [0usize, 2, 3, 4, 8] {
+            let got = Fastod::new(DiscoveryConfig::default().with_threads(threads))
+                .discover(&enc);
+            let got_order: Vec<CanonicalOd> = got.ods.iter().copied().collect();
+            prop_assert_eq!(
+                &got_order, &ref_order,
+                "cover or ordering diverged at threads={}", threads
+            );
+            // The per-level work accounting must not depend on sharding.
+            prop_assert_eq!(got.stats.total_checks(), reference.stats.total_checks());
+            prop_assert_eq!(got.stats.total_nodes(), reference.stats.total_nodes());
+        }
+    }
+
+    /// Approximate discovery honours the same contract (its validator has a
+    /// separate parallel batch path).
+    #[test]
+    fn approx_cover_identical_across_thread_counts(rel in arb_relation()) {
+        let enc = rel.encode();
+        let reference = ApproxFastod::new(ApproxConfig::new(0.1)).discover(&enc);
+        let ref_order: Vec<CanonicalOd> = reference.ods.iter().copied().collect();
+        for threads in [2usize, 4] {
+            let got = ApproxFastod::new(ApproxConfig::new(0.1).with_threads(threads))
+                .discover(&enc);
+            let got_order: Vec<CanonicalOd> = got.ods.iter().copied().collect();
+            prop_assert_eq!(&got_order, &ref_order, "threads={}", threads);
+        }
+    }
+
+    /// The incremental engine threads its judged batches through the same
+    /// executor: a 4-thread engine must track a single-threaded one (and the
+    /// ground truth) across a stream of appends.
+    #[test]
+    fn incremental_cover_identical_across_thread_counts(
+        base in arb_relation(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let n_attrs = base.schema().n_attrs();
+        let mut single = fastod_suite::incremental::IncrementalDiscovery::with_config(
+            &base, DiscoveryConfig::default().with_threads(1)).unwrap();
+        let mut parallel = fastod_suite::incremental::IncrementalDiscovery::with_config(
+            &base, DiscoveryConfig::default().with_threads(4)).unwrap();
+        let mut concat = base.clone();
+        for seed in seeds {
+            let batch = fastod_suite::datagen::random_relation(3, n_attrs, 3, seed);
+            single.push_batch(&batch).unwrap();
+            parallel.push_batch(&batch).unwrap();
+            concat.extend(&batch).unwrap();
+            prop_assert_eq!(single.cover().sorted(), parallel.cover().sorted());
+        }
+        let fresh = Fastod::new(DiscoveryConfig::default()).discover(&concat.encode());
+        prop_assert_eq!(parallel.cover().sorted(), fresh.ods.sorted());
+    }
+}
+
+/// Result ordering is deterministic run-to-run at a fixed thread count —
+/// not just set-equal: repeated multi-threaded runs yield the same
+/// insertion-ordered OD sequence, level stats included.
+#[test]
+fn repeated_parallel_runs_are_bit_identical() {
+    let rel = fastod_suite::datagen::flight_like(400, 8, 0xDE7E12);
+    let enc = rel.encode();
+    let runs: Vec<Vec<CanonicalOd>> = (0..3)
+        .map(|_| {
+            Fastod::new(DiscoveryConfig::default().with_threads(4))
+                .discover(&enc)
+                .ods
+                .iter()
+                .copied()
+                .collect()
+        })
+        .collect();
+    assert!(!runs[0].is_empty(), "fixture should discover something");
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+    // And the multi-threaded ordering equals the single-threaded one.
+    let seq: Vec<CanonicalOd> = Fastod::new(DiscoveryConfig::default())
+        .discover(&enc)
+        .ods
+        .iter()
+        .copied()
+        .collect();
+    assert_eq!(runs[0], seq);
+}
+
+/// Cancellation propagates out of the sharded phases at any thread count.
+#[test]
+fn parallel_cancellation_still_propagates() {
+    let rel = fastod_suite::datagen::ncvoter_like(2000, 8, 0xCA9CE1);
+    let enc = rel.encode();
+    for threads in [1usize, 4] {
+        let cfg = DiscoveryConfig::default()
+            .with_threads(threads)
+            .with_cancel(fastod_suite::discovery::CancelToken::with_timeout(
+                std::time::Duration::ZERO,
+            ));
+        assert!(Fastod::new(cfg).try_discover(&enc).is_err(), "threads={threads}");
+    }
+}

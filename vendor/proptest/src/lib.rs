@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this vendored crate
 //! re-implements the subset of proptest the test suites rely on: the
-//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`/`prop_flat_map`,
 //! integer-range and tuple strategies, [`strategy::Just`], [`arbitrary::any`],
 //! `prop::collection::vec`, and the `prop_assert*` macros.
 //!
