@@ -1,0 +1,88 @@
+//! Hot-path micro-benchmarks for the flat CSR partition layout: partition
+//! products, the sort-then-sweep swap check, the chunked constancy sweep,
+//! and the CSR append path. These are the operations the layout change was
+//! made for — run them before and after touching `crates/partition` to catch
+//! representation regressions without a full `exp1` sweep.
+//!
+//! The benches also pin the **scratch-reuse** contract of the product in
+//! steady state: after a warm-up product, repeated products through the
+//! same [`ProductScratch`] must not grow its arena
+//! ([`ProductScratch::arena_bytes`] stays constant — the assertion below
+//! fails the bench run if reuse breaks and buffers start reallocating).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fastod_datagen::{flight_like, ncvoter_like};
+use fastod_partition::{
+    check_constancy, check_order_compat_sweep, ProductScratch, StrippedPartition, SwapScratch,
+};
+
+fn bench_partition_hot(c: &mut Criterion) {
+    let enc = flight_like(20_000, 10, 0xC5A0).encode();
+    let p_carrier = StrippedPartition::from_codes(enc.codes(5), enc.cardinality(5));
+    let p_orig = StrippedPartition::from_codes(enc.codes(7), enc.cardinality(7));
+
+    let mut group = c.benchmark_group("partition_hot");
+    group.sample_size(30);
+
+    group.bench_function("csr_product_20k", |b| {
+        let mut scratch = ProductScratch::new();
+        // Warm the arena, then assert steady state: the scratch buffers must
+        // not grow (or be reallocated) across repeated products.
+        let _ = p_carrier.product(&p_orig, &mut scratch);
+        let arena_after_warmup = scratch.arena_bytes();
+        assert!(arena_after_warmup > 0);
+        b.iter(|| {
+            let p = black_box(&p_carrier).product(black_box(&p_orig), &mut scratch);
+            assert_eq!(
+                scratch.arena_bytes(),
+                arena_after_warmup,
+                "scratch arena grew in steady state"
+            );
+            p
+        })
+    });
+
+    group.bench_function("swap_sweep_20k", |b| {
+        let mut scratch = SwapScratch::new();
+        b.iter(|| {
+            check_order_compat_sweep(
+                black_box(&p_carrier),
+                enc.codes(2),
+                enc.codes(8),
+                &mut scratch,
+            )
+        })
+    });
+
+    group.bench_function("constancy_sweep_20k", |b| {
+        b.iter(|| check_constancy(black_box(&p_carrier), black_box(enc.codes(7))))
+    });
+
+    // CSR append: absorb a 5% tail batch into the 95% prefix partition.
+    let grown = ncvoter_like(21_000, 6, 0x9C1E).encode();
+    let codes = grown.codes(3);
+    let card = grown.cardinality(3);
+    let old_n = 20_000;
+    group.bench_function("csr_append_5pct_tail", |b| {
+        let head: Vec<u32> = codes[..old_n].to_vec();
+        b.iter(|| {
+            let mut p = StrippedPartition::from_codes(black_box(&head), card);
+            p.extend_rows(old_n); // no-op, keeps the shape explicit
+            black_box(p.append_codes(codes, card))
+        })
+    });
+    // The append alone, isolated from the rebuild cost above: amortized via
+    // one prefix partition cloned per iteration (clone is two memcpys in CSR).
+    let prefix = StrippedPartition::from_codes(&codes[..old_n], card);
+    group.bench_function("csr_append_only", |b| {
+        b.iter(|| {
+            let mut p = prefix.clone();
+            black_box(p.append_codes(codes, card))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_hot);
+criterion_main!(benches);

@@ -42,7 +42,6 @@ fn bench_partitions(c: &mut Criterion) {
             check_order_compat(
                 black_box(&p_carrier),
                 &tau_day,
-                enc.codes(2),
                 enc.codes(8),
                 &mut scratch,
                 Some(1),

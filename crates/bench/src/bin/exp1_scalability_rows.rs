@@ -59,6 +59,9 @@ fn main() {
         "TANE #FDs".to_string(),
     ]);
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    // Single-thread validation-phase ms at each dataset's largest row count,
+    // for the perf-smoke regression gate (results/exp1_validation.json).
+    let mut val_json: Vec<(String, f64)> = Vec::new();
     for ((name, gen), &max) in datasets.iter().zip(&max_rows) {
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut table = Table::new(&header_refs);
@@ -73,6 +76,15 @@ fn main() {
                 Order::new(OrderConfig { cancel: t, ..Default::default() }).try_discover(&enc)
             });
             let runs = fastod_thread_sweep(&enc, &threads_sweep, budget, &format!("{name} |r|={n}"));
+            if pct == 100 {
+                if let Some(val) = runs
+                    .iter()
+                    .find(|r| r.threads == 1)
+                    .and_then(|r| r.val_time)
+                {
+                    val_json.push((name.to_string(), val.as_secs_f64() * 1_000.0));
+                }
+            }
             let fast_summary = runs
                 .iter()
                 .rev()
@@ -121,5 +133,12 @@ fn main() {
         ],
         &csv_rows,
     );
-    println!("(CSV written to results/exp1_scalability_rows.csv)");
+    fastod_bench::write_results_file(
+        "exp1_validation.json",
+        &fastod_bench::validation_json(&val_json),
+    );
+    println!(
+        "(CSV written to results/exp1_scalability_rows.csv; validation-phase JSON to \
+         results/exp1_validation.json)"
+    );
 }

@@ -1,0 +1,82 @@
+//! **Perf-smoke gate** for the scheduled perf workflow.
+//!
+//! Compares the single-thread exp1 validation-phase times just produced by
+//! `exp1_scalability_rows` (`results/exp1_validation.json`) against the
+//! committed baseline (`results/perf_baseline.json`) and exits non-zero when
+//! any dataset regressed by more than the tolerance (default 25%, override
+//! with `PERF_SMOKE_TOLERANCE`, a fraction).
+//!
+//! Absolute times are hardware-bound: the committed baseline must come from
+//! the same runner class the weekly job uses. Refresh it by copying a green
+//! run's `exp1_validation.json` artifact over `results/perf_baseline.json`.
+//!
+//! Usage: `perf_smoke [baseline.json] [fresh.json]` (defaults to the two
+//! paths above).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .unwrap_or_else(|| "results/perf_baseline.json".to_string());
+    let fresh_path = args
+        .next()
+        .unwrap_or_else(|| "results/exp1_validation.json".to_string());
+    let tolerance: f64 = std::env::var("PERF_SMOKE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+
+    let read = |path: &str| -> Option<Vec<(String, f64)>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Some(fastod_bench::parse_validation_json(&text)),
+            Err(e) => {
+                eprintln!("perf_smoke: cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(baseline), Some(fresh)) = (read(&baseline_path), read(&fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+    if baseline.is_empty() || fresh.is_empty() {
+        eprintln!("perf_smoke: empty baseline or fresh measurements");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut compared = 0;
+    for (name, base_ms) in &baseline {
+        let Some((_, fresh_ms)) = fresh.iter().find(|(n, _)| n == name) else {
+            eprintln!("perf_smoke: dataset {name} missing from fresh run — failing");
+            failed = true;
+            continue;
+        };
+        compared += 1;
+        let ratio = fresh_ms / base_ms;
+        let verdict = if *fresh_ms > base_ms * (1.0 + tolerance) {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "perf_smoke: {name}: baseline {base_ms:.1}ms, fresh {fresh_ms:.1}ms \
+             ({ratio:.2}x) — {verdict}"
+        );
+    }
+    if compared == 0 {
+        eprintln!("perf_smoke: no overlapping datasets to compare");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        eprintln!(
+            "perf_smoke: validation-phase time regressed > {:.0}% on at least one dataset",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf_smoke: all datasets within {:.0}% of baseline", tolerance * 100.0);
+    ExitCode::SUCCESS
+}

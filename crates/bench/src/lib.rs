@@ -239,6 +239,39 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     write_results_file(&format!("{name}.csv"), &body);
 }
 
+/// Renders single-thread validation-phase times as the flat JSON object the
+/// perf-smoke gate consumes: `{"flight": 138.2, "ncvoter": ...}` (ms).
+pub fn validation_json(entries: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, ms)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(out, "  \"{name}\": {ms:.3}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat `{"name": ms, ...}` JSON written by [`validation_json`].
+/// Deliberately minimal (no external JSON dependency in the offline build):
+/// accepts exactly the shape this suite writes — string keys, numeric
+/// values, no nesting.
+pub fn parse_validation_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for part in text.trim().trim_start_matches('{').trim_end_matches('}').split(',') {
+        let Some((key, value)) = part.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        if let Ok(ms) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), ms));
+        }
+    }
+    out
+}
+
 /// Writes an arbitrary artifact (e.g. a JSON summary for the scheduled perf
 /// job) under `results/`, creating the directory. Non-fatal on failure.
 pub fn write_results_file(file_name: &str, contents: &str) {
@@ -271,6 +304,24 @@ mod tests {
         assert!(out.value().is_none());
         assert!(out.time_str().starts_with("*>"));
         assert_eq!(out.annotate(|v| v.to_string()), "—");
+    }
+
+    #[test]
+    fn validation_json_round_trips() {
+        let entries = vec![
+            ("flight".to_string(), 138.25),
+            ("ncvoter".to_string(), 1090.0),
+            ("dbtesma".to_string(), 80.5),
+        ];
+        let text = validation_json(&entries);
+        let parsed = parse_validation_json(&text);
+        assert_eq!(parsed.len(), 3);
+        for ((n1, v1), (n2, v2)) in entries.iter().zip(&parsed) {
+            assert_eq!(n1, n2);
+            assert!((v1 - v2).abs() < 1e-3, "{n1}: {v1} vs {v2}");
+        }
+        assert!(parse_validation_json("{}").is_empty());
+        assert!(parse_validation_json("not json at all").is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::config::DiscoveryConfig;
 use crate::lattice::{build_level0, build_level1, calculate_next_level_parallel, Level};
 use crate::parallel::Executor;
 use crate::result::DiscoveryResult;
-use crate::snapshot::{compute_candidate_sets, prune_level, validate_level};
+use crate::snapshot::{compute_candidate_sets_parallel, prune_level, validate_level};
 use crate::stats::{DiscoveryStats, LevelStats};
 use crate::validators::{ExactValidator, OdJudge};
 use crate::{CancelToken, Cancelled};
@@ -113,7 +113,7 @@ pub(crate) fn run_lattice<J: OdJudge>(
             nodes: current.len(),
             ..Default::default()
         };
-        compute_candidate_sets(l, &mut current, &prev, n_attrs);
+        compute_candidate_sets_parallel(l, &mut current, &prev, n_attrs, &exec, &opts.cancel)?;
         let validate_start = Instant::now();
         validate_level(
             l,

@@ -33,44 +33,88 @@ use crate::validators::{OdJudge, ValidationTask};
 use crate::{CancelToken, Cancelled};
 use fastod_relation::{AttrId, AttrSet};
 use fastod_theory::{CanonicalOd, OdSet};
+use std::collections::HashMap;
+
+/// The pure per-node half of `computeODs(L_l)` lines 1–8: `C⁺c(X)` and
+/// `C⁺s(X)` for one node, read entirely from the (immutable) parent level.
+fn candidate_sets_of(l: usize, bits: u64, prev: &Level, n_attrs: usize) -> (AttrSet, PairSet) {
+    let x = AttrSet::from_bits(bits);
+    // C⁺c(X) = ∩_{A ∈ X} C⁺c(X\A)   (line 2).
+    let mut cc = AttrSet::full(n_attrs);
+    for (_, parent_set) in x.parents() {
+        cc = cc.intersect(prev[&parent_set.bits()].cc);
+    }
+    let mut cs = PairSet::new(n_attrs);
+    if l == 2 {
+        // Line 4: C⁺s({A,B}) = {{A,B}}.
+        let attrs = x.to_vec();
+        cs.insert(attrs[0], attrs[1]);
+    } else if l > 2 {
+        // Line 6: pairs present in C⁺s(X\D) for every D ∈ X\{A,B}.
+        let mut candidates = PairSet::new(n_attrs);
+        for (_, parent_set) in x.parents() {
+            candidates.union_with(&prev[&parent_set.bits()].cs);
+        }
+        for (a, b) in candidates.iter() {
+            let ok = x
+                .without(a)
+                .without(b)
+                .iter()
+                .all(|d| prev[&x.without(d).bits()].cs.contains(a, b));
+            if ok {
+                cs.insert(a, b);
+            }
+        }
+    }
+    (cc, cs)
+}
 
 /// `computeODs(L_l)` lines 1–8: derives `C⁺c(X)` and `C⁺s(X)` for every node
 /// of level `l` from its parents in level `l−1`.
 pub fn compute_candidate_sets(l: usize, current: &mut Level, prev: &Level, n_attrs: usize) {
     let keys = sorted_keys(current);
     for &bits in &keys {
-        let x = AttrSet::from_bits(bits);
-        // C⁺c(X) = ∩_{A ∈ X} C⁺c(X\A)   (line 2).
-        let mut cc = AttrSet::full(n_attrs);
-        for (_, parent_set) in x.parents() {
-            cc = cc.intersect(prev[&parent_set.bits()].cc);
-        }
-        let mut cs = PairSet::new(n_attrs);
-        if l == 2 {
-            // Line 4: C⁺s({A,B}) = {{A,B}}.
-            let attrs = x.to_vec();
-            cs.insert(attrs[0], attrs[1]);
-        } else if l > 2 {
-            // Line 6: pairs present in C⁺s(X\D) for every D ∈ X\{A,B}.
-            let mut candidates = PairSet::new(n_attrs);
-            for (_, parent_set) in x.parents() {
-                candidates.union_with(&prev[&parent_set.bits()].cs);
-            }
-            for (a, b) in candidates.iter() {
-                let ok = x
-                    .without(a)
-                    .without(b)
-                    .iter()
-                    .all(|d| prev[&x.without(d).bits()].cs.contains(a, b));
-                if ok {
-                    cs.insert(a, b);
-                }
-            }
-        }
+        let (cc, cs) = candidate_sets_of(l, bits, prev, n_attrs);
         let node = current.get_mut(&bits).expect("node exists");
         node.cc = cc;
         node.cs = cs;
     }
+}
+
+/// [`compute_candidate_sets`] with the per-node derivations sharded across
+/// `exec`'s worker threads.
+///
+/// Each node's candidate sets are a pure function of the immutable previous
+/// level, so the nodes are embarrassingly parallel; the executor merges the
+/// results in key order and they are applied sequentially over the sorted
+/// keys — byte-for-byte the sequential outcome at any thread count.
+///
+/// # Errors
+/// [`Cancelled`] when `cancel` fires mid-level.
+pub fn compute_candidate_sets_parallel(
+    l: usize,
+    current: &mut Level,
+    prev: &Level,
+    n_attrs: usize,
+    exec: &Executor,
+    cancel: &CancelToken,
+) -> Result<(), Cancelled> {
+    if !exec.is_parallel() || current.len() < 2 {
+        cancel.check()?;
+        compute_candidate_sets(l, current, prev, n_attrs);
+        return Ok(());
+    }
+    let keys = sorted_keys(current);
+    let mut pool: Vec<()> = Vec::new();
+    let results = exec.try_map_with(&mut pool, || (), &keys, cancel, |(), _i, &bits| {
+        candidate_sets_of(l, bits, prev, n_attrs)
+    })?;
+    for (&bits, (cc, cs)) in keys.iter().zip(results) {
+        let node = current.get_mut(&bits).expect("node exists");
+        node.cc = cc;
+        node.cs = cs;
+    }
+    Ok(())
 }
 
 /// What a validated candidate does to the level state once its verdict is
@@ -214,10 +258,38 @@ pub fn prune_level(l: usize, current: &mut Level, lstats: &mut LevelStats) {
 /// A snapshot is a *warehouse*, not a live algorithm state: consumers take
 /// nodes out ([`DiscoverySnapshot::take_node`]) as they rebuild each level,
 /// and store the rebuilt levels back.
+///
+/// # Memory budgeting
+///
+/// Retained partitions are byte-accounted (the CSR layout makes a node's
+/// cost exactly `rows.len()*4 + offsets.len()*4`, see
+/// [`fastod_partition::StrippedPartition::memory_bytes`]). When a budget is
+/// set ([`DiscoverySnapshot::set_budget`], wired from
+/// [`crate::DiscoveryConfig::partition_memory_budget`]),
+/// [`enforce_budget`](DiscoverySnapshot::enforce_budget) evicts whole nodes
+/// — least-recently-*reused* first — until the resident bytes fit. Eviction
+/// is always safe: a later pass that misses a node simply recomputes its
+/// partition (one parent product, or one counting sort at level 1), so the
+/// budget trades reuse for memory without ever changing results.
+///
+/// Recency is tracked per `(level, bits)` key across passes: reusing a node
+/// via `take_node` stamps it with the current pass, while a node that had to
+/// be *recomputed* (its retained copy was stale or evicted) inherits its old
+/// stamp — regions that keep getting invalidated stay cold and go first.
 #[derive(Default)]
 pub struct DiscoverySnapshot {
     levels: Vec<Level>,
     n_rows: usize,
+    /// Monotone pass counter (bumped by [`DiscoverySnapshot::advanced_from`]).
+    pass: u64,
+    /// `(level, bits)` → pass in which the node's partition was last reused.
+    last_reuse: HashMap<(u32, u64), u64>,
+    /// Keys handed out by `take_node` since this snapshot was built.
+    taken: Vec<(u32, u64)>,
+    /// Partition byte cap; `None` retains everything.
+    budget: Option<usize>,
+    /// Nodes evicted by budget enforcement over this snapshot's lifetime.
+    evicted: usize,
 }
 
 impl DiscoverySnapshot {
@@ -228,7 +300,58 @@ impl DiscoverySnapshot {
 
     /// Wraps the retained levels of a finished traversal over `n_rows` rows.
     pub fn from_levels(levels: Vec<Level>, n_rows: usize) -> DiscoverySnapshot {
-        DiscoverySnapshot { levels, n_rows }
+        let mut snap = DiscoverySnapshot {
+            levels,
+            n_rows,
+            pass: 1,
+            ..DiscoverySnapshot::default()
+        };
+        for key in snap.keys() {
+            snap.last_reuse.insert(key, snap.pass);
+        }
+        snap
+    }
+
+    /// Builds the successor snapshot of `old` from a freshly rebuilt
+    /// lattice: the pass counter advances, nodes whose partitions were
+    /// reused out of `old` (via [`take_node`](DiscoverySnapshot::take_node))
+    /// are stamped with the new pass, recomputed nodes inherit their old
+    /// stamp (or the new pass when the key is new), and `old`'s budget is
+    /// carried over and enforced.
+    pub fn advanced_from(
+        old: &DiscoverySnapshot,
+        levels: Vec<Level>,
+        n_rows: usize,
+    ) -> DiscoverySnapshot {
+        let pass = old.pass + 1;
+        let reused: std::collections::HashSet<(u32, u64)> = old.taken.iter().copied().collect();
+        let mut snap = DiscoverySnapshot {
+            levels,
+            n_rows,
+            pass,
+            budget: old.budget,
+            evicted: old.evicted,
+            ..DiscoverySnapshot::default()
+        };
+        for key in snap.keys() {
+            let stamp = if reused.contains(&key) {
+                pass
+            } else {
+                old.last_reuse.get(&key).copied().unwrap_or(pass)
+            };
+            snap.last_reuse.insert(key, stamp);
+        }
+        snap.enforce_budget();
+        snap
+    }
+
+    /// Every `(level, bits)` key currently present.
+    fn keys(&self) -> Vec<(u32, u64)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .flat_map(|(l, level)| level.keys().map(move |&bits| (l as u32, bits)))
+            .collect()
     }
 
     /// Row count of the relation the snapshot was computed over.
@@ -257,9 +380,78 @@ impl DiscoverySnapshot {
     }
 
     /// Removes and returns a node, transferring ownership of its partition
-    /// to the caller (the reuse path of the incremental engine).
+    /// to the caller (the reuse path of the incremental engine). The key is
+    /// recorded as *reused* for LRU accounting in the successor snapshot.
     pub fn take_node(&mut self, level: usize, bits: u64) -> Option<Node> {
-        self.levels.get_mut(level)?.remove(&bits)
+        let node = self.levels.get_mut(level)?.remove(&bits)?;
+        self.taken.push((level as u32, bits));
+        Some(node)
+    }
+
+    /// Sets (or clears) the partition byte budget. The cap is enforced on
+    /// the next [`enforce_budget`](DiscoverySnapshot::enforce_budget) /
+    /// [`advanced_from`](DiscoverySnapshot::advanced_from) call.
+    pub fn set_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+    }
+
+    /// The configured partition byte budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Resident partition bytes across all retained nodes (CSR buffers
+    /// only; the accounting unit of the budget).
+    pub fn partition_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|level| level.values())
+            .map(|node| node.partition.memory_bytes())
+            .sum()
+    }
+
+    /// Nodes evicted by budget enforcement so far (cumulative across
+    /// [`advanced_from`](DiscoverySnapshot::advanced_from) generations).
+    pub fn evicted_nodes(&self) -> usize {
+        self.evicted
+    }
+
+    /// Evicts nodes until [`partition_bytes`](DiscoverySnapshot::partition_bytes)
+    /// fits the budget, returning how many were dropped. Order: stalest
+    /// `last_reuse` stamp first; ties broken deepest level first (deep
+    /// products are one cheap parent product away), then ascending bits —
+    /// fully deterministic.
+    pub fn enforce_budget(&mut self) -> usize {
+        let Some(budget) = self.budget else {
+            return 0;
+        };
+        let mut resident = self.partition_bytes();
+        if resident <= budget {
+            return 0;
+        }
+        let mut order: Vec<(u64, std::cmp::Reverse<u32>, u64)> = self
+            .keys()
+            .into_iter()
+            .map(|(l, bits)| {
+                let stamp = self.last_reuse.get(&(l, bits)).copied().unwrap_or(0);
+                (stamp, std::cmp::Reverse(l), bits)
+            })
+            .collect();
+        order.sort_unstable();
+        let mut dropped = 0;
+        for (_, std::cmp::Reverse(l), bits) in order {
+            if resident <= budget {
+                break;
+            }
+            let node = self.levels[l as usize]
+                .remove(&bits)
+                .expect("eviction key present");
+            resident -= node.partition.memory_bytes();
+            self.last_reuse.remove(&(l, bits));
+            dropped += 1;
+        }
+        self.evicted += dropped;
+        dropped
     }
 }
 
@@ -322,6 +514,66 @@ mod tests {
         assert!(snap.n_nodes() > n_attrs);
         assert_eq!(snap.n_rows(), 6);
         assert!(snap.node(0, AttrSet::EMPTY.bits()).is_some());
+    }
+
+    #[test]
+    fn budget_enforcement_is_byte_accounted_and_deterministic() {
+        let enc = enc();
+        let make = || vec![build_level0(enc.n_rows(), 3), build_level1(&enc)];
+        let mut snap = DiscoverySnapshot::from_levels(make(), enc.n_rows());
+        let full = snap.partition_bytes();
+        assert!(full > 0);
+        assert_eq!(snap.enforce_budget(), 0, "no budget, no eviction");
+
+        // A budget of half the footprint must evict something, land at or
+        // under the cap, and count the drops.
+        snap.set_budget(Some(full / 2));
+        let dropped = snap.enforce_budget();
+        assert!(dropped > 0);
+        assert!(snap.partition_bytes() <= full / 2);
+        assert_eq!(snap.evicted_nodes(), dropped);
+        // Idempotent once under budget.
+        assert_eq!(snap.enforce_budget(), 0);
+
+        // Same inputs, same budget → same surviving node set (determinism).
+        let mut snap2 = DiscoverySnapshot::from_levels(make(), enc.n_rows());
+        snap2.set_budget(Some(full / 2));
+        snap2.enforce_budget();
+        let keys = |s: &DiscoverySnapshot| {
+            let mut k: Vec<(usize, u64)> = s
+                .levels()
+                .iter()
+                .enumerate()
+                .flat_map(|(l, lv)| lv.keys().map(move |&b| (l, b)))
+                .collect();
+            k.sort_unstable();
+            k
+        };
+        assert_eq!(keys(&snap), keys(&snap2));
+    }
+
+    #[test]
+    fn advanced_from_stamps_reused_nodes_hot() {
+        let enc = enc();
+        let mut old =
+            DiscoverySnapshot::from_levels(vec![build_level0(enc.n_rows(), 3), build_level1(&enc)], enc.n_rows());
+        // Reuse exactly one level-1 node; rebuild the same lattice shape.
+        let hot_bits = AttrSet::singleton(1).bits();
+        let node = old.take_node(1, hot_bits).expect("node exists");
+        let mut level1 = build_level1(&enc);
+        level1.insert(hot_bits, node);
+        let mut snap = DiscoverySnapshot::advanced_from(
+            &old,
+            vec![build_level0(enc.n_rows(), 3), level1],
+            enc.n_rows(),
+        );
+        // Budget that only fits roughly one level-1 partition: the reused
+        // (hot) node must be the survivor among level-1 nodes of equal size.
+        let hot_bytes = snap.node(1, hot_bits).unwrap().partition.memory_bytes();
+        let level0_bytes = snap.node(0, AttrSet::EMPTY.bits()).unwrap().partition.memory_bytes();
+        snap.set_budget(Some(hot_bytes + level0_bytes));
+        snap.enforce_budget();
+        assert!(snap.node(1, hot_bits).is_some(), "hot node evicted");
     }
 
     #[test]

@@ -297,7 +297,7 @@ fn exact_order_compat(
         return check_order_compat_sweep(ctx, enc.codes(a), enc.codes(b), scratch);
     }
     let tau = taus[a].get_or_init(|| SortedColumn::build(enc.codes(a), enc.cardinality(a)));
-    check_order_compat(ctx, tau, enc.codes(a), enc.codes(b), scratch, Some(token))
+    check_order_compat(ctx, tau, enc.codes(b), scratch, Some(token))
 }
 
 impl OdValidator for ExactValidator<'_> {
@@ -393,7 +393,7 @@ impl OdValidator for ExactValidator<'_> {
                                         cancel,
                                         |_s, _i, range| {
                                             check_constancy_classes(
-                                                &parent.classes()[range.clone()],
+                                                parent.classes().slice(range.clone()),
                                                 enc.codes(rhs),
                                             )
                                         },
@@ -425,7 +425,7 @@ impl OdValidator for ExactValidator<'_> {
                             cancel,
                             |scratch, _i, range| {
                                 check_order_compat_sweep_classes(
-                                    &ctx.classes()[range.clone()],
+                                    ctx.classes().slice(range.clone()),
                                     enc.codes(a),
                                     enc.codes(b),
                                     scratch,

@@ -4,8 +4,8 @@ use crate::judge::CachedJudge;
 use crate::stats::{BatchReport, IncrementalStats};
 use fastod::parallel::Executor;
 use fastod::snapshot::{
-    build_level0, compute_candidate_sets, generate_next_level, prune_level, validate_level,
-    DiscoverySnapshot, Level, Node,
+    build_level0, compute_candidate_sets_parallel, generate_next_level, prune_level,
+    validate_level, DiscoverySnapshot, Level, Node,
 };
 use fastod::{Cancelled, DiscoveryConfig, ExactValidator, LevelStats};
 use fastod_partition::{ProductScratch, StrippedPartition};
@@ -313,7 +313,7 @@ impl IncrementalDiscovery {
                     let prev = &before[l - 1];
                     let empty = Level::new();
                     let prev_prev = if l >= 2 { &before[l - 2] } else { &empty };
-                    compute_candidate_sets(l, current, prev, n_attrs);
+                    compute_candidate_sets_parallel(l, current, prev, n_attrs, &exec, &cancel)?;
                     validate_level(
                         l, current, prev, prev_prev, &mut judge, &mut m, &mut lstats, true,
                         &exec, &cancel,
@@ -356,10 +356,18 @@ impl IncrementalDiscovery {
             }
         }
 
-        let counters = judge.counters.clone();
+        let mut counters = judge.counters.clone();
         drop(judge);
         drop(validator);
-        self.snapshot = DiscoverySnapshot::from_levels(levels, n_rows);
+        // Successor snapshot: reused nodes stamped hot, recomputed nodes
+        // keep their old recency, then the byte budget (if any) evicts the
+        // coldest partitions — they will be recomputed on demand next pass.
+        let evicted_before = old.evicted_nodes();
+        let mut snapshot = DiscoverySnapshot::advanced_from(&old, levels, n_rows);
+        snapshot.set_budget(self.config.partition_memory_budget);
+        snapshot.enforce_budget();
+        counters.nodes_evicted = snapshot.evicted_nodes() - evicted_before;
+        self.snapshot = snapshot;
         // Appends only retire cover members by falsifying them and only
         // promote ODs uncovered by those falsifications — compute both diffs.
         let retired: Vec<CanonicalOd> = self

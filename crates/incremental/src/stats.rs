@@ -29,6 +29,9 @@ pub struct BatchCounters {
     pub partitions_appended: usize,
     /// Nodes marked dirty — contexts the batch can actually have broken.
     pub dirty_nodes: usize,
+    /// Retained nodes evicted by the snapshot's partition memory budget
+    /// after this pass (see `DiscoveryConfig::partition_memory_budget`).
+    pub nodes_evicted: usize,
 }
 
 impl BatchCounters {
@@ -42,6 +45,7 @@ impl BatchCounters {
         self.nodes_recomputed += other.nodes_recomputed;
         self.partitions_appended += other.partitions_appended;
         self.dirty_nodes += other.dirty_nodes;
+        self.nodes_evicted += other.nodes_evicted;
     }
 }
 

@@ -10,7 +10,31 @@
 //!   (strictly smaller-`A`) run of the same class. Linear in |r| per check.
 
 use crate::scratch::SwapScratch;
+use crate::stripped::Classes;
 use crate::{SortedColumn, StrippedPartition};
+
+/// Inner-loop chunk width for the branch-lean scans: within a chunk the
+/// verdict is accumulated with bitwise AND (no per-row branch, so the
+/// compiler can unroll/vectorize the gather-compare); the early-exit branch
+/// runs once per chunk.
+const SCAN_CHUNK: usize = 64;
+
+/// Whether every row of one contiguous class slice carries the same
+/// `codes` value as the class representative.
+#[inline]
+fn class_is_constant(class: &[u32], codes: &[u32]) -> bool {
+    let first = codes[class[0] as usize];
+    for chunk in class.chunks(SCAN_CHUNK) {
+        let mut ok = true;
+        for &row in chunk {
+            ok &= codes[row as usize] == first;
+        }
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
 
 /// Checks the constancy OD `X: [] ↦ A` given `Π*_X` and `A`'s codes.
 ///
@@ -20,14 +44,11 @@ pub fn check_constancy(ctx: &StrippedPartition, codes_a: &[u32]) -> bool {
     check_constancy_classes(ctx.classes(), codes_a)
 }
 
-/// [`check_constancy`] over an explicit class slice. Classes are independent,
-/// so a caller may shard a large partition's classes across worker threads
-/// and AND the per-shard results.
-pub fn check_constancy_classes(classes: &[Vec<u32>], codes_a: &[u32]) -> bool {
-    classes.iter().all(|class| {
-        let first = codes_a[class[0] as usize];
-        class[1..].iter().all(|&row| codes_a[row as usize] == first)
-    })
+/// [`check_constancy`] over a class view. Classes are independent, so a
+/// caller may shard a large partition's classes across worker threads (via
+/// [`Classes::slice`]) and AND the per-shard results.
+pub fn check_constancy_classes(classes: Classes<'_>, codes_a: &[u32]) -> bool {
+    classes.iter().all(|class| class_is_constant(class, codes_a))
 }
 
 /// Like [`check_constancy`] but returns a witness pair `(s, t)` with
@@ -50,7 +71,8 @@ pub fn find_constancy_violation(
 }
 
 /// Checks the order-compatibility OD `X: A ~ B` (no swap within any class of
-/// `Π*_X`), via a single scan of `τ_A`.
+/// `Π*_X`), via a single scan of `τ_A`. The `A`-order (including equal-`A`
+/// run structure) comes entirely from `tau_a` — `A`'s codes are never read.
 ///
 /// `context_token`, when provided, lets the scratch reuse the row→class map
 /// across successive checks with the same context partition (FASTOD checks
@@ -58,12 +80,11 @@ pub fn find_constancy_violation(
 pub fn check_order_compat(
     ctx: &StrippedPartition,
     tau_a: &SortedColumn,
-    codes_a: &[u32],
     codes_b: &[u32],
     scratch: &mut SwapScratch,
     context_token: Option<usize>,
 ) -> bool {
-    swap_scan(ctx, tau_a, codes_a, codes_b, scratch, context_token).is_none()
+    swap_scan(ctx, tau_a, codes_b, scratch, context_token).is_none()
 }
 
 /// Like [`check_order_compat`] but returns a witness *swap* pair `(s, t)`
@@ -71,11 +92,10 @@ pub fn check_order_compat(
 pub fn find_swap(
     ctx: &StrippedPartition,
     tau_a: &SortedColumn,
-    codes_a: &[u32],
     codes_b: &[u32],
     scratch: &mut SwapScratch,
 ) -> Option<(u32, u32)> {
-    swap_scan(ctx, tau_a, codes_a, codes_b, scratch, None)
+    swap_scan(ctx, tau_a, codes_b, scratch, None)
 }
 
 /// Checks `X: A ~ B` by per-class **sort-then-sweep** instead of the full
@@ -99,11 +119,11 @@ pub fn check_order_compat_sweep(
     check_order_compat_sweep_classes(ctx.classes(), codes_a, codes_b, scratch)
 }
 
-/// [`check_order_compat_sweep`] over an explicit class slice, for sharding a
-/// single large context's classes across worker threads (classes are
-/// independent: a swap never crosses class boundaries).
+/// [`check_order_compat_sweep`] over a class view, for sharding a single
+/// large context's classes across worker threads via [`Classes::slice`]
+/// (classes are independent: a swap never crosses class boundaries).
 pub fn check_order_compat_sweep_classes(
-    classes: &[Vec<u32>],
+    classes: Classes<'_>,
     codes_a: &[u32],
     codes_b: &[u32],
     scratch: &mut SwapScratch,
@@ -141,48 +161,88 @@ pub fn check_order_compat_sweep_classes(
     })
 }
 
+/// The run-structured τ-scan shared by [`check_order_compat`] and
+/// [`find_swap`]: `τ_A` is walked **run by run** (equal-`A` groups are
+/// pre-materialized by the counting sort, so no `A`-code is ever read),
+/// each covered row does one packed class-map probe and one `B`-code
+/// gather, and the per-class run maxima are folded into `prev_max` when the
+/// run ends — only for the classes the run actually touched.
 fn swap_scan(
     ctx: &StrippedPartition,
     tau_a: &SortedColumn,
-    codes_a: &[u32],
     codes_b: &[u32],
     scratch: &mut SwapScratch,
     context_token: Option<usize>,
 ) -> Option<(u32, u32)> {
+    debug_assert_eq!(tau_a.len(), codes_b.len(), "τ_A and B-codes disagree on |r|");
     if ctx.is_superkey() {
         // Lemma 13: singleton classes admit no swaps.
         return None;
     }
+    if ctx.n_classes() == 1 && ctx.covered_rows() == ctx.n_rows() {
+        // The unit context (level-2's `{}: A ~ B` checks): every row is in
+        // the single class, so membership probes vanish entirely.
+        return swap_scan_full_single_class(tau_a, codes_b);
+    }
     scratch.load(ctx, context_token);
-    for &row in tau_a.order() {
-        let Some(class) = scratch.class_map.class_of(row) else {
-            continue;
-        };
-        let ci = class as usize;
-        let a = codes_a[row as usize];
-        let b = codes_b[row as usize];
-        let st = &mut scratch.states[ci];
-        if !st.initialized {
-            st.initialized = true;
-            st.last_a = a;
-            st.run_max_b = b;
-            scratch.run_max_row[ci] = row;
-        } else if a != st.last_a {
-            // A-run boundary: fold the finished run into prev_max.
+    for run in tau_a.runs() {
+        for &row in run {
+            let Some(class) = scratch.class_map.class_of(row) else {
+                continue;
+            };
+            let ci = class as usize;
+            let b = codes_b[row as usize];
+            let st = &mut scratch.states[ci];
+            if i64::from(b) < st.prev_max_b {
+                // prev_max_row ≺_A row (earlier run) but row ≺_B prev_max_row.
+                return Some((st.prev_max_row, row));
+            }
+            if !st.in_run {
+                st.in_run = true;
+                st.run_max_b = b;
+                scratch.run_max_row[ci] = row;
+                scratch.run_touched.push(ci as u32);
+            } else if b > st.run_max_b {
+                st.run_max_b = b;
+                scratch.run_max_row[ci] = row;
+            }
+        }
+        // Fold the finished run into prev_max for the touched classes only.
+        for &ci in &scratch.run_touched {
+            let st = &mut scratch.states[ci as usize];
             if i64::from(st.run_max_b) > st.prev_max_b {
                 st.prev_max_b = i64::from(st.run_max_b);
-                st.prev_max_row = scratch.run_max_row[ci];
+                st.prev_max_row = scratch.run_max_row[ci as usize];
             }
-            st.last_a = a;
-            st.run_max_b = b;
-            scratch.run_max_row[ci] = row;
-        } else if b > st.run_max_b {
-            st.run_max_b = b;
-            scratch.run_max_row[ci] = row;
+            st.in_run = false;
         }
-        if i64::from(b) < st.prev_max_b {
-            // prev_max_row ≺_A row (earlier run) but row ≺_B prev_max_row.
-            return Some((st.prev_max_row, row));
+        scratch.run_touched.clear();
+    }
+    None
+}
+
+/// [`swap_scan`] specialized for a context with one class covering every
+/// row: a pure sequential walk of `τ_A`'s runs with one `B`-code gather per
+/// row and scalar run state.
+fn swap_scan_full_single_class(tau_a: &SortedColumn, codes_b: &[u32]) -> Option<(u32, u32)> {
+    let mut prev_max_b: i64 = -1;
+    let mut prev_max_row = u32::MAX;
+    for run in tau_a.runs() {
+        let mut run_max_b = 0u32;
+        let mut run_max_row = u32::MAX;
+        for &row in run {
+            let b = codes_b[row as usize];
+            if i64::from(b) < prev_max_b {
+                return Some((prev_max_row, row));
+            }
+            if run_max_row == u32::MAX || b > run_max_b {
+                run_max_b = b;
+                run_max_row = row;
+            }
+        }
+        if run_max_row != u32::MAX && i64::from(run_max_b) > prev_max_b {
+            prev_max_b = i64::from(run_max_b);
+            prev_max_row = run_max_row;
         }
     }
     None
@@ -215,7 +275,7 @@ mod tests {
         let card = codes_a.iter().max().map_or(0, |&m| m + 1);
         let tau = SortedColumn::build(codes_a, card);
         let mut scratch = SwapScratch::new();
-        let fast = check_order_compat(ctx, &tau, codes_a, codes_b, &mut scratch, None);
+        let fast = check_order_compat(ctx, &tau, codes_b, &mut scratch, None);
         assert_eq!(fast, swap_naive(ctx, codes_a, codes_b), "fast vs naive");
         let sweep = check_order_compat_sweep(ctx, codes_a, codes_b, &mut scratch);
         assert_eq!(fast, sweep, "tau-scan vs sort-then-sweep");
@@ -234,16 +294,15 @@ mod tests {
         let b = vec![0, 1, 2, 1, 0, 2, 2, 1];
         let mut scratch = SwapScratch::new();
         let whole = check_order_compat_sweep(&ctx, &a, &b, &mut scratch);
-        let sharded = ctx
-            .classes()
-            .chunks(1)
-            .all(|chunk| check_order_compat_sweep_classes(chunk, &a, &b, &mut scratch));
+        let sharded = (0..ctx.n_classes()).all(|i| {
+            check_order_compat_sweep_classes(ctx.classes().slice(i..i + 1), &a, &b, &mut scratch)
+        });
         assert_eq!(whole, sharded);
         let whole_const = check_constancy(&ctx, &b);
-        let sharded_const = ctx
-            .classes()
-            .chunks(2)
-            .all(|chunk| check_constancy_classes(chunk, &b));
+        let sharded_const = (0..ctx.n_classes()).step_by(2).all(|i| {
+            let hi = (i + 2).min(ctx.n_classes());
+            check_constancy_classes(ctx.classes().slice(i..hi), &b)
+        });
         assert_eq!(whole_const, sharded_const);
     }
 
@@ -295,7 +354,7 @@ mod tests {
         assert!(!compat(&ctx, &a, &b));
         let tau = SortedColumn::build(&a, 2);
         let mut scratch = SwapScratch::new();
-        let wit = find_swap(&ctx, &tau, &a, &b, &mut scratch).unwrap();
+        let wit = find_swap(&ctx, &tau, &b, &mut scratch).unwrap();
         // Witness: row 1 (a=0,b=5) ≺_A row 2 (a=1,b=3) and swap on B.
         assert_eq!(wit, (1, 2));
     }
@@ -338,9 +397,9 @@ mod tests {
         let c = vec![3, 2, 1, 0];
         let tau = SortedColumn::build(&a, 4);
         let mut scratch = SwapScratch::new();
-        assert!(check_order_compat(&ctx, &tau, &a, &b, &mut scratch, Some(42)));
+        assert!(check_order_compat(&ctx, &tau, &b, &mut scratch, Some(42)));
         // Same token: class map reused; different pair checked correctly.
-        assert!(!check_order_compat(&ctx, &tau, &a, &c, &mut scratch, Some(42)));
+        assert!(!check_order_compat(&ctx, &tau, &c, &mut scratch, Some(42)));
     }
 
     #[test]

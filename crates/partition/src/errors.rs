@@ -112,8 +112,8 @@ mod tests {
         assert_eq!(swap_removal_error(&ctx, &a, &desc), 3);
         let tau = SortedColumn::build(&a, 4);
         let mut s = SwapScratch::new();
-        assert!(check_order_compat(&ctx, &tau, &a, &asc, &mut s, None));
-        assert!(!check_order_compat(&ctx, &tau, &a, &desc, &mut s, None));
+        assert!(check_order_compat(&ctx, &tau, &asc, &mut s, None));
+        assert!(!check_order_compat(&ctx, &tau, &desc, &mut s, None));
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! classes `Π_X = { E(t_X) }`. This crate provides:
 //!
 //! * [`StrippedPartition`] — `Π*_X`, the partition with singleton classes
-//!   discarded (Lemma 14: singletons cannot falsify any canonical OD);
+//!   discarded (Lemma 14: singletons cannot falsify any canonical OD),
+//!   stored **flat** in CSR form (one contiguous row buffer + class
+//!   offsets) so every scan is a linear walk over contiguous memory —
+//!   see [`Classes`] for the borrowed view consumers iterate/shard;
 //! * linear-time partition **products** `Π_X = Π_Y · Π_Z` with reusable
 //!   scratch space, so level `l` partitions are derived from level `l−1`
 //!   partitions instead of being rebuilt from scratch;
@@ -32,4 +35,4 @@ pub use checks::{
 pub use errors::{constancy_removal_error, swap_removal_error};
 pub use scratch::{ClassMap, ProductScratch, SwapScratch};
 pub use sorted::SortedColumn;
-pub use stripped::{AppendDelta, StrippedPartition};
+pub use stripped::{AppendDelta, Classes, ClassesIter, StrippedPartition};

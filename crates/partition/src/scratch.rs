@@ -8,6 +8,12 @@
 use crate::StrippedPartition;
 
 /// Scratch space for [`StrippedPartition::product`].
+///
+/// Everything the product touches is a flat, row- or class-indexed array
+/// that persists across calls: the probe/stamp maps, the per-LHS-class
+/// `count`/`cursor` arrays (maintained all-zero / overwritten per call), and
+/// the CSR output buffers the product writes its result into before taking
+/// an exact-size copy. Zero per-class allocations, ever.
 #[derive(Default)]
 pub struct ProductScratch {
     /// `probe[row]` = class index in the LHS partition (valid only when
@@ -15,15 +21,39 @@ pub struct ProductScratch {
     pub(crate) probe: Vec<u32>,
     pub(crate) stamp: Vec<u32>,
     pub(crate) epoch: u32,
-    /// One reusable bucket per LHS class.
-    pub(crate) buckets: Vec<Vec<u32>>,
+    /// Rows of the current RHS class falling in each LHS class; all-zero
+    /// between products (restored via `touched` after every RHS class).
+    pub(crate) count: Vec<u32>,
+    /// Per-LHS-class write position into `out_rows` (`u32::MAX` = the
+    /// product class died as a singleton and its rows are skipped).
+    pub(crate) cursor: Vec<u32>,
+    /// LHS classes hit by the current RHS class, in first-encounter order.
     pub(crate) touched: Vec<u32>,
+    /// Reusable flat CSR output: concatenated product-class rows.
+    pub(crate) out_rows: Vec<u32>,
+    /// Reusable flat CSR output: product-class offsets into `out_rows`.
+    pub(crate) out_offsets: Vec<u32>,
 }
 
 impl ProductScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> ProductScratch {
         ProductScratch::default()
+    }
+
+    /// Resident capacity of every arena buffer, in bytes. Steady-state
+    /// contract: once warmed on a workload, repeated products through the
+    /// same scratch must not grow this (pinned by the `partition_hot`
+    /// criterion bench).
+    pub fn arena_bytes(&self) -> usize {
+        (self.probe.capacity()
+            + self.stamp.capacity()
+            + self.count.capacity()
+            + self.cursor.capacity()
+            + self.touched.capacity()
+            + self.out_rows.capacity()
+            + self.out_offsets.capacity())
+            * std::mem::size_of::<u32>()
     }
 
     /// Prepares the scratch for a product over `n_rows` rows and
@@ -33,9 +63,11 @@ impl ProductScratch {
             self.probe.resize(n_rows, 0);
             self.stamp.resize(n_rows, 0);
         }
-        if self.buckets.len() < n_lhs_classes {
-            self.buckets.resize_with(n_lhs_classes, Vec::new);
+        if self.count.len() < n_lhs_classes {
+            self.count.resize(n_lhs_classes, 0);
+            self.cursor.resize(n_lhs_classes, 0);
         }
+        debug_assert!(self.count.iter().all(|&c| c == 0), "count invariant broken");
         // On wrap-around the stale stamps could collide; reset then.
         if self.epoch == u32::MAX {
             self.stamp.fill(0);
@@ -50,10 +82,14 @@ impl ProductScratch {
 ///
 /// Built in O(covered rows) from a [`StrippedPartition`]; rows in singleton
 /// classes map to `None`. Reused across validations without clearing.
+///
+/// Epoch and class index are packed into **one** `u64` per row
+/// (`epoch << 32 | class`), so the τ-scan's membership probe costs a single
+/// random memory read instead of separate stamp + class lookups.
 #[derive(Default)]
 pub struct ClassMap {
-    class_of: Vec<u32>,
-    stamp: Vec<u32>,
+    /// `epoch << 32 | class` per row; stale epochs mean "not covered".
+    entries: Vec<u64>,
     epoch: u32,
     n_classes: usize,
 }
@@ -67,19 +103,19 @@ impl ClassMap {
     /// Loads the mapping for `partition`.
     pub fn assign(&mut self, partition: &StrippedPartition) {
         let n = partition.n_rows();
-        if self.class_of.len() < n {
-            self.class_of.resize(n, 0);
-            self.stamp.resize(n, 0);
+        if self.entries.len() < n {
+            self.entries.resize(n, 0);
         }
         if self.epoch == u32::MAX {
-            self.stamp.fill(0);
+            self.entries.fill(0);
             self.epoch = 0;
         }
         self.epoch += 1;
+        let tag = u64::from(self.epoch) << 32;
         for (ci, class) in partition.classes().iter().enumerate() {
+            let entry = tag | ci as u64;
             for &row in class {
-                self.class_of[row as usize] = ci as u32;
-                self.stamp[row as usize] = self.epoch;
+                self.entries[row as usize] = entry;
             }
         }
         self.n_classes = partition.n_classes();
@@ -89,9 +125,9 @@ impl ClassMap {
     /// class (stripped away).
     #[inline]
     pub fn class_of(&self, row: u32) -> Option<u32> {
-        let r = row as usize;
-        if self.stamp[r] == self.epoch {
-            Some(self.class_of[r])
+        let entry = self.entries[row as usize];
+        if (entry >> 32) as u32 == self.epoch {
+            Some(entry as u32)
         } else {
             None
         }
@@ -103,29 +139,27 @@ impl ClassMap {
     }
 }
 
-/// Per-class running state for the single-scan swap check
+/// Per-class running state for the run-structured swap scan
 /// (see [`crate::check_order_compat`]).
 #[derive(Clone, Copy)]
 pub(crate) struct SwapState {
-    /// Last `A`-code seen for this class (current run).
-    pub last_a: u32,
-    /// Max `B`-code within the current `A`-run.
+    /// Max `B`-code within the current `A`-run (valid while `in_run`).
     pub run_max_b: u32,
     /// Max `B`-code over all *completed* runs (strictly smaller `A`), with
     /// the row achieving it (for witness reporting). -1 when no completed run.
     pub prev_max_b: i64,
     pub prev_max_row: u32,
-    pub initialized: bool,
+    /// Whether this class has been touched by the current `A`-run.
+    pub in_run: bool,
 }
 
 impl Default for SwapState {
     fn default() -> Self {
         SwapState {
-            last_a: 0,
             run_max_b: 0,
             prev_max_b: -1,
             prev_max_row: u32::MAX,
-            initialized: false,
+            in_run: false,
         }
     }
 }
@@ -142,6 +176,9 @@ pub struct SwapScratch {
     pub(crate) states: Vec<SwapState>,
     /// Row achieving `run_max_b` in the current run, for witnesses.
     pub(crate) run_max_row: Vec<u32>,
+    /// Classes touched by the current `A`-run (their run maxima get folded
+    /// into `prev_max` when the run ends).
+    pub(crate) run_touched: Vec<u32>,
     /// `(A, B)` code pairs of one class, for the sort-then-sweep check.
     pub(crate) pairs: Vec<(u32, u32)>,
     /// Whether `class_map` currently holds the partition given by this token.
@@ -168,6 +205,7 @@ impl SwapScratch {
         self.states.resize(k, SwapState::default());
         self.run_max_row.clear();
         self.run_max_row.resize(k, u32::MAX);
+        self.run_touched.clear();
     }
 
     /// Invalidates the cached context token.

@@ -5,14 +5,23 @@
 //! tuples by A." Since columns are dense-rank encoded, τ_A is a counting sort
 //! of row ids by code — O(n + cardinality) — computed once per attribute and
 //! shared by every swap check that involves `A`.
+//!
+//! Beyond the flat row order, `τ_A` retains the counting sort's prefix sums
+//! as **run boundaries**: `runs()` yields the equal-code groups as
+//! contiguous slices, so the swap scans iterate `A`-runs structurally
+//! instead of re-reading `A`'s codes row by row to detect boundaries.
 
-/// All rows of the relation ordered ascending by one attribute's codes.
+/// All rows of the relation ordered ascending by one attribute's codes,
+/// with the equal-code run boundaries retained.
 ///
 /// Rows with equal codes are contiguous; their relative order (row-id
 /// ascending, a byproduct of counting sort) is irrelevant to the checks.
 #[derive(Clone, Debug)]
 pub struct SortedColumn {
     order: Vec<u32>,
+    /// `cardinality + 1` prefix offsets into `order`: run `c` (all rows with
+    /// code `c`) is `order[starts[c]..starts[c+1]]`.
+    starts: Vec<u32>,
 }
 
 impl SortedColumn {
@@ -27,18 +36,34 @@ impl SortedColumn {
         for i in 1..counts.len() {
             counts[i] += counts[i - 1];
         }
+        let starts = counts.clone();
         let mut order = vec![0u32; n];
         for (row, &c) in codes.iter().enumerate() {
             let slot = counts[c as usize];
             order[slot as usize] = row as u32;
             counts[c as usize] += 1;
         }
-        SortedColumn { order }
+        SortedColumn { order, starts }
     }
 
     /// Row ids in ascending attribute order.
     pub fn order(&self) -> &[u32] {
         &self.order
+    }
+
+    /// The equal-code runs in ascending code order, each a contiguous slice
+    /// of [`SortedColumn::order`]. Dense ranks guarantee every run is
+    /// non-empty.
+    #[inline]
+    pub fn runs(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.starts
+            .windows(2)
+            .map(move |w| &self.order[w[0] as usize..w[1] as usize])
+    }
+
+    /// Number of equal-code runs (= the column's cardinality).
+    pub fn n_runs(&self) -> usize {
+        self.starts.len() - 1
     }
 
     /// Number of rows.
@@ -72,6 +97,25 @@ mod tests {
     }
 
     #[test]
+    fn runs_partition_the_order() {
+        let codes = vec![2, 0, 1, 0, 2, 1, 1];
+        let tau = SortedColumn::build(&codes, 3);
+        let runs: Vec<&[u32]> = tau.runs().collect();
+        assert_eq!(tau.n_runs(), 3);
+        assert_eq!(runs[0], &[1, 3]);
+        assert_eq!(runs[1], &[2, 5, 6]);
+        assert_eq!(runs[2], &[0, 4]);
+        // Concatenated runs = the full order.
+        let flat: Vec<u32> = runs.concat();
+        assert_eq!(flat.as_slice(), tau.order());
+        // Every run is non-empty and code-homogeneous.
+        for (c, run) in tau.runs().enumerate() {
+            assert!(!run.is_empty());
+            assert!(run.iter().all(|&r| codes[r as usize] == c as u32));
+        }
+    }
+
+    #[test]
     fn paper_example_tau_bin() {
         // Table 1: bin column = [1,2,3,1,2,3] →
         // τ_bin = {{t1,t4},{t2,t5},{t3,t6}} (0-indexed).
@@ -85,5 +129,6 @@ mod tests {
         let tau = SortedColumn::build(&[], 0);
         assert!(tau.is_empty());
         assert_eq!(tau.len(), 0);
+        assert_eq!(tau.n_runs(), 0);
     }
 }

@@ -1,4 +1,4 @@
-//! Stripped partitions `Π*_X` and their products.
+//! Stripped partitions `Π*_X` and their products, in a flat CSR layout.
 
 use crate::scratch::ProductScratch;
 
@@ -20,9 +20,114 @@ impl AppendDelta {
     }
 }
 
+/// A borrowed view of a partition's equivalence classes in CSR form: class
+/// `i` is the contiguous row-id slice `rows[offsets[i]..offsets[i+1]]`.
+///
+/// The view is `Copy` and cheap to slice ([`Classes::slice`]), which is how
+/// validators shard one large partition's classes across worker threads
+/// without touching the underlying buffers. Offsets are absolute into the
+/// owning partition's row buffer, so a sub-view indexes the same memory.
+#[derive(Clone, Copy, Debug)]
+pub struct Classes<'a> {
+    rows: &'a [u32],
+    /// `len() + 1` monotone offsets into `rows`.
+    offsets: &'a [u32],
+}
+
+impl<'a> Classes<'a> {
+    /// Number of classes in the view.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the view holds no classes.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() <= 1
+    }
+
+    /// The `i`-th class as a contiguous row-id slice.
+    #[inline]
+    pub fn get(&self, i: usize) -> &'a [u32] {
+        &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total rows covered by the classes in this view.
+    pub fn covered_rows(&self) -> usize {
+        (self.offsets[self.offsets.len() - 1] - self.offsets[0]) as usize
+    }
+
+    /// A sub-view over classes `range.start..range.end` (same buffers).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Classes<'a> {
+        Classes {
+            rows: self.rows,
+            offsets: &self.offsets[range.start..=range.end],
+        }
+    }
+
+    /// Iterates the classes as contiguous slices. Takes the (Copy) view by
+    /// value so the iterator borrows only the underlying partition.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = &'a [u32]> + 'a {
+        let rows = self.rows;
+        self.offsets
+            .windows(2)
+            .map(move |w| &rows[w[0] as usize..w[1] as usize])
+    }
+}
+
+impl<'a> IntoIterator for Classes<'a> {
+    type Item = &'a [u32];
+    type IntoIter = ClassesIter<'a>;
+
+    fn into_iter(self) -> ClassesIter<'a> {
+        ClassesIter {
+            rows: self.rows,
+            offsets: self.offsets,
+            next: 0,
+        }
+    }
+}
+
+/// Owning iterator over a [`Classes`] view (`for class in partition.classes()`).
+pub struct ClassesIter<'a> {
+    rows: &'a [u32],
+    offsets: &'a [u32],
+    next: usize,
+}
+
+impl<'a> Iterator for ClassesIter<'a> {
+    type Item = &'a [u32];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.next + 1 >= self.offsets.len() {
+            return None;
+        }
+        let lo = self.offsets[self.next] as usize;
+        let hi = self.offsets[self.next + 1] as usize;
+        self.next += 1;
+        Some(&self.rows[lo..hi])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.offsets.len() - 1 - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
 /// A stripped partition `Π*_X`: the equivalence classes of the tuples under
 /// attribute set `X`, with singleton classes removed (paper §4.6,
 /// Example 12, Lemma 14).
+///
+/// # Memory layout
+///
+/// Classes live in one flat **CSR** pair: a contiguous `rows` buffer holding
+/// every covered row id, class by class, and a `class_offsets` index with
+/// `n_classes + 1` entries delimiting the classes. Every hot operation —
+/// products, swap/constancy sweeps, the error-rate shortcut — is a linear
+/// scan over these two arrays; nothing on the validation path chases a
+/// per-class heap pointer. `covered_rows`/`error` are O(1) reads of
+/// `rows.len()`.
 ///
 /// Row ids are `u32` (relations are capped well below 4B rows). Classes and
 /// the rows inside them are kept in first-encounter order; use
@@ -30,23 +135,39 @@ impl AppendDelta {
 #[derive(Clone, Debug)]
 pub struct StrippedPartition {
     n_rows: usize,
-    classes: Vec<Vec<u32>>,
+    /// Concatenated row ids of all non-singleton classes.
+    rows: Vec<u32>,
+    /// `n_classes + 1` offsets into `rows`; always starts at 0.
+    class_offsets: Vec<u32>,
 }
 
 impl StrippedPartition {
+    fn from_csr(n_rows: usize, rows: Vec<u32>, class_offsets: Vec<u32>) -> StrippedPartition {
+        debug_assert!(!class_offsets.is_empty() && class_offsets[0] == 0);
+        debug_assert_eq!(*class_offsets.last().unwrap() as usize, rows.len());
+        StrippedPartition {
+            n_rows,
+            rows,
+            class_offsets,
+        }
+    }
+
     /// The partition `Π*_{{}}` of the empty attribute set: one class holding
     /// every row (or no class at all for relations with < 2 rows).
     pub fn unit(n_rows: usize) -> StrippedPartition {
-        let classes = if n_rows >= 2 {
-            vec![(0..n_rows as u32).collect()]
+        if n_rows >= 2 {
+            StrippedPartition::from_csr(
+                n_rows,
+                (0..n_rows as u32).collect(),
+                vec![0, n_rows as u32],
+            )
         } else {
-            Vec::new()
-        };
-        StrippedPartition { n_rows, classes }
+            StrippedPartition::from_csr(n_rows, Vec::new(), vec![0])
+        }
     }
 
     /// Builds `Π*_{{A}}` from a dense-rank code column via counting sort,
-    /// O(n + cardinality).
+    /// O(n + cardinality), writing straight into the flat CSR buffers.
     pub fn from_codes(codes: &[u32], cardinality: u32) -> StrippedPartition {
         let n = codes.len();
         let card = cardinality as usize;
@@ -55,36 +176,42 @@ impl StrippedPartition {
         for &c in codes {
             counts[c as usize] += 1;
         }
-        // Buckets for codes occurring at least twice.
-        let mut classes: Vec<Vec<u32>> = Vec::new();
-        let mut class_idx: Vec<u32> = vec![u32::MAX; card];
+        // One class per code occurring at least twice, in ascending code
+        // order; `cursor[code]` doubles as the class's write position.
+        let mut class_offsets = vec![0u32];
+        let mut cursor: Vec<u32> = vec![u32::MAX; card];
+        let mut total = 0u32;
         for (code, &count) in counts.iter().enumerate() {
             if count >= 2 {
-                class_idx[code] = classes.len() as u32;
-                classes.push(Vec::with_capacity(count as usize));
+                cursor[code] = total;
+                total += count;
+                class_offsets.push(total);
             }
         }
+        let mut rows = vec![0u32; total as usize];
         for (row, &c) in codes.iter().enumerate() {
-            let ci = class_idx[c as usize];
-            if ci != u32::MAX {
-                classes[ci as usize].push(row as u32);
+            let cur = cursor[c as usize];
+            if cur != u32::MAX {
+                rows[cur as usize] = row as u32;
+                cursor[c as usize] = cur + 1;
             }
         }
-        StrippedPartition {
-            n_rows: n,
-            classes,
-        }
+        StrippedPartition::from_csr(n, rows, class_offsets)
     }
 
-    /// Builds a partition directly from classes. Singleton classes are
-    /// dropped; rows must be distinct and `< n_rows` (debug-asserted).
+    /// Builds a partition directly from materialized classes. Singleton
+    /// classes are dropped; rows must be distinct and `< n_rows`
+    /// (debug-asserted). Convenience for tests and one-off callers — hot
+    /// paths construct CSR buffers directly.
     pub fn from_classes(n_rows: usize, classes: Vec<Vec<u32>>) -> StrippedPartition {
-        let classes: Vec<Vec<u32>> = classes.into_iter().filter(|c| c.len() >= 2).collect();
-        debug_assert!(classes
-            .iter()
-            .flatten()
-            .all(|&r| (r as usize) < n_rows));
-        StrippedPartition { n_rows, classes }
+        let mut rows = Vec::new();
+        let mut class_offsets = vec![0u32];
+        for class in classes.iter().filter(|c| c.len() >= 2) {
+            debug_assert!(class.iter().all(|&r| (r as usize) < n_rows));
+            rows.extend_from_slice(class);
+            class_offsets.push(rows.len() as u32);
+        }
+        StrippedPartition::from_csr(n_rows, rows, class_offsets)
     }
 
     /// Number of rows in the underlying relation.
@@ -109,10 +236,13 @@ impl StrippedPartition {
     /// therefore leaves the stored row-id classes valid — and rows
     /// `self.n_rows()..codes.len()` are the new ones. Each new row joins the
     /// class of its code, resurrecting old singletons into fresh classes when
-    /// they gain their first partner.
+    /// they gain their first partner. The CSR buffers are rebuilt in one
+    /// sequential write (joining rows land at their class's tail, keeping
+    /// classes in ascending row-id order).
     ///
-    /// Cost: O(cardinality + |classes| + Δ), plus one O(old rows) scan only
-    /// when some new row's code belongs to an old singleton or unseen code.
+    /// Cost: O(cardinality + covered rows + Δ), plus one O(old rows) scan
+    /// only when some new row's code belongs to an old singleton or unseen
+    /// code.
     pub fn append_codes(&mut self, codes: &[u32], cardinality: u32) -> AppendDelta {
         let old_n = self.n_rows;
         let new_n = codes.len();
@@ -123,92 +253,174 @@ impl StrippedPartition {
         if new_n == old_n {
             return delta;
         }
+        let k = self.n_classes();
 
         // Directory: code → class index, from each class's representative.
+        // Indices ≥ k are orphan groups (codes with no current class).
         let mut class_idx: Vec<u32> = vec![u32::MAX; card];
-        for (ci, class) in self.classes.iter().enumerate() {
-            class_idx[codes[class[0] as usize] as usize] = ci as u32;
+        for ci in 0..k {
+            let rep = self.rows[self.class_offsets[ci] as usize];
+            class_idx[codes[rep as usize] as usize] = ci as u32;
         }
 
-        // First pass over the new rows: join known classes, bucket orphans
-        // (codes with no current class) by code.
-        let mut orphan_rows: Vec<Vec<u32>> = Vec::new();
+        // First pass over the new rows: joiners counted per class, orphans
+        // bucketed by code (flat `(group, row)` pairs — no per-class Vecs).
+        let mut extra: Vec<u32> = vec![0; k];
+        let mut orphans: Vec<(u32, u32)> = Vec::new();
+        let mut n_groups = 0u32;
         for (row, &code_u32) in codes.iter().enumerate().skip(old_n) {
             let code = code_u32 as usize;
             let ci = class_idx[code];
-            if ci != u32::MAX && (ci as usize) < self.classes.len() {
-                self.classes[ci as usize].push(row as u32);
+            if ci != u32::MAX && (ci as usize) < k {
+                extra[ci as usize] += 1;
                 delta.new_covered.push(row as u32);
             } else {
                 if ci == u32::MAX {
-                    class_idx[code] = self.classes.len() as u32 + orphan_rows.len() as u32;
-                    orphan_rows.push(Vec::new());
+                    class_idx[code] = k as u32 + n_groups;
+                    n_groups += 1;
                 }
-                let oi = class_idx[code] as usize - self.classes.len();
-                orphan_rows[oi].push(row as u32);
+                orphans.push((class_idx[code] - k as u32, row as u32));
             }
         }
 
         // Orphan codes may have exactly one old occurrence (an old singleton,
         // stripped away): find those with a single scan of the old region.
-        if !orphan_rows.is_empty() {
-            let mut old_partner: Vec<u32> = vec![u32::MAX; orphan_rows.len()];
+        let mut old_partner: Vec<u32> = vec![u32::MAX; n_groups as usize];
+        if n_groups > 0 {
             for row in 0..old_n {
                 let ci = class_idx[codes[row] as usize];
-                if ci != u32::MAX && (ci as usize) >= self.classes.len() {
-                    let oi = ci as usize - self.classes.len();
+                if ci != u32::MAX && (ci as usize) >= k {
+                    let oi = (ci as usize) - k;
                     // ≥2 old occurrences would already form a class.
                     debug_assert_eq!(old_partner[oi], u32::MAX, "stripped invariant broken");
                     old_partner[oi] = row as u32;
                 }
             }
-            for (oi, mut rows) in orphan_rows.into_iter().enumerate() {
-                let partner = old_partner[oi];
-                if partner != u32::MAX {
-                    rows.insert(0, partner);
+        }
+        let mut group_size: Vec<u32> = vec![0; n_groups as usize];
+        for &(oi, _) in &orphans {
+            group_size[oi as usize] += 1;
+        }
+        for (oi, size) in group_size.iter_mut().enumerate() {
+            if old_partner[oi] != u32::MAX {
+                *size += 1;
+            }
+        }
+
+        // Rebuild the CSR buffers: old classes (plus their joiners at the
+        // tail), then surviving orphan groups in first-encounter order.
+        let surviving: u32 = group_size.iter().filter(|&&s| s >= 2).sum();
+        let grown = self.rows.len() + delta.new_covered.len() + surviving as usize;
+        let mut rows = vec![0u32; grown];
+        let mut class_offsets =
+            Vec::with_capacity(k + 1 + group_size.iter().filter(|&&s| s >= 2).count());
+        class_offsets.push(0u32);
+        // Per-class write cursors for the grown old classes.
+        let mut cursor: Vec<u32> = Vec::with_capacity(k);
+        let mut end = 0u32;
+        for (w, &extra_ci) in self.class_offsets.windows(2).zip(&extra) {
+            let old_size = w[1] - w[0];
+            let lo = w[0] as usize;
+            rows[end as usize..(end + old_size) as usize]
+                .copy_from_slice(&self.rows[lo..lo + old_size as usize]);
+            cursor.push(end + old_size);
+            end += old_size + extra_ci;
+            class_offsets.push(end);
+        }
+        for (row, &code_u32) in codes.iter().enumerate().skip(old_n) {
+            let ci = class_idx[code_u32 as usize];
+            if (ci as usize) < k {
+                rows[cursor[ci as usize] as usize] = row as u32;
+                cursor[ci as usize] += 1;
+            }
+        }
+        // Orphan groups: partner (if any) first, then the group's new rows
+        // in append order; lone orphans stay singletons and are dropped.
+        let mut group_cursor: Vec<u32> = vec![u32::MAX; n_groups as usize];
+        for oi in 0..n_groups as usize {
+            if group_size[oi] >= 2 {
+                group_cursor[oi] = end;
+                if old_partner[oi] != u32::MAX {
+                    rows[end as usize] = old_partner[oi];
+                    group_cursor[oi] = end + 1;
                 }
-                // A lone orphan row stays a singleton and is simply dropped
-                // (stripped partitions do not store singletons).
-                if rows.len() >= 2 {
-                    for &r in &rows {
-                        if (r as usize) >= old_n {
-                            delta.new_covered.push(r);
-                        }
-                    }
-                    self.classes.push(rows);
+                end += group_size[oi];
+                class_offsets.push(end);
+            }
+        }
+        for &(oi, row) in &orphans {
+            let cur = group_cursor[oi as usize];
+            if cur != u32::MAX {
+                rows[cur as usize] = row;
+                group_cursor[oi as usize] = cur + 1;
+            }
+        }
+        // Delta rows of surviving orphan groups, in group-major order (the
+        // written segments already hold them in the right order).
+        for (ci, w) in class_offsets.windows(2).enumerate().skip(k) {
+            debug_assert!(ci >= k);
+            for &row in &rows[w[0] as usize..w[1] as usize] {
+                if (row as usize) >= old_n {
+                    delta.new_covered.push(row);
                 }
             }
         }
+        debug_assert_eq!(end as usize, grown);
+        self.rows = rows;
+        self.class_offsets = class_offsets;
         self.n_rows = new_n;
         delta
     }
 
-    /// The non-singleton equivalence classes.
-    pub fn classes(&self) -> &[Vec<u32>] {
-        &self.classes
+    /// The non-singleton equivalence classes as a CSR view.
+    #[inline]
+    pub fn classes(&self) -> Classes<'_> {
+        Classes {
+            rows: &self.rows,
+            offsets: &self.class_offsets,
+        }
+    }
+
+    /// The `i`-th class as a contiguous row-id slice.
+    #[inline]
+    pub fn class(&self, i: usize) -> &[u32] {
+        self.classes().get(i)
     }
 
     /// Number of non-singleton classes, `|Π*_X|`.
+    #[inline]
     pub fn n_classes(&self) -> usize {
-        self.classes.len()
+        self.class_offsets.len() - 1
     }
 
     /// Total number of rows covered by non-singleton classes, `||Π*_X||`.
+    /// O(1) — it is the length of the flat row buffer.
+    #[inline]
     pub fn covered_rows(&self) -> usize {
-        self.classes.iter().map(Vec::len).sum()
+        self.rows.len()
     }
 
     /// TANE's error measure `e(X) = ||Π*_X|| − |Π*_X|`: the number of rows
     /// that would have to be removed to make `X` a superkey. Two partitions
-    /// `Π_X`, `Π_{XA}` have equal error iff the FD `X → A` holds.
+    /// `Π_X`, `Π_{XA}` have equal error iff the FD `X → A` holds. O(1) in
+    /// the CSR layout.
+    #[inline]
     pub fn error(&self) -> usize {
-        self.covered_rows() - self.n_classes()
+        self.rows.len() - self.n_classes()
     }
 
     /// Whether `X` is a superkey: every equivalence class is a singleton,
     /// i.e. the stripped partition is empty (`Π*_X = {}`, §4.6 Key Pruning).
+    #[inline]
     pub fn is_superkey(&self) -> bool {
-        self.classes.is_empty()
+        self.rows.is_empty()
+    }
+
+    /// Resident heap bytes of the CSR buffers (`rows` + `class_offsets`),
+    /// the quantity the snapshot memory budget accounts for.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<u32>()
+            + self.class_offsets.len() * std::mem::size_of::<u32>()
     }
 
     /// Computes the product `Π*_X = Π*_Y · Π*_Z` in O(n) using scratch space
@@ -217,9 +429,11 @@ impl StrippedPartition {
     ///
     /// A row lands in a product class iff it is in a non-singleton class of
     /// *both* operands and shares both class memberships with another row.
-    /// The scratch arena is caller-owned so hot paths (the lattice driver
-    /// keeps one per worker thread) reuse its row-indexed buffers across
-    /// millions of products instead of reallocating per node.
+    /// The probe pass writes the surviving rows directly into the scratch
+    /// arena's flat CSR output buffers — no per-class allocation ever — and
+    /// the result is an exact-size copy of those buffers. The arena is
+    /// caller-owned so hot paths (the lattice driver keeps one per worker
+    /// thread) reuse all working memory across millions of products.
     ///
     /// ```
     /// use fastod_partition::{ProductScratch, StrippedPartition};
@@ -232,42 +446,72 @@ impl StrippedPartition {
     /// // Rows agreeing on BOTH A and B: {0,1} and {2,3} (4 is singleton in A).
     /// assert_eq!(pab.normalized(), vec![vec![0, 1], vec![2, 3]]);
     /// ```
-    pub fn product(&self, other: &StrippedPartition, scratch: &mut ProductScratch) -> StrippedPartition {
+    pub fn product(
+        &self,
+        other: &StrippedPartition,
+        scratch: &mut ProductScratch,
+    ) -> StrippedPartition {
         debug_assert_eq!(self.n_rows, other.n_rows);
-        // Probe with the smaller-class-count side for better bucket reuse.
-        let (lhs, rhs) = (self, other);
-        let epoch = scratch.begin(lhs.n_rows, lhs.classes.len());
-        for (ci, class) in lhs.classes.iter().enumerate() {
+        let epoch = scratch.begin(self.n_rows, self.n_classes());
+        let (probe, stamp) = (&mut scratch.probe, &mut scratch.stamp);
+        for (ci, class) in self.classes().iter().enumerate() {
             for &row in class {
-                scratch.probe[row as usize] = ci as u32;
-                scratch.stamp[row as usize] = epoch;
+                probe[row as usize] = ci as u32;
+                stamp[row as usize] = epoch;
             }
         }
-        let mut out: Vec<Vec<u32>> = Vec::new();
-        for class in &rhs.classes {
-            scratch.touched.clear();
-            for &row in class {
-                if scratch.stamp[row as usize] == epoch {
-                    let ci = scratch.probe[row as usize] as usize;
-                    if scratch.buckets[ci].is_empty() {
-                        scratch.touched.push(ci as u32);
+        let count = &mut scratch.count;
+        let cursor = &mut scratch.cursor;
+        let touched = &mut scratch.touched;
+        let out_rows = &mut scratch.out_rows;
+        let out_offsets = &mut scratch.out_offsets;
+        out_rows.clear();
+        out_offsets.clear();
+        out_offsets.push(0);
+        let mut end = 0u32;
+        for rhs_class in other.classes().iter() {
+            // Pass 1: count the rhs class's rows per surviving LHS class.
+            touched.clear();
+            for &row in rhs_class {
+                if stamp[row as usize] == epoch {
+                    let ci = probe[row as usize] as usize;
+                    if count[ci] == 0 {
+                        touched.push(ci as u32);
                     }
-                    scratch.buckets[ci].push(row);
+                    count[ci] += 1;
                 }
             }
-            for ti in 0..scratch.touched.len() {
-                let ci = scratch.touched[ti] as usize;
-                if scratch.buckets[ci].len() >= 2 {
-                    out.push(std::mem::take(&mut scratch.buckets[ci]));
+            // Reserve one contiguous segment per product class of size ≥ 2,
+            // in first-encounter order (matching historical class order).
+            for &ci in touched.iter() {
+                let c = count[ci as usize];
+                if c >= 2 {
+                    cursor[ci as usize] = end;
+                    end += c;
+                    out_offsets.push(end);
                 } else {
-                    scratch.buckets[ci].clear();
+                    cursor[ci as usize] = u32::MAX;
                 }
             }
+            out_rows.resize(end as usize, 0);
+            // Pass 2: scatter the rows into their segments, preserving the
+            // rhs class's (ascending) row order.
+            for &row in rhs_class {
+                if stamp[row as usize] == epoch {
+                    let ci = probe[row as usize] as usize;
+                    let cur = cursor[ci];
+                    if cur != u32::MAX {
+                        out_rows[cur as usize] = row;
+                        cursor[ci] = cur + 1;
+                    }
+                }
+            }
+            // Restore the all-zero `count` invariant for the next rhs class.
+            for &ci in touched.iter() {
+                count[ci as usize] = 0;
+            }
         }
-        StrippedPartition {
-            n_rows: self.n_rows,
-            classes: out,
-        }
+        StrippedPartition::from_csr(self.n_rows, out_rows.clone(), out_offsets.clone())
     }
 
     /// Product with a freshly allocated scratch (convenience for tests and
@@ -280,7 +524,7 @@ impl StrippedPartition {
     /// A canonical form for structural comparison: classes sorted internally
     /// and between each other.
     pub fn normalized(&self) -> Vec<Vec<u32>> {
-        let mut classes: Vec<Vec<u32>> = self.classes.clone();
+        let mut classes: Vec<Vec<u32>> = self.classes().iter().map(<[u32]>::to_vec).collect();
         for c in &mut classes {
             c.sort_unstable();
         }
@@ -315,6 +559,26 @@ mod tests {
         assert!(!p.is_superkey());
         assert!(StrippedPartition::unit(1).is_superkey());
         assert!(StrippedPartition::unit(0).is_superkey());
+    }
+
+    #[test]
+    fn classes_view_accessors() {
+        let p = part(6, &[&[0, 1, 2], &[4, 5]]);
+        let view = p.classes();
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.get(0), &[0, 1, 2]);
+        assert_eq!(view.get(1), &[4, 5]);
+        assert_eq!(p.class(1), &[4, 5]);
+        assert_eq!(view.covered_rows(), 5);
+        let tail = view.slice(1..2);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail.get(0), &[4, 5]);
+        assert_eq!(tail.covered_rows(), 2);
+        let collected: Vec<&[u32]> = view.into_iter().collect();
+        assert_eq!(collected, vec![&[0u32, 1, 2][..], &[4, 5][..]]);
+        assert_eq!(view.iter().count(), 2);
+        assert!(p.memory_bytes() >= (5 + 3) * 4);
     }
 
     #[test]
@@ -390,6 +654,18 @@ mod tests {
     }
 
     #[test]
+    fn product_classes_stay_row_sorted() {
+        // The incremental engine's O(#classes) dirtiness probe requires every
+        // class of every product to keep ascending row ids.
+        let x = part(8, &[&[0, 2, 4, 6], &[1, 3, 5, 7]]);
+        let y = part(8, &[&[0, 1, 2, 3, 4, 5, 6, 7]]);
+        let xy = x.product_simple(&y);
+        for class in xy.classes() {
+            assert!(class.is_sorted(), "{class:?}");
+        }
+    }
+
+    #[test]
     fn error_detects_fd() {
         // A = [0,0,1,1], B = [5,5,7,8]: A→B fails (split on class {2,3}).
         let pa = StrippedPartition::from_codes(&[0, 0, 1, 1], 2);
@@ -408,6 +684,10 @@ mod tests {
         let delta = incr.append_codes(&full, card);
         let fresh = StrippedPartition::from_codes(&full, card);
         assert_eq!(incr, fresh, "old={old_codes:?} new={new_codes:?}");
+        // The CSR invariant survives the append: classes in row order.
+        for class in incr.classes() {
+            assert!(class.is_sorted(), "append broke row order: {class:?}");
+        }
         // Delta covers exactly the appended rows that are non-singletons now.
         let mut expected: Vec<u32> = fresh
             .classes()

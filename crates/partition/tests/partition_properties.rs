@@ -84,7 +84,7 @@ proptest! {
         let ctx = StrippedPartition::from_codes(&ctx_codes, dense(&ctx_codes));
         let tau = SortedColumn::build(&a, dense(&a));
         let mut scratch = SwapScratch::new();
-        let compatible = check_order_compat(&ctx, &tau, &a, &b, &mut scratch, None);
+        let compatible = check_order_compat(&ctx, &tau, &b, &mut scratch, None);
         prop_assert_eq!(compatible, !has_swap_naive(&ctx, &a, &b));
     }
 
@@ -105,7 +105,7 @@ proptest! {
         let mut scratch = SwapScratch::new();
         prop_assert_eq!(
             swap_removal_error(&ctx, &a, &b) == 0,
-            check_order_compat(&ctx, &tau, &a, &b, &mut scratch, None)
+            check_order_compat(&ctx, &tau, &b, &mut scratch, None)
         );
     }
 

@@ -277,6 +277,21 @@ mod tests {
     }
 
     #[test]
+    fn growth_does_not_disturb_shared_projections() {
+        // Arc-shared columns are copy-on-write: a projection taken before an
+        // append keeps observing the pre-append codes.
+        let base = rel(vec![30, 10], vec!["b", "a"]);
+        let mut grow = GrowableRelation::new(&base);
+        let snapshot = grow.encoded().project(crate::AttrSet::from_iter([0, 1]));
+        let before: Vec<u32> = snapshot.codes(0).to_vec();
+        // 20 lands between 10 and 30: the live column is remapped AND grows.
+        grow.extend(&rel(vec![20], vec!["c"])).unwrap();
+        assert_eq!(snapshot.codes(0), before.as_slice());
+        assert_eq!(snapshot.n_rows(), 2);
+        assert_eq!(grow.encoded().codes(0), &[2, 0, 1]);
+    }
+
+    #[test]
     fn schema_mismatch_rejected_without_mutation() {
         let mut grow = GrowableRelation::new(&rel(vec![1], vec!["a"]));
         let wrong = RelationBuilder::new()

@@ -27,10 +27,11 @@ use fastod_theory::{CanonicalOd, OdSet};
 use std::collections::HashMap;
 
 /// Largest schema the oracle accepts; beyond this the `2^n` context sweep
-/// (and the `O(|valid|²)` minimality filter) stops being "obviously correct
-/// by inspection *and* fast". The per-class scans themselves are
-/// sub-quadratic since the sort-then-sweep rewrite, which is what moved this
-/// ceiling up from 6.
+/// stops being "obviously correct by inspection *and* fast". The per-class
+/// scans are sub-quadratic since the sort-then-sweep rewrite (ceiling 6 → 8)
+/// and the minimality filter uses a popcount-sorted subset index instead of
+/// the old `O(|valid|²)` all-pairs scan, which is what made proptest volume
+/// at the full 8 attributes affordable.
 pub const MAX_ORACLE_ATTRS: usize = 8;
 
 /// Ground truth for one instance: every valid non-trivial canonical OD, and
@@ -173,30 +174,83 @@ pub fn oracle_valid_ods(enc: &EncodedRelation) -> Vec<CanonicalOd> {
     out
 }
 
-/// Whether `od` follows from the *other* valid ODs.
+/// A subset-witness index over the valid ODs, replacing the old
+/// `O(|valid|²)` all-pairs minimality filter.
 ///
-/// Valid canonical ODs are upward closed in the context (augmenting a context
-/// only refines its classes), so implication from a full valid set reduces
-/// to witnesses:
-/// * constancy `X: [] ↦ A` — a valid `Y: [] ↦ A` with `Y ⊊ X`
-///   (Augmentation-I);
-/// * order compatibility `X: A ~ B` — a valid `Y: A ~ B` with `Y ⊊ X`
-///   (Augmentation-II), or a valid constancy on `A` or `B` with `Y ⊆ X`
-///   (Propagate).
-fn implied_by_rest(valid: &[CanonicalOd], od: &CanonicalOd) -> bool {
-    match *od {
-        CanonicalOd::Constancy { context, rhs } => valid.iter().any(|c| {
-            matches!(*c, CanonicalOd::Constancy { context: y, rhs: r }
-                if r == rhs && y != context && y.is_subset_of(context))
-        }),
-        CanonicalOd::OrderCompat { context, a, b } => valid.iter().any(|c| match *c {
-            CanonicalOd::OrderCompat { context: y, a: a2, b: b2 } => {
-                a2 == a && b2 == b && y != context && y.is_subset_of(context)
+/// Contexts are bucketed by what they determine — constancy ODs by their
+/// right-hand attribute, order-compatibility ODs by their unordered pair —
+/// and each bucket is sorted by context **size** (popcount). A witness
+/// `Y ⊆ X` necessarily has `|Y| ≤ |X|`, so a lookup scans only the prefix of
+/// one small bucket (cut by `partition_point` on the size) and tests subsets
+/// with a single mask-and. This is what unblocked the 8-attribute
+/// Theorem-8 band: at `n = 8` the valid set routinely holds thousands of
+/// ODs, and the filter used to dominate the oracle's runtime.
+struct SubsetIndex {
+    /// `rhs → (|Y|, Y bits)` of every valid constancy OD, sorted.
+    constancy: Vec<Vec<(u32, u64)>>,
+    /// `a * n + b` (a < b) → `(|Y|, Y bits)` of every valid
+    /// order-compatibility OD on `{a, b}`, sorted.
+    order_compat: Vec<Vec<(u32, u64)>>,
+    n: usize,
+}
+
+impl SubsetIndex {
+    fn build(valid: &[CanonicalOd], n: usize) -> SubsetIndex {
+        let mut constancy: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        let mut order_compat: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n * n];
+        for od in valid {
+            match *od {
+                CanonicalOd::Constancy { context, rhs } => {
+                    constancy[rhs].push((context.len() as u32, context.bits()));
+                }
+                CanonicalOd::OrderCompat { context, a, b } => {
+                    order_compat[a * n + b].push((context.len() as u32, context.bits()));
+                }
             }
-            CanonicalOd::Constancy { context: y, rhs } => {
-                (rhs == a || rhs == b) && y.is_subset_of(context)
+        }
+        for bucket in constancy.iter_mut().chain(order_compat.iter_mut()) {
+            bucket.sort_unstable();
+        }
+        SubsetIndex {
+            constancy,
+            order_compat,
+            n,
+        }
+    }
+
+    /// Whether the bucket holds a context `Y ⊆ ctx` (`Y ⊊ ctx` when
+    /// `strict`). Only prefix entries with a small enough popcount are
+    /// scanned; strictly-smaller popcount implies `Y ≠ ctx` for free.
+    fn has_subset_witness(bucket: &[(u32, u64)], ctx: AttrSet, strict: bool) -> bool {
+        let ctx_bits = ctx.bits();
+        let limit = ctx.len() as u32 + u32::from(!strict);
+        let hi = bucket.partition_point(|&(size, _)| size < limit);
+        bucket[..hi]
+            .iter()
+            .any(|&(_, y)| y & ctx_bits == y && (!strict || y != ctx_bits))
+    }
+
+    /// Whether `od` follows from the *other* valid ODs.
+    ///
+    /// Valid canonical ODs are upward closed in the context (augmenting a
+    /// context only refines its classes), so implication from a full valid
+    /// set reduces to witnesses:
+    /// * constancy `X: [] ↦ A` — a valid `Y: [] ↦ A` with `Y ⊊ X`
+    ///   (Augmentation-I);
+    /// * order compatibility `X: A ~ B` — a valid `Y: A ~ B` with `Y ⊊ X`
+    ///   (Augmentation-II), or a valid constancy on `A` or `B` with `Y ⊆ X`
+    ///   (Propagate).
+    fn implies(&self, od: &CanonicalOd) -> bool {
+        match *od {
+            CanonicalOd::Constancy { context, rhs } => {
+                Self::has_subset_witness(&self.constancy[rhs], context, true)
             }
-        }),
+            CanonicalOd::OrderCompat { context, a, b } => {
+                Self::has_subset_witness(&self.order_compat[a * self.n + b], context, true)
+                    || Self::has_subset_witness(&self.constancy[a], context, false)
+                    || Self::has_subset_witness(&self.constancy[b], context, false)
+            }
+        }
     }
 }
 
@@ -205,9 +259,10 @@ fn implied_by_rest(valid: &[CanonicalOd], od: &CanonicalOd) -> bool {
 /// FASTOD must output.
 pub fn oracle_minimal_cover(enc: &EncodedRelation) -> OracleReport {
     let valid = oracle_valid_ods(enc);
+    let index = SubsetIndex::build(&valid, enc.n_attrs());
     let minimal: Vec<CanonicalOd> = valid
         .iter()
-        .filter(|od| !implied_by_rest(&valid, od))
+        .filter(|od| !index.implies(od))
         .copied()
         .collect();
     OracleReport { valid, minimal }
@@ -353,6 +408,62 @@ mod tests {
                     order_compat_holds(&e, classes, 1, 2),
                     quadratic(&e, classes, 1, 2),
                     "ctx={ctx_mask:#b}"
+                );
+            }
+        }
+    }
+
+    /// The subset-index minimality filter must agree, OD for OD, with the
+    /// definitional "implied by any other valid OD" scan it replaced.
+    #[test]
+    fn indexed_filter_matches_naive_definition() {
+        fn implied_naive(valid: &[CanonicalOd], od: &CanonicalOd) -> bool {
+            match *od {
+                CanonicalOd::Constancy { context, rhs } => valid.iter().any(|c| {
+                    matches!(*c, CanonicalOd::Constancy { context: y, rhs: r }
+                        if r == rhs && y != context && y.is_subset_of(context))
+                }),
+                CanonicalOd::OrderCompat { context, a, b } => valid.iter().any(|c| match *c {
+                    CanonicalOd::OrderCompat { context: y, a: a2, b: b2 } => {
+                        a2 == a && b2 == b && y != context && y.is_subset_of(context)
+                    }
+                    CanonicalOd::Constancy { context: y, rhs } => {
+                        (rhs == a || rhs == b) && y.is_subset_of(context)
+                    }
+                }),
+            }
+        }
+        let mut seed = 0xD1CE_BEEF_0451_7C21u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..40 {
+            let n_attrs = 2 + (next() % 5) as usize;
+            let n_rows = 2 + (next() % 12) as usize;
+            let card = 1 + (next() % 3) as i64;
+            let cols: Vec<(String, Vec<i64>)> = (0..n_attrs)
+                .map(|a| {
+                    (
+                        format!("c{a}"),
+                        (0..n_rows).map(|_| (next() as i64).rem_euclid(card)).collect(),
+                    )
+                })
+                .collect();
+            let mut b = RelationBuilder::new();
+            for (name, data) in &cols {
+                b = b.column_i64(name, data.clone());
+            }
+            let e = b.build().unwrap().encode();
+            let valid = oracle_valid_ods(&e);
+            let index = SubsetIndex::build(&valid, e.n_attrs());
+            for od in &valid {
+                assert_eq!(
+                    index.implies(od),
+                    implied_naive(&valid, od),
+                    "filter mismatch on {od} ({n_attrs} attrs)"
                 );
             }
         }

@@ -96,17 +96,10 @@ pub fn bidi_ocd_holds_with(
     let tau_a = SortedColumn::build(codes_a, enc.cardinality(od.a));
     let mut scratch = SwapScratch::new();
     match od.polarity {
-        Polarity::Same => check_order_compat(
-            ctx,
-            &tau_a,
-            codes_a,
-            enc.codes(od.b),
-            &mut scratch,
-            None,
-        ),
+        Polarity::Same => check_order_compat(ctx, &tau_a, enc.codes(od.b), &mut scratch, None),
         Polarity::Opposite => {
             let rev_b = reversed_codes(enc.codes(od.b), enc.cardinality(od.b));
-            check_order_compat(ctx, &tau_a, codes_a, &rev_b, &mut scratch, None)
+            check_order_compat(ctx, &tau_a, &rev_b, &mut scratch, None)
         }
     }
 }

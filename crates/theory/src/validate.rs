@@ -39,7 +39,7 @@ pub fn canonical_od_holds(enc: &EncodedRelation, od: &CanonicalOd) -> bool {
         CanonicalOd::OrderCompat { a, b, .. } => {
             let tau = SortedColumn::build(enc.codes(a), enc.cardinality(a));
             let mut scratch = SwapScratch::new();
-            check_order_compat(&ctx, &tau, enc.codes(a), enc.codes(b), &mut scratch, None)
+            check_order_compat(&ctx, &tau, enc.codes(b), &mut scratch, None)
         }
     }
 }
@@ -100,7 +100,6 @@ pub fn all_valid_canonical_ods(enc: &EncodedRelation, max_context: usize) -> Vec
                     && check_order_compat(
                         &part,
                         &tau,
-                        enc.codes(a),
                         enc.codes(b),
                         &mut scratch,
                         Some(ctx.bits() as usize),

@@ -84,6 +84,36 @@ fn structured_stream_stays_equivalent() {
     assert!(totals.nodes_reused + totals.skipped_clean > 0, "{totals:?}");
 }
 
+/// The same structured stream under a starved partition memory budget (and
+/// at several thread counts): eviction forces recomputation but must never
+/// change a single verdict — cover identical to from-scratch after every
+/// batch, and the snapshot's resident bytes actually honour the cap.
+#[test]
+fn budgeted_stream_stays_equivalent() {
+    for threads in [1usize, 2, 4] {
+        let budget = 2_048; // bytes — far below the unbudgeted footprint
+        let base = fastod_suite::datagen::flight_like(60, 8, 0xF00D);
+        let cfg = DiscoveryConfig::default()
+            .with_threads(threads)
+            .with_partition_memory_budget(budget);
+        let mut engine = IncrementalDiscovery::with_config(&base, cfg).unwrap();
+        let mut concat = base.clone();
+        for b in 0..6u64 {
+            let batch = fastod_suite::datagen::flight_like(10, 8, 0x1000 + b);
+            engine.push_batch(&batch).unwrap();
+            concat.extend(&batch).unwrap();
+            assert_cover_matches(&engine, &concat, b as usize + 1);
+            assert!(
+                engine.snapshot().partition_bytes() <= budget,
+                "budget exceeded after batch {b}: {} bytes (threads={threads})",
+                engine.snapshot().partition_bytes()
+            );
+        }
+        let totals = &engine.stats().totals;
+        assert!(totals.nodes_evicted > 0, "budget never evicted: {totals:?}");
+    }
+}
+
 /// Batches that monotonically extend every column (the time-series shape:
 /// fresh keys, fresh timestamps) must keep monotone ODs alive and the cover
 /// equivalent throughout.

@@ -34,11 +34,19 @@ fn arb_wide_relation() -> impl Strategy<Value = EncodedRelation> {
 }
 
 /// The 7-attribute band opened up by the oracle's sort-then-sweep pair scan
-/// (128 contexts per instance; rows kept small so the `O(|valid|²)`
-/// minimality filter stays fast).
+/// (128 contexts per instance).
 fn arb_seven_attr_relation() -> impl Strategy<Value = EncodedRelation> {
     (4usize..=12, 1u32..=3, any::<u64>()).prop_map(|(n_rows, max_card, seed)| {
         fastod_suite::datagen::random_relation(n_rows, 7, max_card, seed).encode()
+    })
+}
+
+/// The full-width 8-attribute band (256 contexts, the oracle's ceiling),
+/// unblocked by the subset-index minimality filter — the old `O(|valid|²)`
+/// scan made proptest volume at this width too slow to run.
+fn arb_eight_attr_relation() -> impl Strategy<Value = EncodedRelation> {
+    (4usize..=10, 1u32..=3, any::<u64>()).prop_map(|(n_rows, max_card, seed)| {
+        fastod_suite::datagen::random_relation(n_rows, 8, max_card, seed).encode()
     })
 }
 
@@ -106,6 +114,29 @@ proptest! {
         prop_assert!(
             report.matches(&parallel.ods),
             "parallel FASTOD != oracle minimal cover on 7 attrs x {} rows:\n{}",
+            enc.n_rows(),
+            report.diff(&parallel.ods)
+        );
+    }
+
+    /// Theorem 8 at the oracle's 8-attribute ceiling: the deepest lattice
+    /// ground truth reaches. One single-threaded and one 4-thread FASTOD run
+    /// per case, both set-exact against the oracle — and, through it,
+    /// against each other.
+    #[test]
+    fn fastod_equals_oracle_on_eight_attrs(enc in arb_eight_attr_relation()) {
+        let report = oracle_minimal_cover(&enc);
+        let result = Fastod::new(DiscoveryConfig::default()).discover(&enc);
+        prop_assert!(
+            report.matches(&result.ods),
+            "FASTOD != oracle minimal cover on 8 attrs x {} rows:\n{}",
+            enc.n_rows(),
+            report.diff(&result.ods)
+        );
+        let parallel = Fastod::new(DiscoveryConfig::default().with_threads(4)).discover(&enc);
+        prop_assert!(
+            report.matches(&parallel.ods),
+            "parallel FASTOD != oracle minimal cover on 8 attrs x {} rows:\n{}",
             enc.n_rows(),
             report.diff(&parallel.ods)
         );
