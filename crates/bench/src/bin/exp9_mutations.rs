@@ -1,0 +1,239 @@
+//! **Exp-9: mutation maintenance (deletes/updates) vs. from-scratch
+//! re-discovery.**
+//!
+//! A relation lives: every round appends a batch, deletes a slice of
+//! surviving rows, and updates a few more in place. After **every
+//! mutation** the complete minimal OD cover must describe exactly the
+//! survivors — that is the serving contract. Two strategies:
+//!
+//! * **incremental** — one `IncrementalDiscovery` engine absorbs each
+//!   mutation (`push_batch` / `delete_rows` / `update_rows`), re-confirming
+//!   cached verdicts via witness pairs and per-touched-class violation
+//!   deltas;
+//! * **scratch** — materialize the surviving rows, re-encode, and re-run
+//!   `Fastod::discover` from zero after each mutation (what a deployment
+//!   without the engine would do to keep the cover queryable).
+//!
+//! Both covers are asserted equal after every mutation, so the timing
+//! comparison is also a correctness sweep. Expected shape: deletes are the
+//! engine's cheapest direction (every retained partition absorbs them by
+//! in-place class compaction; valid verdicts are untouchable; falsified
+//! ones are re-confirmed by cached witness pairs or per-touched-class
+//! delta counts), so the gap over from-scratch is wider than exp8's
+//! append-only one. Writes `results/exp9_mutations.csv` plus a JSON
+//! summary for the scheduled perf-regression job;
+//! `results/exp9_mutations_note.md` records the first numbers.
+
+use fastod::{DiscoveryConfig, Fastod};
+use fastod_bench::{format_duration, table::Table, write_csv, write_results_file, Scale};
+use fastod_datagen::{dbtesma_like, flight_like, ncvoter_like};
+use fastod_incremental::IncrementalDiscovery;
+use fastod_relation::Relation;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+struct DatasetRun {
+    name: &'static str,
+    rounds: usize,
+    incremental_total: Duration,
+    scratch_total: Duration,
+}
+
+/// Deterministic xorshift for victim selection — keeps runs reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (base_rows, batch_rows, n_rounds, n_attrs) = (
+        scale.pick(2_000, 20_000, 100_000),
+        scale.pick(200, 2_000, 10_000),
+        scale.pick(6, 8, 12),
+        scale.pick(8, 10, 12),
+    );
+    let del_rows = batch_rows / 2;
+    let upd_rows = batch_rows / 4;
+    println!(
+        "== Exp-9: incremental mutations vs from-scratch — {n_attrs} attrs, {base_rows} base \
+         rows, {n_rounds} rounds x (+{batch_rows} / -{del_rows} / ~{upd_rows} rows) ==\n"
+    );
+
+    type Gen = fn(usize, usize, u64) -> Relation;
+    let datasets: [(&'static str, Gen); 3] = [
+        ("flight", flight_like as Gen),
+        ("ncvoter", ncvoter_like as Gen),
+        ("dbtesma", dbtesma_like as Gen),
+    ];
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let mut runs: Vec<DatasetRun> = Vec::new();
+    for (name, gen) in datasets {
+        let total_rows = base_rows + n_rounds * (batch_rows + upd_rows);
+        let full = gen(total_rows, n_attrs, 0x9C0DE ^ name.len() as u64);
+        let base = full.head(base_rows);
+        let mut rng = Rng(0xBEEF ^ name.len() as u64);
+
+        let mut table = Table::new(&[
+            "dataset", "round", "live", "incremental", "scratch", "speedup",
+            "revalidated", "delta", "recounted", "revived", "skipped",
+        ]);
+        let t0 = Instant::now();
+        let mut engine = IncrementalDiscovery::new(&base);
+        let setup = t0.elapsed();
+        // Model of the survivors: every row ever appended + the live ids.
+        let mut history = base.clone();
+        let mut live: Vec<usize> = (0..base_rows).collect();
+        let mut cursor = base_rows; // next unused row of `full`
+        let mut incremental_total = Duration::ZERO;
+        let mut scratch_total = Duration::ZERO;
+        for round in 0..n_rounds {
+            let batch_ids: Vec<usize> = (cursor..cursor + batch_rows).collect();
+            let batch = full.select_rows(&batch_ids);
+            let upd_ids: Vec<usize> = (cursor + batch_rows..cursor + batch_rows + upd_rows).collect();
+            let replacement = full.select_rows(&upd_ids);
+            cursor += batch_rows + upd_rows;
+
+            // Victims are chosen against the *post-append* live set so every
+            // round exercises fresh and old rows alike.
+            let mut post_append: Vec<usize> =
+                live.iter().copied().chain(history.n_rows()..history.n_rows() + batch_rows).collect();
+            let mut delete_victims: Vec<usize> = Vec::with_capacity(del_rows);
+            for _ in 0..del_rows {
+                let at = rng.pick(post_append.len());
+                delete_victims.push(post_append.swap_remove(at));
+            }
+            let mut update_victims: Vec<usize> = Vec::with_capacity(upd_rows);
+            for _ in 0..upd_rows {
+                let at = rng.pick(post_append.len());
+                update_victims.push(post_append.swap_remove(at));
+            }
+
+            // Scratch must re-discover after *every* mutation to keep its
+            // cover queryable — the contract the engine provides. Each
+            // checkpoint also asserts cover equality.
+            let mut incr = Duration::ZERO;
+            let mut scratch = Duration::ZERO;
+            let checkpoint = |live: &[usize], engine: &IncrementalDiscovery, history: &Relation, what: &str| {
+                let t = Instant::now();
+                let survivors = history.select_rows(live);
+                let fresh = Fastod::new(DiscoveryConfig::default()).discover(&survivors.encode());
+                let elapsed = t.elapsed();
+                assert_eq!(
+                    engine.cover().sorted(),
+                    fresh.ods.sorted(),
+                    "covers diverged on {name} round {round} after {what}"
+                );
+                assert_eq!(engine.n_live(), live.len());
+                elapsed
+            };
+
+            // Mutation 1: append.
+            let t = Instant::now();
+            let r1 = engine.push_batch(&batch).expect("append accepted");
+            incr += t.elapsed();
+            live.extend(history.n_rows()..history.n_rows() + batch_rows);
+            history.extend(&batch).expect("schemas match");
+            scratch += checkpoint(&live, &engine, &history, "append");
+
+            // Mutation 2: delete. (Victim membership via a HashSet: the
+            // harness bookkeeping must stay O(|live|) per round so it never
+            // drowns the timed regions at paper scale.)
+            let t = Instant::now();
+            let r2 = engine.delete_rows(&delete_victims).expect("delete accepted");
+            incr += t.elapsed();
+            let gone: HashSet<usize> = delete_victims.iter().copied().collect();
+            live.retain(|row| !gone.contains(row));
+            scratch += checkpoint(&live, &engine, &history, "delete");
+
+            // Mutation 3: update.
+            let t = Instant::now();
+            let r3 = engine.update_rows(&update_victims, &replacement).expect("update accepted");
+            incr += t.elapsed();
+            let gone: HashSet<usize> = update_victims.iter().copied().collect();
+            live.retain(|row| !gone.contains(row));
+            live.extend(history.n_rows()..history.n_rows() + upd_rows);
+            history.extend(&replacement).expect("schemas match");
+            scratch += checkpoint(&live, &engine, &history, "update");
+
+            incremental_total += incr;
+            scratch_total += scratch;
+
+            let mut counters = r1.counters.clone();
+            counters.absorb(&r2.counters);
+            counters.absorb(&r3.counters);
+            let speedup = scratch.as_secs_f64() / incr.as_secs_f64().max(1e-9);
+            let row = vec![
+                name.to_string(),
+                (round + 1).to_string(),
+                live.len().to_string(),
+                format_duration(incr),
+                format_duration(scratch),
+                format!("{speedup:.1}x"),
+                counters.revalidated.to_string(),
+                counters.delta_revalidated.to_string(),
+                counters.recounted.to_string(),
+                counters.verdicts_revived.to_string(),
+                (counters.skipped_false + counters.skipped_clean).to_string(),
+            ];
+            csv_rows.push(row.clone());
+            table.row(row);
+        }
+        table.print();
+        let total_speedup =
+            scratch_total.as_secs_f64() / incremental_total.as_secs_f64().max(1e-9);
+        println!(
+            "{name}: initial discovery {}; {n_rounds} rounds — incremental {} vs scratch {} \
+             ({total_speedup:.1}x), cover = {}, live rows = {}\n",
+            format_duration(setup),
+            format_duration(incremental_total),
+            format_duration(scratch_total),
+            engine.cover().len(),
+            engine.n_live(),
+        );
+        runs.push(DatasetRun {
+            name,
+            rounds: n_rounds,
+            incremental_total,
+            scratch_total,
+        });
+    }
+
+    write_csv(
+        "exp9_mutations",
+        &[
+            "dataset", "round", "live_rows", "incremental_time", "scratch_time", "speedup",
+            "revalidated", "delta_revalidated", "recounted", "verdicts_revived", "skipped",
+        ],
+        &csv_rows,
+    );
+    let mut json = String::from("{\n  \"experiment\": \"exp9_mutations\",\n  \"datasets\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rounds\": {}, \"incremental_ms\": {}, \
+             \"scratch_ms\": {}, \"speedup\": {:.2}}}{sep}\n",
+            run.name,
+            run.rounds,
+            run.incremental_total.as_millis(),
+            run.scratch_total.as_millis(),
+            run.scratch_total.as_secs_f64() / run.incremental_total.as_secs_f64().max(1e-9),
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    write_results_file("exp9_mutations.json", &json);
+    println!(
+        "(CSV written to results/exp9_mutations.csv, JSON summary to results/exp9_mutations.json)"
+    );
+}

@@ -173,6 +173,19 @@ pub fn build_level0(n_rows: usize, n_attrs: usize) -> Level {
     level
 }
 
+/// [`build_level0`] for a relation with tombstones: the unit partition
+/// holds only the live rows (see
+/// [`StrippedPartition::unit_masked`]). With an all-`true` mask this equals
+/// `build_level0(live.len(), n_attrs)`.
+pub fn build_level0_masked(live: &[bool], n_attrs: usize) -> Level {
+    let mut level = Level::with_capacity(1);
+    let mut node = Node::new(StrippedPartition::unit_masked(live), n_attrs);
+    node.cc = AttrSet::full(n_attrs);
+    level.insert(AttrSet::EMPTY.bits(), node);
+    level
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,4 +64,6 @@ pub use pairset::PairSet;
 pub use parallel::Executor;
 pub use result::DiscoveryResult;
 pub use stats::{DiscoveryStats, LevelStats};
-pub use validators::{ApproxValidator, ExactValidator, OdJudge, OdValidator, ValidationTask};
+pub use validators::{
+    ApproxValidator, ExactValidator, OdJudge, OdValidator, ValidationTask, ViolationWitness,
+};

@@ -23,8 +23,8 @@
 //! test suite and by the incremental engine's oracle tests.
 
 pub use crate::lattice::{
-    build_level0, build_level1, calculate_next_level, calculate_next_level_parallel,
-    candidate_joins, generate_next_level, sorted_keys, Level, Node,
+    build_level0, build_level0_masked, build_level1, calculate_next_level,
+    calculate_next_level_parallel, candidate_joins, generate_next_level, sorted_keys, Level, Node,
 };
 use crate::pairset::PairSet;
 use crate::parallel::Executor;
@@ -388,6 +388,41 @@ impl DiscoverySnapshot {
         Some(node)
     }
 
+    /// Applies a batch of row deletions to **every** retained partition, in
+    /// place, returning per node the classes the deletion touched.
+    ///
+    /// Deleting tuples never merges or splits surviving equivalence
+    /// classes, so `Π*_X(r ∖ D)` is obtained from the retained `Π*_X(r)` by
+    /// pure class compaction
+    /// ([`fastod_partition::StrippedPartition::remove_rows`]) — no products,
+    /// no counting sorts. The returned map is keyed by attribute-set bits
+    /// (globally unique: the bits determine the level via their popcount);
+    /// a node with an **empty** [`fastod_partition::RemoveDelta`] was
+    /// provably untouched (every deleted row was a singleton under it), and
+    /// a node *absent* from the map was not retained — evicted under the
+    /// memory budget or never generated — so a consumer must fall back to
+    /// full revalidation for verdicts on that context.
+    ///
+    /// `deleted` must be sorted ascending.
+    pub fn remove_rows(
+        &mut self,
+        deleted: &[u32],
+    ) -> HashMap<u64, fastod_partition::RemoveDelta> {
+        // One mask shared by every node: membership probes become single
+        // indexed reads instead of per-row binary searches.
+        let mut mask = vec![false; self.n_rows];
+        for &row in deleted {
+            mask[row as usize] = true;
+        }
+        let mut deltas = HashMap::new();
+        for level in &mut self.levels {
+            for (&bits, node) in level.iter_mut() {
+                deltas.insert(bits, node.partition.remove_rows_masked(&mask));
+            }
+        }
+        deltas
+    }
+
     /// Sets (or clears) the partition byte budget. The cap is enforced on
     /// the next [`enforce_budget`](DiscoverySnapshot::enforce_budget) /
     /// [`advanced_from`](DiscoverySnapshot::advanced_from) call.
@@ -574,6 +609,57 @@ mod tests {
         snap.set_budget(Some(hot_bytes + level0_bytes));
         snap.enforce_budget();
         assert!(snap.node(1, hot_bits).is_some(), "hot node evicted");
+    }
+
+    #[test]
+    fn snapshot_remove_rows_compacts_every_node() {
+        let enc = enc();
+        let levels = vec![build_level0(enc.n_rows(), 3), build_level1(&enc)];
+        let mut snap = DiscoverySnapshot::from_levels(levels, enc.n_rows());
+        let bytes_before = snap.partition_bytes();
+        // Delete row 0 (year class {0,1,2} and the unit class lose it).
+        let deltas = snap.remove_rows(&[0]);
+        assert_eq!(deltas.len(), snap.n_nodes());
+        // The unit node's only class covers everything: touched copies
+        // would exceed the capture cap, so only the dirty flag survives.
+        let unit_delta = &deltas[&AttrSet::EMPTY.bits()];
+        assert!(unit_delta.is_dirty() && unit_delta.truncated);
+        // The bin node loses row 0 from one of its three 2-row classes —
+        // small enough relative to the partition to capture exactly.
+        let bin_delta = &deltas[&AttrSet::singleton(1).bits()];
+        assert!(bin_delta.is_exact());
+        assert_eq!(bin_delta.touched.len(), 1);
+        assert_eq!(bin_delta.touched[0].old, vec![0, 3]);
+        assert_eq!(bin_delta.touched[0].new, vec![3]);
+        // The retained partitions themselves shrank (byte-accounted).
+        assert!(snap.partition_bytes() < bytes_before);
+        let unit = &snap.node(0, AttrSet::EMPTY.bits()).unwrap().partition;
+        assert_eq!(unit.covered_rows(), 5);
+        assert_eq!(unit.n_rows(), 6, "physical slots are stable");
+        // A second delete touching only singleton-covered nodes reports
+        // clean deltas for them.
+        let deltas = snap.remove_rows(&[5]);
+        assert!(deltas.values().any(|d| d.is_dirty()));
+    }
+
+    #[test]
+    fn masked_level0_matches_unmasked_when_all_live() {
+        let enc = enc();
+        let live = vec![true; enc.n_rows()];
+        let l0 = build_level0_masked(&live, 3);
+        let node = &l0[&AttrSet::EMPTY.bits()];
+        assert_eq!(node.cc, AttrSet::full(3));
+        assert_eq!(
+            node.partition,
+            build_level0(enc.n_rows(), 3)[&AttrSet::EMPTY.bits()].partition
+        );
+        // With a mask, dead rows vanish from the unit class.
+        let mut live = live;
+        live[0] = false;
+        let l0 = build_level0_masked(&live, 3);
+        let unit = &l0[&AttrSet::EMPTY.bits()].partition;
+        assert!(unit.classes().iter().all(|c| !c.contains(&0)));
+        assert_eq!(unit.covered_rows(), 5);
     }
 
     #[test]

@@ -16,8 +16,8 @@ use crate::stats::LevelStats;
 use crate::{CancelToken, Cancelled};
 use fastod_partition::{
     check_constancy, check_constancy_classes, check_order_compat, check_order_compat_sweep,
-    check_order_compat_sweep_classes, constancy_removal_error, swap_removal_error, SortedColumn,
-    StrippedPartition, SwapScratch,
+    check_order_compat_sweep_classes, constancy_removal_error, find_constancy_violation,
+    find_swap, find_swap_sweep, swap_removal_error, SortedColumn, StrippedPartition, SwapScratch,
 };
 use fastod_relation::{AttrId, AttrSet, EncodedRelation};
 use std::sync::OnceLock;
@@ -57,6 +57,19 @@ pub enum ValidationTask<'p> {
         /// `Π*_{ctx_set}`.
         ctx: &'p StrippedPartition,
     },
+}
+
+/// Outcome of [`OdValidator::find_violation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationWitness {
+    /// The validator has no witness machinery; the caller must fall back
+    /// to its own search.
+    Unsupported,
+    /// The OD holds — no violating pair exists.
+    Valid,
+    /// One concrete violating pair (row ids): a split for constancy tasks,
+    /// a swap for order-compatibility tasks.
+    Pair(u32, u32),
 }
 
 /// Strategy for validating the two canonical OD shapes at a lattice node.
@@ -100,6 +113,16 @@ pub trait OdValidator {
     ) -> Result<Vec<bool>, Cancelled> {
         let _ = exec;
         sequential_validate(self, tasks, cancel, stats)
+    }
+
+    /// Searches for one concrete violating pair of `task`'s OD — the
+    /// witness the incremental engine caches against future deletions (a
+    /// violating pair stays violating until one of its rows is deleted).
+    /// Implementations should use their cheapest early-exit scan; the
+    /// default opts out and lets the caller run its own search.
+    fn find_violation(&mut self, task: &ValidationTask<'_>) -> ViolationWitness {
+        let _ = task;
+        ViolationWitness::Unsupported
     }
 }
 
@@ -439,6 +462,35 @@ impl OdValidator for ExactValidator<'_> {
             });
         }
         Ok(verdicts)
+    }
+
+    /// Key pruning and the split scan for constancy; for order
+    /// compatibility the same density heuristic as the boolean check —
+    /// sort-then-sweep on sparse contexts, the early-exit `τ`-scan (no
+    /// per-class sorting) on dense ones.
+    fn find_violation(&mut self, task: &ValidationTask<'_>) -> ViolationWitness {
+        let found = match *task {
+            ValidationTask::Constancy { rhs, parent, .. } => {
+                if parent.is_superkey() {
+                    return ViolationWitness::Valid;
+                }
+                find_constancy_violation(parent, self.enc.codes(rhs))
+            }
+            ValidationTask::OrderCompat { a, b, ctx, .. } => {
+                if ctx.covered_rows().saturating_mul(SWEEP_DENSITY_CUTOFF) < ctx.n_rows() {
+                    find_swap_sweep(ctx.classes(), self.enc.codes(a), self.enc.codes(b))
+                } else {
+                    let tau = self.taus[a].get_or_init(|| {
+                        SortedColumn::build(self.enc.codes(a), self.enc.cardinality(a))
+                    });
+                    find_swap(ctx, tau, self.enc.codes(b), &mut self.pools[0])
+                }
+            }
+        };
+        match found {
+            Some((s, t)) => ViolationWitness::Pair(s, t),
+            None => ViolationWitness::Valid,
+        }
     }
 }
 

@@ -1,10 +1,10 @@
 //! The incremental maintenance engine.
 
-use crate::judge::CachedJudge;
-use crate::stats::{BatchReport, IncrementalStats};
+use crate::judge::{CachedJudge, CachedVerdict};
+use crate::stats::{BatchCounters, BatchReport, IncrementalStats};
 use fastod::parallel::Executor;
 use fastod::snapshot::{
-    build_level0, compute_candidate_sets_parallel, generate_next_level, prune_level,
+    build_level0_masked, compute_candidate_sets_parallel, generate_next_level, prune_level,
     validate_level, DiscoverySnapshot, Level, Node,
 };
 use fastod::{Cancelled, DiscoveryConfig, ExactValidator, LevelStats};
@@ -19,8 +19,17 @@ use std::time::Instant;
 /// Errors surfaced by the incremental engine.
 #[derive(Debug)]
 pub enum IncrementalError {
-    /// The batch could not be appended (schema mismatch etc.).
+    /// The mutation could not be applied to the relation (schema mismatch,
+    /// row id out of range, double delete, …). The engine is unchanged.
     Relation(RelationError),
+    /// An update supplied a replacement relation whose row count differs
+    /// from the number of row ids being updated. The engine is unchanged.
+    UpdateShapeMismatch {
+        /// Row ids passed to the update.
+        rows: usize,
+        /// Rows in the replacement relation.
+        replacement_rows: usize,
+    },
     /// The configured cancellation token fired mid-pass.
     Cancelled,
     /// A previous pass was cancelled mid-flight, leaving the retained state
@@ -31,7 +40,11 @@ pub enum IncrementalError {
 impl fmt::Display for IncrementalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IncrementalError::Relation(e) => write!(f, "batch rejected: {e}"),
+            IncrementalError::Relation(e) => write!(f, "mutation rejected: {e}"),
+            IncrementalError::UpdateShapeMismatch { rows, replacement_rows } => write!(
+                f,
+                "update of {rows} rows got a replacement with {replacement_rows} rows"
+            ),
             IncrementalError::Cancelled => f.write_str("maintenance pass cancelled"),
             IncrementalError::Poisoned => {
                 f.write_str("engine poisoned by an earlier cancelled pass; rebuild it")
@@ -55,18 +68,35 @@ impl From<RelationError> for IncrementalError {
     }
 }
 
-/// Maintains the complete, minimal OD cover of a growing relation.
+/// What one maintenance pass absorbs: rows appended at the tail (physical
+/// slots `old_n..`), rows tombstoned (ids sorted ascending), or — for an
+/// update — both at once. Each cached verdict is threatened by exactly one
+/// direction (appends only falsify, deletes only revive), so a combined
+/// pass composes the two monotonicity stories per entry instead of paying
+/// two lattice traversals.
+struct Pass<'a> {
+    /// Physical slot count before the appended rows (= the current count
+    /// when nothing was appended).
+    old_n: usize,
+    /// The tombstoned row ids, ascending (empty when nothing was deleted).
+    deleted: &'a [u32],
+}
+
+/// Maintains the complete, minimal OD cover of a **mutable** relation.
 ///
-/// See the crate docs for the algorithm and its invalidate-only
-/// monotonicity argument. Construction runs one full (retaining) discovery
-/// pass; every [`push_batch`](IncrementalDiscovery::push_batch) afterwards
-/// merges the batch into the retained lattice and re-checks only what the
-/// batch could have broken.
+/// See the crate docs for the algorithm and the two monotonicity arguments
+/// (appends only falsify verdicts, deletes only revive them). Construction
+/// runs one full (retaining) discovery pass; afterwards
+/// [`push_batch`](IncrementalDiscovery::push_batch),
+/// [`delete_rows`](IncrementalDiscovery::delete_rows) and
+/// [`update_rows`](IncrementalDiscovery::update_rows) merge each mutation
+/// into the retained lattice and re-check only what the mutation could have
+/// changed.
 pub struct IncrementalDiscovery {
     grow: GrowableRelation,
     config: DiscoveryConfig,
     snapshot: DiscoverySnapshot,
-    cache: HashMap<CanonicalOd, bool>,
+    cache: HashMap<CanonicalOd, CachedVerdict>,
     cover: OdSet,
     stats: IncrementalStats,
     queue: Vec<Relation>,
@@ -100,25 +130,28 @@ impl IncrementalDiscovery {
             queue: Vec::new(),
             poisoned: false,
         };
-        engine.refresh(0).map_err(|Cancelled| IncrementalError::Cancelled)?;
+        engine
+            .refresh(Pass { old_n: 0, deleted: &[] })
+            .map_err(|Cancelled| IncrementalError::Cancelled)?;
         Ok(engine)
     }
 
     /// The current complete, minimal cover — identical to what
-    /// `Fastod::discover` (same configuration) returns on the concatenation
-    /// of the seed relation and every pushed batch.
+    /// `Fastod::discover` (same configuration) returns on the **surviving**
+    /// rows: the concatenation of the seed relation and every pushed batch,
+    /// minus every deleted row, with updates applied.
     ///
     /// After a cancelled pass the engine is poisoned and this is the *empty*
-    /// set — the pre-batch cover would silently disagree with
+    /// set — the pre-mutation cover would silently disagree with
     /// [`n_rows`](IncrementalDiscovery::n_rows)/[`encoded`](IncrementalDiscovery::encoded)
-    /// (which do include the half-absorbed batch), so no stale cover is
+    /// (which do include the half-absorbed mutation), so no stale cover is
     /// served. Check [`is_poisoned`](IncrementalDiscovery::is_poisoned).
     pub fn cover(&self) -> &OdSet {
         &self.cover
     }
 
     /// Whether a cancelled pass has invalidated the retained state. A
-    /// poisoned engine rejects further batches and serves an empty cover;
+    /// poisoned engine rejects further mutations and serves an empty cover;
     /// rebuild one from the source relation (the accumulated rows are still
     /// available in encoded form via
     /// [`encoded`](IncrementalDiscovery::encoded)).
@@ -131,12 +164,33 @@ impl IncrementalDiscovery {
         self.grow.schema()
     }
 
-    /// Rows accumulated so far.
+    /// Physical row slots accumulated so far — every row ever appended,
+    /// live or tombstoned. Row ids (as accepted by
+    /// [`delete_rows`](IncrementalDiscovery::delete_rows) /
+    /// [`update_rows`](IncrementalDiscovery::update_rows)) index this range
+    /// and are never reassigned.
     pub fn n_rows(&self) -> usize {
         self.grow.n_rows()
     }
 
-    /// The encoded relation over everything appended so far.
+    /// Rows currently live (physical slots minus tombstones) — the instance
+    /// the [`cover`](IncrementalDiscovery::cover) describes.
+    pub fn n_live(&self) -> usize {
+        self.grow.n_live()
+    }
+
+    /// Whether physical row `row` is live (in range and not tombstoned).
+    pub fn is_live(&self, row: usize) -> bool {
+        self.grow.is_live(row)
+    }
+
+    /// The liveness mask over the physical slots.
+    pub fn live(&self) -> &[bool] {
+        self.grow.live()
+    }
+
+    /// The encoded relation over every physical slot (including tombstoned
+    /// rows — mask with [`live`](IncrementalDiscovery::live) when reading).
     pub fn encoded(&self) -> &EncodedRelation {
         self.grow.encoded()
     }
@@ -190,26 +244,136 @@ impl IncrementalDiscovery {
         if batch.n_rows() == 0 {
             // Zero rows cannot change any verdict: skip the lattice pass
             // entirely (the schema check above still applied).
-            return Ok(BatchReport {
-                appended_rows: 0,
-                n_rows: old_n,
-                retired: Vec::new(),
-                promoted: Vec::new(),
-                counters: crate::stats::BatchCounters::default(),
-                elapsed: std::time::Duration::ZERO,
+            return Ok(self.noop_report());
+        }
+        let report = self.run_pass(Pass { old_n, deleted: &[] })?;
+        Ok(report)
+    }
+
+    /// Tombstones the given rows (by physical id, any order) and restores
+    /// the cover invariant. Deletions can **revive** order dependencies: an
+    /// OD falsified earlier returns — to the cover, or as an implied
+    /// consequence of it — the moment its last violating pair is deleted.
+    ///
+    /// ```
+    /// use fastod_incremental::IncrementalDiscovery;
+    /// use fastod_relation::{AttrSet, RelationBuilder};
+    /// use fastod_theory::CanonicalOd;
+    ///
+    /// // grp is constant except for row 3.
+    /// let base = RelationBuilder::new()
+    ///     .column_i64("id", vec![1, 2, 3, 4])
+    ///     .column_i64("grp", vec![7, 7, 7, 9])
+    ///     .build()
+    ///     .unwrap();
+    /// let mut engine = IncrementalDiscovery::new(&base);
+    /// let constant_grp = CanonicalOd::constancy(AttrSet::EMPTY, 1);
+    /// assert!(!engine.cover().contains(&constant_grp));
+    ///
+    /// // Deleting the outlier revives {}: [] -> grp.
+    /// let report = engine.delete_rows(&[3]).unwrap();
+    /// assert_eq!(report.deleted_rows, 1);
+    /// assert!(engine.cover().contains(&constant_grp));
+    /// assert_eq!(engine.n_live(), 3);
+    /// ```
+    ///
+    /// # Errors
+    /// [`IncrementalError::Relation`] when some id is out of range or
+    /// already deleted — including listed twice — (the engine is unchanged);
+    /// [`IncrementalError::Cancelled`] when the token fires mid-pass (the
+    /// engine is then poisoned); `Poisoned` afterwards.
+    pub fn delete_rows(&mut self, rows: &[usize]) -> Result<BatchReport, IncrementalError> {
+        if self.poisoned {
+            return Err(IncrementalError::Poisoned);
+        }
+        let deleted = self.grow.delete_rows(rows)?;
+        if deleted.is_empty() {
+            return Ok(self.noop_report());
+        }
+        let old_n = self.grow.n_rows();
+        let report = self.run_pass(Pass { old_n, deleted: &deleted })?;
+        Ok(report)
+    }
+
+    /// Replaces the given rows (by physical id) with the rows of
+    /// `replacement`, row by row, and restores the cover invariant. The
+    /// update is logical: the old rows are tombstoned and the replacements
+    /// appended as fresh physical slots (their new ids are
+    /// `n_rows() - replacement.n_rows() ..`), which leaves the cover exactly
+    /// as if the values had changed in place — OD validity never depends on
+    /// row order. Internally this is **one** combined maintenance pass:
+    /// each cached verdict is threatened by only one mutation direction, so
+    /// the delete rules (for falsified verdicts) and the append rules (for
+    /// valid ones) compose per entry.
+    ///
+    /// ```
+    /// use fastod_incremental::IncrementalDiscovery;
+    /// use fastod_relation::RelationBuilder;
+    ///
+    /// let base = RelationBuilder::new()
+    ///     .column_i64("id", vec![1, 2, 3])
+    ///     .column_i64("grp", vec![7, 7, 9])
+    ///     .build()
+    ///     .unwrap();
+    /// let mut engine = IncrementalDiscovery::new(&base);
+    /// // Fix the outlier: row 2 becomes (3, 7) — grp turns constant.
+    /// let fixed = RelationBuilder::new()
+    ///     .column_i64("id", vec![3])
+    ///     .column_i64("grp", vec![7])
+    ///     .build()
+    ///     .unwrap();
+    /// let report = engine.update_rows(&[2], &fixed).unwrap();
+    /// assert_eq!((report.deleted_rows, report.appended_rows), (1, 1));
+    /// assert!(engine.cover().iter().any(|od| od.is_constancy()));
+    /// assert_eq!(engine.n_live(), 3);
+    /// ```
+    ///
+    /// # Errors
+    /// [`IncrementalError::UpdateShapeMismatch`] when `rows` and
+    /// `replacement` disagree on the row count;
+    /// [`IncrementalError::Relation`] on schema mismatch or bad row ids (the
+    /// engine is unchanged in all three cases);
+    /// [`IncrementalError::Cancelled`] when the token fires mid-pass (the
+    /// engine is then poisoned); `Poisoned` afterwards.
+    pub fn update_rows(
+        &mut self,
+        rows: &[usize],
+        replacement: &Relation,
+    ) -> Result<BatchReport, IncrementalError> {
+        if self.poisoned {
+            return Err(IncrementalError::Poisoned);
+        }
+        if rows.len() != replacement.n_rows() {
+            return Err(IncrementalError::UpdateShapeMismatch {
+                rows: rows.len(),
+                replacement_rows: replacement.n_rows(),
             });
         }
-        match self.refresh(old_n) {
-            Ok(report) => Ok(report),
-            Err(Cancelled) => {
-                // The batch is half-absorbed (rows appended, lattice partly
-                // rebuilt, snapshot consumed): drop the now-inconsistent
-                // cover rather than serve pre-batch answers as current.
-                self.poisoned = true;
-                self.cover = OdSet::new();
-                Err(IncrementalError::Cancelled)
-            }
+        // Validate everything up front so a bad replacement cannot leave
+        // the rows half-deleted.
+        self.grow.schema().ensure_matches(replacement.schema())?;
+        let deleted = self.grow.delete_rows(rows)?;
+        let old_n = self.grow.n_rows();
+        self.grow
+            .extend(replacement)
+            .expect("replacement schema verified above");
+        if deleted.is_empty() && replacement.n_rows() == 0 {
+            return Ok(self.noop_report());
         }
+        self.run_pass(Pass { old_n, deleted: &deleted })
+    }
+
+    /// [`update_rows`](IncrementalDiscovery::update_rows) for a single row:
+    /// replaces physical row `row` with the one row of `values`.
+    ///
+    /// # Errors
+    /// As for [`update_rows`](IncrementalDiscovery::update_rows).
+    pub fn update_row(
+        &mut self,
+        row: usize,
+        values: &Relation,
+    ) -> Result<BatchReport, IncrementalError> {
+        self.update_rows(&[row], values)
     }
 
     /// Queues a batch without processing it. Queued batches are merged and
@@ -238,6 +402,9 @@ impl IncrementalDiscovery {
 
     /// Merges all queued batches and absorbs them in one pass. Returns
     /// `None` when the queue was empty.
+    ///
+    /// # Errors
+    /// As for [`push_batch`](IncrementalDiscovery::push_batch).
     pub fn flush(&mut self) -> Result<Option<BatchReport>, IncrementalError> {
         if self.poisoned {
             // Leave the queue intact: nothing has been consumed.
@@ -253,45 +420,106 @@ impl IncrementalDiscovery {
         self.push_batch(&merged).map(Some)
     }
 
+    /// A report for a mutation that provably changed nothing.
+    fn noop_report(&self) -> BatchReport {
+        BatchReport {
+            appended_rows: 0,
+            deleted_rows: 0,
+            n_rows: self.grow.n_live(),
+            retired: Vec::new(),
+            promoted: Vec::new(),
+            counters: BatchCounters::default(),
+            elapsed: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Runs one maintenance pass, poisoning the engine if it cancels.
+    fn run_pass(&mut self, pass: Pass<'_>) -> Result<BatchReport, IncrementalError> {
+        match self.refresh(pass) {
+            Ok(report) => Ok(report),
+            Err(Cancelled) => {
+                // The mutation is half-absorbed (rows mutated, lattice
+                // partly rebuilt, snapshot consumed): drop the now-
+                // inconsistent cover rather than serve stale answers.
+                self.poisoned = true;
+                self.cover = OdSet::new();
+                Err(IncrementalError::Cancelled)
+            }
+        }
+    }
+
     /// One maintenance pass: rebuild the lattice over the current encoding,
-    /// reusing retained partitions and cached verdicts wherever the rows
-    /// appended since `old_n` provably cannot have changed them.
-    fn refresh(&mut self, old_n: usize) -> Result<BatchReport, Cancelled> {
+    /// reusing retained partitions and cached verdicts wherever the
+    /// mutation provably cannot have changed them.
+    ///
+    /// When the pass carries deletions it first makes every retained
+    /// partition absorb the tombstones in place
+    /// ([`DiscoverySnapshot::remove_rows`] — pure class compaction, no
+    /// products), handing the per-node touched-class deltas to the judge:
+    /// cached-valid verdicts are binding under deletes, cached-invalid ones
+    /// on untouched contexts too, and the rest settle by a witness-pair
+    /// liveness probe or delta counting over exactly the touched classes
+    /// (falling back to an early-exit re-scan when the delta is large or
+    /// the partition was evicted). Appended rows are then absorbed exactly
+    /// as before — the two directions threaten disjoint verdict sets.
+    fn refresh(&mut self, pass: Pass<'_>) -> Result<BatchReport, Cancelled> {
         let started = Instant::now();
+        let deltas = (!pass.deleted.is_empty()).then(|| self.snapshot.remove_rows(pass.deleted));
         let enc = self.grow.encoded();
+        let live = self.grow.live();
         let n_attrs = enc.n_attrs();
         let n_rows = enc.n_rows();
+        let old_n = pass.old_n;
+        let appended = n_rows - old_n;
         let cancel = self.config.cancel.clone();
         // Unresolved re-validations shard across the same executor the
         // one-shot driver uses; cache bookkeeping stays sequential.
         let exec = Executor::new(self.config.threads);
         let mut old = std::mem::take(&mut self.snapshot);
         let mut validator = ExactValidator::new(enc, self.config.fd_check);
-        let mut judge = CachedJudge::new(&mut validator, &mut self.cache);
+        let mut judge =
+            CachedJudge::new(&mut validator, &mut self.cache, enc, live, deltas, appended > 0);
         let mut m = OdSet::new();
         let mut scratch = ProductScratch::new();
 
-        let mut levels: Vec<Level> = vec![build_level0(n_rows, n_attrs)];
-        // The unit partition has one all-rows class: any append lands in it.
-        judge.set_dirty(AttrSet::EMPTY.bits(), n_rows > old_n && n_rows >= 2);
+        let mut levels: Vec<Level> = vec![build_level0_masked(live, n_attrs)];
+        // The unit partition has one all-live-rows class: any append lands
+        // in it. (Delete dirt is tracked by the judge's per-node deltas,
+        // never by this append-dirt flag.)
+        judge.set_dirty(
+            AttrSet::EMPTY.bits(),
+            appended > 0 && self.grow.n_live() >= 2,
+        );
 
         if n_attrs > 0 {
-            // Level 1: absorb the batch into the retained single-attribute
-            // partitions; the append delta is the ground truth of dirtiness.
+            // Level 1: absorb the mutation into the retained
+            // single-attribute partitions (already compacted by the
+            // snapshot-wide tombstone removal above); the per-partition
+            // append delta is the ground truth of append-dirtiness.
             let mut level1 = Level::with_capacity(n_attrs);
             for a in 0..n_attrs {
                 let bits = AttrSet::singleton(a).bits();
                 let (node, dirty) = match old.take_node(1, bits) {
                     Some(mut node) => {
-                        let delta = node
-                            .partition
-                            .append_codes(enc.codes(a), enc.cardinality(a));
-                        judge.counters.partitions_appended += 1;
-                        (node, delta.is_dirty())
+                        if appended > 0 {
+                            let delta = node.partition.append_codes_masked(
+                                enc.codes(a),
+                                enc.cardinality(a),
+                                live,
+                            );
+                            judge.counters.partitions_appended += 1;
+                            (node, delta.is_dirty())
+                        } else {
+                            (node, false)
+                        }
                     }
                     None => {
-                        let p = StrippedPartition::from_codes(enc.codes(a), enc.cardinality(a));
-                        let dirty = covers_appended_row(&p, old_n);
+                        let p = StrippedPartition::from_codes_masked(
+                            enc.codes(a),
+                            enc.cardinality(a),
+                            live,
+                        );
+                        let dirty = appended > 0 && covers_appended_row(&p, old_n);
                         (Node::new(p, n_attrs), dirty)
                     }
                 };
@@ -324,10 +552,14 @@ impl IncrementalDiscovery {
                 let next = if reached_cap {
                     Level::new()
                 } else {
-                    // A node is reusable iff the batch provably left its
-                    // partition alone: an appended row covered in X must be
-                    // covered in every subset of X, so one clean generating
-                    // parent certifies X clean.
+                    // A node is reusable iff the pass provably left its
+                    // partition alone. For appends: an appended row covered
+                    // in X must be covered in every subset of X, so one
+                    // clean generating parent certifies X clean. For
+                    // deletes: every retained node already absorbed the
+                    // tombstones in place (nothing is dirty), so retained
+                    // nodes are always reusable and only evicted ones are
+                    // recomputed as parent products.
                     generate_next_level(&levels[l], n_attrs, &cancel, |x, pi, pj, lvl| {
                         let both_dirty =
                             judge.is_dirty(pi.bits()) && judge.is_dirty(pj.bits());
@@ -356,6 +588,10 @@ impl IncrementalDiscovery {
             }
         }
 
+        // Post-pass cache hygiene — drop or degrade the entries this pass
+        // may have changed without re-anchoring; see the judge's
+        // finish_pass docs for the exact rules.
+        judge.finish_pass();
         let mut counters = judge.counters.clone();
         drop(judge);
         drop(validator);
@@ -368,8 +604,6 @@ impl IncrementalDiscovery {
         snapshot.enforce_budget();
         counters.nodes_evicted = snapshot.evicted_nodes() - evicted_before;
         self.snapshot = snapshot;
-        // Appends only retire cover members by falsifying them and only
-        // promote ODs uncovered by those falsifications — compute both diffs.
         let retired: Vec<CanonicalOd> = self
             .cover
             .iter()
@@ -383,8 +617,9 @@ impl IncrementalDiscovery {
             .collect();
         self.cover = m;
         let report = BatchReport {
-            appended_rows: n_rows - old_n,
-            n_rows,
+            appended_rows: appended,
+            deleted_rows: pass.deleted.len(),
+            n_rows: self.grow.n_live(),
             retired,
             promoted,
             counters,
@@ -399,8 +634,9 @@ impl IncrementalDiscovery {
 ///
 /// Every partition the engine builds keeps class rows in ascending row-id
 /// order (`from_codes` counting sort, `product` preserving operand order,
-/// `append_codes` pushing fresh — larger — ids at the tail), so checking
-/// each class's last element suffices: O(#classes), not O(covered rows).
+/// `append_codes` pushing fresh — larger — ids at the tail, `remove_rows`
+/// compacting in place), so checking each class's last element suffices:
+/// O(#classes), not O(covered rows).
 fn covers_appended_row(p: &StrippedPartition, old_n: usize) -> bool {
     p.classes().iter().any(|class| {
         debug_assert!(class.is_sorted(), "engine partitions keep classes in row order");
@@ -415,13 +651,13 @@ mod tests {
     use fastod_datagen::random_relation;
     use fastod_relation::RelationBuilder;
 
-    fn cover_matches_from_scratch(engine: &IncrementalDiscovery, concat: &Relation) {
-        let fresh = Fastod::new(DiscoveryConfig::default()).discover(&concat.encode());
+    fn cover_matches_from_scratch(engine: &IncrementalDiscovery, survivors: &Relation) {
+        let fresh = Fastod::new(DiscoveryConfig::default()).discover(&survivors.encode());
         assert_eq!(
             engine.cover().sorted(),
             fresh.ods.sorted(),
-            "incremental cover diverged at {} rows",
-            concat.n_rows()
+            "incremental cover diverged at {} live rows",
+            survivors.n_rows()
         );
     }
 
@@ -431,6 +667,7 @@ mod tests {
         let engine = IncrementalDiscovery::new(&rel);
         cover_matches_from_scratch(&engine, &rel);
         assert_eq!(engine.n_rows(), 6);
+        assert_eq!(engine.n_live(), 6);
         assert!(engine.snapshot().n_nodes() > 0);
     }
 
@@ -478,6 +715,144 @@ mod tests {
     }
 
     #[test]
+    fn deletion_revives_retired_ods() {
+        // Constancy of c holds, is falsified by an append, and revives when
+        // the offending row is deleted again — the false→true flip the
+        // boolean cache of the append-only engine could not express.
+        let base = RelationBuilder::new()
+            .column_i64("k", vec![1, 2, 3])
+            .column_i64("c", vec![7, 7, 7])
+            .build()
+            .unwrap();
+        let mut engine = IncrementalDiscovery::new(&base);
+        let root = CanonicalOd::constancy(AttrSet::EMPTY, 1);
+        let batch = RelationBuilder::new()
+            .column_i64("k", vec![4])
+            .column_i64("c", vec![9])
+            .build()
+            .unwrap();
+        engine.push_batch(&batch).unwrap();
+        assert!(!engine.cover().contains(&root));
+
+        let report = engine.delete_rows(&[3]).unwrap();
+        assert!(engine.cover().contains(&root), "constancy not revived");
+        assert!(report.promoted.contains(&root));
+        assert!(report.counters.verdicts_revived >= 1, "{:?}", report.counters);
+        assert_eq!(engine.n_live(), 3);
+        assert_eq!(engine.n_rows(), 4, "physical slots are stable");
+        cover_matches_from_scratch(&engine, &base);
+    }
+
+    #[test]
+    fn delete_pass_uses_delta_counting() {
+        // g groups the rows into 4 classes of 6; c is constant within each
+        // group (5s in group 0, 7s elsewhere — so {}: [] -> c stays false
+        // throughout) except three outliers in the last group, which
+        // falsify {g}: [] -> c with all violations confined to one class —
+        // the regime where the witness → count → delta escalation engages.
+        let g: Vec<i64> = (0..24).map(|i| i / 6).collect();
+        let c: Vec<i64> = (0..24)
+            .map(|i| match i {
+                0..6 => 5,
+                21..24 => 9,
+                _ => 7,
+            })
+            .collect();
+        let base = RelationBuilder::new()
+            .column_i64("g", g)
+            .column_i64("c", c)
+            .build()
+            .unwrap();
+        let mut engine = IncrementalDiscovery::new(&base);
+        let gc = CanonicalOd::constancy(AttrSet::singleton(0), 1);
+        assert!(!engine.cover().contains(&gc));
+
+        // First delete kills the initial witness pair: a fresh witness is
+        // searched (no count yet — one death is not a pattern).
+        let r1 = engine.delete_rows(&[21]).unwrap();
+        assert!(r1.counters.revalidated > 0, "{:?}", r1.counters);
+        assert_eq!(r1.counters.recounted, 0, "{:?}", r1.counters);
+        // Second delete kills the fresh witness too: the touched class is
+        // small relative to the context, so the exact violation count is
+        // materialized.
+        let r2 = engine.delete_rows(&[22]).unwrap();
+        assert!(r2.counters.recounted > 0, "{:?}", r2.counters);
+        assert!(!engine.cover().contains(&gc));
+        // Third delete: the count is maintained by an O(touched) delta,
+        // reaches zero, and the OD revives without any partition re-scan.
+        let r3 = engine.delete_rows(&[23]).unwrap();
+        assert!(r3.counters.delta_revalidated > 0, "{:?}", r3.counters);
+        assert!(r3.counters.verdicts_revived > 0, "{:?}", r3.counters);
+        assert!(engine.cover().contains(&gc), "revived OD missing from cover");
+        let survivors = RelationBuilder::new()
+            .column_i64("g", (0..21).map(|i| i / 6).collect())
+            .column_i64("c", (0..21).map(|i| if i < 6 { 5 } else { 7 }).collect())
+            .build()
+            .unwrap();
+        cover_matches_from_scratch(&engine, &survivors);
+    }
+
+    #[test]
+    fn updates_round_trip() {
+        let base = RelationBuilder::new()
+            .column_i64("k", vec![1, 2, 3, 4])
+            .column_i64("c", vec![7, 7, 7, 9])
+            .build()
+            .unwrap();
+        let mut engine = IncrementalDiscovery::new(&base);
+        let root = CanonicalOd::constancy(AttrSet::EMPTY, 1);
+        assert!(!engine.cover().contains(&root));
+        // Fix the outlier in place: constancy revives.
+        let fixed = RelationBuilder::new()
+            .column_i64("k", vec![4])
+            .column_i64("c", vec![7])
+            .build()
+            .unwrap();
+        let report = engine.update_row(3, &fixed).unwrap();
+        assert_eq!((report.deleted_rows, report.appended_rows), (1, 1));
+        assert!(report.promoted.contains(&root));
+        assert!(engine.cover().contains(&root));
+        assert_eq!(engine.n_live(), 4);
+        let survivors = RelationBuilder::new()
+            .column_i64("k", vec![1, 2, 3, 4])
+            .column_i64("c", vec![7, 7, 7, 7])
+            .build()
+            .unwrap();
+        cover_matches_from_scratch(&engine, &survivors);
+
+        // Shape and id validation reject without mutating.
+        assert!(matches!(
+            engine.update_rows(&[0, 1], &fixed),
+            Err(IncrementalError::UpdateShapeMismatch { rows: 2, replacement_rows: 1 })
+        ));
+        assert!(matches!(
+            engine.update_rows(&[3], &fixed), // row 3 was tombstoned by the update
+            Err(IncrementalError::Relation(RelationError::DeadRow { row: 3 }))
+        ));
+        assert_eq!(engine.n_live(), 4);
+        cover_matches_from_scratch(&engine, &survivors);
+    }
+
+    #[test]
+    fn delete_validation_is_atomic() {
+        let base = random_relation(8, 3, 3, 42);
+        let mut engine = IncrementalDiscovery::new(&base);
+        let before = engine.cover().sorted();
+        assert!(matches!(
+            engine.delete_rows(&[2, 99]),
+            Err(IncrementalError::Relation(RelationError::RowOutOfRange { .. }))
+        ));
+        assert_eq!(engine.n_live(), 8, "failed delete must not tombstone");
+        assert_eq!(engine.cover().sorted(), before);
+        engine.delete_rows(&[2]).unwrap();
+        assert!(matches!(
+            engine.delete_rows(&[2]),
+            Err(IncrementalError::Relation(RelationError::DeadRow { row: 2 }))
+        ));
+        assert_eq!(engine.n_live(), 7);
+    }
+
+    #[test]
     fn clean_batches_skip_work() {
         // Base: sequential key, a monotone coarsening, a low-card category.
         let base = RelationBuilder::new()
@@ -515,6 +890,36 @@ mod tests {
     }
 
     #[test]
+    fn clean_deletes_skip_work() {
+        // Deleting rows that are singletons under every non-empty context
+        // leaves every level-1+ verdict untouched; only `{}`-context
+        // falsified entries get an (early-exit) re-scan, because the unit
+        // partition's single class is touched by any delete.
+        let base = RelationBuilder::new()
+            .column_i64("k", (0..20).collect())
+            .column_i64("m", (0..20).map(|i| i / 2).collect())
+            .build()
+            .unwrap();
+        let mut engine = IncrementalDiscovery::new(&base);
+        let with_tail = RelationBuilder::new()
+            .column_i64("k", (100..105).collect())
+            .column_i64("m", (100..105).collect())
+            .build()
+            .unwrap();
+        engine.push_batch(&with_tail).unwrap();
+        let report = engine.delete_rows(&[20, 21, 22, 23, 24]).unwrap();
+        // Only the two falsified `{}`-context constancies ({}->k, {}->m)
+        // re-scan; everything else is served from cache and every retained
+        // partition is reused wholesale.
+        assert!(report.counters.revalidated <= 2, "{:?}", report.counters);
+        assert!(report.counters.skipped_false > 0, "{:?}", report.counters);
+        assert_eq!(report.counters.nodes_recomputed, 0, "{:?}", report.counters);
+        assert!(report.counters.nodes_reused > 0, "{:?}", report.counters);
+        let survivors = base;
+        cover_matches_from_scratch(&engine, &survivors);
+    }
+
+    #[test]
     fn empty_batch_changes_nothing() {
         let base = random_relation(10, 3, 3, 1);
         let mut engine = IncrementalDiscovery::new(&base);
@@ -523,6 +928,12 @@ mod tests {
         let report = engine.push_batch(&empty).unwrap();
         assert_eq!(report.appended_rows, 0);
         assert!(report.retired.is_empty() && report.promoted.is_empty());
+        assert_eq!(engine.cover().sorted(), before);
+        // Empty mutations across the other entry points are no-ops too.
+        let report = engine.delete_rows(&[]).unwrap();
+        assert_eq!(report.deleted_rows, 0);
+        let report = engine.update_rows(&[], &empty).unwrap();
+        assert_eq!((report.deleted_rows, report.appended_rows), (0, 0));
         assert_eq!(engine.cover().sorted(), before);
     }
 
@@ -559,10 +970,14 @@ mod tests {
             Err(IncrementalError::Relation(_))
         ));
         assert!(matches!(
+            engine.update_rows(&[0, 1, 2, 3, 4], &wrong),
+            Err(IncrementalError::Relation(_))
+        ));
+        assert!(matches!(
             engine.enqueue(wrong),
             Err(IncrementalError::Relation(_))
         ));
-        // The engine stays usable after a rejected batch.
+        // The engine stays usable after a rejected mutation.
         engine.push_batch(&random_relation(2, 3, 3, 8)).unwrap();
     }
 
@@ -584,7 +999,16 @@ mod tests {
             engine.push_batch(&batch),
             Err(IncrementalError::Poisoned)
         ));
-        // Poisoned engines refuse to take custody of batches they would lose.
+        // Poisoned engines reject every mutation, and refuse to take
+        // custody of batches they would lose.
+        assert!(matches!(
+            engine.delete_rows(&[0]),
+            Err(IncrementalError::Poisoned)
+        ));
+        assert!(matches!(
+            engine.update_rows(&[0], &batch),
+            Err(IncrementalError::Poisoned)
+        ));
         assert!(matches!(
             engine.enqueue(batch.clone()),
             Err(IncrementalError::Poisoned)
@@ -611,5 +1035,70 @@ mod tests {
         let mut concat = base.clone();
         concat.extend(&batch).unwrap();
         cover_matches_from_scratch(&engine, &concat);
+        // And shrinks back down to (almost) nothing.
+        engine.delete_rows(&[0]).unwrap();
+        cover_matches_from_scratch(&engine, &batch.select_rows(&[1]));
+        engine.delete_rows(&[1]).unwrap();
+        assert_eq!(engine.n_live(), 0);
+        cover_matches_from_scratch(&engine, &base);
+    }
+
+    #[test]
+    fn random_mutations_stay_equivalent() {
+        // Engine-level mixed smoke (the heavyweight oracle-backed bands
+        // live in tests/incremental_equivalence.rs): random interleaving of
+        // appends, deletes and updates, checked against from-scratch
+        // discovery on the survivors after every mutation.
+        let mut seed = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..4 {
+            let base = random_relation(10, 3, 3, trial);
+            let mut engine = IncrementalDiscovery::new(&base);
+            // Model: physical slot -> live row values (as a Relation index).
+            let mut slots: Vec<Option<usize>> = (0..10).map(Some).collect();
+            let mut history = base.clone();
+            for step in 0..12u64 {
+                let live: Vec<usize> = slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.map(|_| i))
+                    .collect();
+                match next() % 3 {
+                    0 => {
+                        let batch = random_relation(2, 3, 3, 7_000 + trial * 100 + step);
+                        engine.push_batch(&batch).unwrap();
+                        history.extend(&batch).unwrap();
+                        slots.extend([Some(0), Some(0)]);
+                    }
+                    1 if !live.is_empty() => {
+                        let victim = live[(next() % live.len() as u64) as usize];
+                        engine.delete_rows(&[victim]).unwrap();
+                        slots[victim] = None;
+                    }
+                    _ if !live.is_empty() => {
+                        let victim = live[(next() % live.len() as u64) as usize];
+                        let replacement =
+                            random_relation(1, 3, 3, 9_000 + trial * 100 + step);
+                        engine.update_rows(&[victim], &replacement).unwrap();
+                        history.extend(&replacement).unwrap();
+                        slots[victim] = None;
+                        slots.push(Some(0));
+                    }
+                    _ => {}
+                }
+                let survivors: Vec<usize> = slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.map(|_| i))
+                    .collect();
+                assert_eq!(engine.n_live(), survivors.len());
+                cover_matches_from_scratch(&engine, &history.select_rows(&survivors));
+            }
+        }
     }
 }

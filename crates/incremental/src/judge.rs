@@ -1,40 +1,195 @@
-//! The memoizing verdict judge: where invalidate-only monotonicity becomes
-//! skipped work.
+//! The memoizing verdict judge: where per-direction monotonicity (appends
+//! only falsify, deletes only revive) becomes skipped work.
 
 use crate::stats::BatchCounters;
 use fastod::parallel::Executor;
-use fastod::{CancelToken, Cancelled, LevelStats, OdJudge, OdValidator, ValidationTask};
-use fastod_partition::StrippedPartition;
-use fastod_relation::{AttrId, AttrSet};
+use fastod::{
+    CancelToken, Cancelled, LevelStats, OdJudge, OdValidator, ValidationTask, ViolationWitness,
+};
+use fastod_partition::{
+    count_constancy_violations, count_constancy_violations_rows, count_swap_violations,
+    count_swap_violations_rows, find_constancy_violation, find_swap_sweep, CountScratch,
+    RemoveDelta, StrippedPartition,
+};
+use fastod_relation::{AttrId, AttrSet, EncodedRelation};
 use fastod_theory::CanonicalOd;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::num::NonZeroU64;
 
-/// An [`OdJudge`] that consults a persistent verdict cache and the current
-/// batch's dirty-context map before falling back to a real validator.
+/// One cached verdict with violation-count bookkeeping — the state machine
+/// `valid ⇄ invalid` of the mutable cache.
 ///
-/// * cached `false` → `false`, forever (appends cannot revive an OD);
-/// * cached `true` on a **clean** context → `true` without validation (the
-///   batch added no pair inside any class of that context);
-/// * otherwise → validate against the full instance and update the cache.
+/// A verdict is the cached answer to "does this canonical OD hold on the
+/// current live instance?", and both canonical shapes fail exactly when some
+/// tuple *pair* inside one context class violates them (a split or a swap).
+/// The cache therefore stores not just the boolean but, when known, the
+/// **number of violating pairs**:
+///
+/// * appends can only *add* violating pairs — a [`CachedVerdict::Valid`]
+///   entry must be re-checked when its context gained covered rows, an
+///   [`CachedVerdict::Invalid`] entry is binding (though its count may go
+///   stale and is then degraded to `Invalid(None)`);
+/// * deletes can only *remove* violating pairs — a `Valid` entry is binding,
+///   and an `Invalid(Some(c))` entry is maintained by **delta counting**:
+///   subtract the violations the touched classes held before the delete, add
+///   what they hold after, and flip to `Valid` when the count reaches zero —
+///   without rescanning the untouched remainder of the context.
+///
+/// Counts are materialized lazily and opportunistically: ordinary validation
+/// stores an `Invalid` entry with no count (the boolean scans early-exit on
+/// the first witness), and a delete pass materializes the count only when
+/// the touched classes are small relative to the context — the regime
+/// where future deltas beat rechecks; each pass ends with a cache sweep
+/// that ages stale counts back out (appends make them inexact) and drops
+/// entries the pass may have changed without re-anchoring.
+///
+/// Alongside the count, an invalid entry can cache one concrete **witness
+/// pair**. A witness is self-certifying under every mutation that does not
+/// delete one of its two rows: values never change in place, appends never
+/// split a class, and deletes only shrink classes — so two live co-class
+/// rows that violate the OD today still violate it after any number of
+/// other rows come and go. A delete pass therefore re-confirms most
+/// falsified entries with two liveness bit-reads instead of a scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachedVerdict {
+    /// The OD holds: zero violating pairs on the live instance.
+    Valid,
+    /// The OD fails; see [`InvalidEntry`] for what is known about *how*.
+    Invalid(InvalidEntry),
+}
+
+/// What the cache knows about a falsified OD beyond the bare verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidEntry {
+    /// Exact violating-pair count (`≥ 1`) when materialized and currently
+    /// maintained; `None` means "at least one" — never counted, or gone
+    /// stale when an append dirtied the context.
+    pub violations: Option<NonZeroU64>,
+    /// One concrete violating pair (physical row ids), when known. Binding
+    /// as long as both rows are live.
+    pub witness: Option<(u32, u32)>,
+    /// How many witness searches this entry has burned through (saturating).
+    /// Entries whose witnesses keep dying are near their revival point or
+    /// under concentrated deletion — either way, the next cheap opportunity
+    /// materializes the exact count so later deletes delta instead of
+    /// re-searching.
+    pub rescans: u8,
+}
+
+impl CachedVerdict {
+    /// Whether the cached verdict says the OD holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, CachedVerdict::Valid)
+    }
+
+    /// The verdict for a boolean validation outcome (nothing materialized).
+    pub(crate) fn from_bool(valid: bool) -> CachedVerdict {
+        if valid {
+            CachedVerdict::Valid
+        } else {
+            CachedVerdict::Invalid(InvalidEntry {
+                violations: None,
+                witness: None,
+                rescans: 0,
+            })
+        }
+    }
+
+    /// The verdict for an exact violation count (no witness attached).
+    pub(crate) fn from_count(violations: u64) -> CachedVerdict {
+        match NonZeroU64::new(violations) {
+            None => CachedVerdict::Valid,
+            some => CachedVerdict::Invalid(InvalidEntry {
+                violations: some,
+                witness: None,
+                rescans: 0,
+            }),
+        }
+    }
+}
+
+/// Delta counting is only attempted when the touched classes hold at most
+/// this fraction (1/`DELTA_DENSITY_CUTOFF`) of the context's covered rows —
+/// above it, one early-exit boolean scan of the partition is the better
+/// deal. The same gate decides whether a count is worth materializing for
+/// future deltas.
+const DELTA_DENSITY_CUTOFF: usize = 2;
+
+/// An [`OdJudge`] that consults the persistent verdict cache and the current
+/// pass's dirt tracking before falling back to a real validator. One pass
+/// can carry appends, deletes, or both (an update); each cached verdict is
+/// threatened by exactly one direction, so the rules compose per entry:
+///
+/// * cached [`CachedVerdict::Valid`] is threatened only by **appends**: on
+///   an append-clean context → `true` without validation (no pair was added
+///   inside any class of that context); on an append-dirty one →
+///   re-validate against the live instance;
+/// * cached [`CachedVerdict::Invalid`] is threatened only by **deletes**:
+///   on a delete-untouched context → `false` without validation (its
+///   violating pairs are all still live); on a touched one → cheapest
+///   certificate first — a still-live cached witness pair (`O(1)`), an
+///   exact-count **delta** over the touched classes (`O(touched)`, only
+///   when the context saw no appends this pass), or an early-exit witness
+///   search over the current partition.
 pub(crate) struct CachedJudge<'a, V> {
     inner: &'a mut V,
-    cache: &'a mut HashMap<CanonicalOd, bool>,
-    /// Dirtiness per lattice node (attribute-set bits), for *this* batch.
+    cache: &'a mut HashMap<CanonicalOd, CachedVerdict>,
+    enc: &'a EncodedRelation,
+    /// Liveness mask over physical rows — certifies cached witnesses.
+    live: &'a [bool],
+    /// Per-node touched-class deltas from `DiscoverySnapshot::remove_rows`,
+    /// keyed by attribute-set bits, when the pass deleted rows. A context
+    /// absent from the map was not retained (evicted or never generated)
+    /// and falls back to full revalidation.
+    deltas: Option<HashMap<u64, RemoveDelta>>,
+    /// Whether the pass appended rows (drives `Valid`-entry hygiene).
+    has_appends: bool,
+    /// Append-dirtiness per lattice node (attribute-set bits): whether the
+    /// pass added a covered row to the node's partition.
     dirty: HashMap<u64, bool>,
+    /// ODs whose verdict was freshly resolved against the current instance
+    /// this pass — consulted by the post-pass hygiene to decide which
+    /// entries are still anchored.
+    judged: HashSet<CanonicalOd>,
+    scratch: CountScratch,
     pub(crate) counters: BatchCounters,
 }
 
 impl<'a, V: OdValidator> CachedJudge<'a, V> {
-    pub fn new(inner: &'a mut V, cache: &'a mut HashMap<CanonicalOd, bool>) -> CachedJudge<'a, V> {
+    pub fn new(
+        inner: &'a mut V,
+        cache: &'a mut HashMap<CanonicalOd, CachedVerdict>,
+        enc: &'a EncodedRelation,
+        live: &'a [bool],
+        deltas: Option<HashMap<u64, RemoveDelta>>,
+        has_appends: bool,
+    ) -> CachedJudge<'a, V> {
         CachedJudge {
             inner,
             cache,
+            enc,
+            live,
+            deltas,
+            has_appends,
             dirty: HashMap::new(),
+            judged: HashSet::new(),
+            scratch: CountScratch::new(),
             counters: BatchCounters::default(),
         }
     }
 
-    /// Records whether the batch touched a non-singleton class of `Π*_X`.
+    /// Whether the pass deleted a covered row from context `bits` — `false`
+    /// means provably untouched (no deletes this pass, or a clean retained
+    /// delta); `true` covers genuinely touched *and* unknown (unretained)
+    /// contexts.
+    fn delete_touched(&self, bits: u64) -> bool {
+        match &self.deltas {
+            None => false,
+            Some(map) => map.get(&bits).is_none_or(RemoveDelta::is_dirty),
+        }
+    }
+
+    /// Records whether the pass touched a non-singleton class of `Π*_X`.
     pub fn set_dirty(&mut self, bits: u64, dirty: bool) {
         if dirty {
             self.counters.dirty_nodes += 1;
@@ -42,7 +197,7 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
         self.dirty.insert(bits, dirty);
     }
 
-    /// Whether node `bits` is dirty this batch. Unknown nodes are treated as
+    /// Whether node `bits` is dirty this pass. Unknown nodes are treated as
     /// dirty — correctness must never hinge on a missing entry.
     pub fn is_dirty(&self, bits: u64) -> bool {
         debug_assert!(
@@ -52,26 +207,285 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
         self.dirty.get(&bits).copied().unwrap_or(true)
     }
 
-    fn judge(&mut self, od: CanonicalOd, validate: impl FnOnce(&mut V) -> bool) -> bool {
-        let prior = self.cache.get(&od).copied();
-        match prior {
-            Some(false) => {
-                self.counters.skipped_false += 1;
+    /// Post-pass cache hygiene. Entries the pass may have changed without
+    /// re-anchoring are dropped (to be revalidated whenever next gathered)
+    /// and counts the pass made inexact are degraded. Hazards exist because
+    /// once deletions revive verdicts, candidate sets can shrink and
+    /// regions of the lattice can close and later re-open — so a cached
+    /// entry is not necessarily re-gathered every pass:
+    ///
+    /// * a `Valid` entry survives unless the pass appended rows, its
+    ///   context is append-dirty (or untracked), and its candidate was not
+    ///   gathered — the batch may have silently falsified it;
+    /// * an `Invalid` entry survives if its context is provably
+    ///   delete-untouched, its cached witness pair is still fully live, or
+    ///   it was re-anchored this pass — otherwise the delete may have
+    ///   silently revived it and it is dropped;
+    /// * a surviving `Invalid(Some(c))` count stays exact only when the
+    ///   entry was re-anchored, or its context saw neither appended covered
+    ///   rows nor deleted ones; anything else degrades it to `None` (the
+    ///   witness, which mutations of *other* rows cannot kill, keeps
+    ///   certifying plain falseness).
+    pub fn finish_pass(&mut self) {
+        let CachedJudge {
+            cache,
+            deltas,
+            has_appends,
+            dirty,
+            judged,
+            counters,
+            live,
+            ..
+        } = self;
+        let deltas = &*deltas;
+        let delete_touched = |bits: u64| match deltas {
+            None => false,
+            Some(map) => map.get(&bits).is_none_or(RemoveDelta::is_dirty),
+        };
+        cache.retain(|od, verdict| {
+            let bits = od.context().bits();
+            let was_judged = judged.contains(od);
+            let append_clean = !*has_appends || dirty.get(&bits) == Some(&false);
+            match verdict {
+                CachedVerdict::Valid => {
+                    if append_clean || was_judged {
+                        true
+                    } else {
+                        counters.entries_dropped += 1;
+                        false
+                    }
+                }
+                CachedVerdict::Invalid(entry) => {
+                    let untouched = !delete_touched(bits);
+                    if !(untouched || witness_alive(entry.witness, live) || was_judged) {
+                        counters.entries_dropped += 1;
+                        return false;
+                    }
+                    if !(was_judged || (append_clean && untouched)) {
+                        entry.violations = None;
+                    }
+                    true
+                }
+            }
+        });
+    }
+
+    /// Resolves one cached-`Invalid` candidate in a delete pass, given the
+    /// current (already compacted) context partition. Cheapest certificate
+    /// first:
+    ///
+    /// * cached witness pair fully live → still false, two bit-reads;
+    /// * exact count cached and touched classes small → **delta count**
+    ///   (`O(touched)`, flips to valid at zero);
+    /// * touched classes small but no count yet → one full count
+    ///   **materializes** it for future deltas;
+    /// * otherwise → early-exit witness search over the partition, caching
+    ///   the pair it finds.
+    fn resolve_deleted(
+        &mut self,
+        od: CanonicalOd,
+        entry: InvalidEntry,
+        ctx: &StrippedPartition,
+        find: impl FnOnce(&mut V) -> ViolationWitness,
+    ) -> bool {
+        let bits = od.context().bits();
+        // Exact-count arithmetic is only sound when this pass did not also
+        // append covered rows into the context (the delta records removals
+        // only), and only worthwhile when the delta is complete and small.
+        let append_clean = !self.has_appends || !self.is_dirty(bits);
+        let delta = self
+            .deltas
+            .as_ref()
+            .expect("resolve_deleted requires a delete pass")
+            .get(&bits)
+            .filter(|d| d.is_exact() && append_clean);
+        let touched_rows: usize = delta
+            .map(|d| d.touched.iter().map(|t| t.old.len() + t.new.len()).sum())
+            .unwrap_or(usize::MAX);
+        let cheap = touched_rows
+            .checked_mul(DELTA_DENSITY_CUTOFF)
+            .is_some_and(|w| w <= ctx.covered_rows().max(1));
+        self.judged.insert(od);
+        let alive = witness_alive(entry.witness, self.live);
+        if let (Some(count), Some(delta), true) = (entry.violations, delta, cheap) {
+            let (removed, remaining) = delta_violations(&od, delta, self.enc, &mut self.scratch);
+            let updated = (count.get() + remaining)
+                .checked_sub(removed)
+                .expect("touched-class violations cannot exceed the exact total");
+            debug_assert!(!alive || updated > 0, "live witness with zero violations");
+            self.counters.delta_revalidated += 1;
+            if updated == 0 {
+                self.counters.verdicts_revived += 1;
+                self.cache.insert(od, CachedVerdict::Valid);
+                return true;
+            }
+            self.cache.insert(
+                od,
+                CachedVerdict::Invalid(InvalidEntry {
+                    violations: NonZeroU64::new(updated),
+                    // A surviving witness keeps certifying; a dead one is
+                    // forgotten (the exact count carries the verdict now).
+                    witness: entry.witness.filter(|_| alive),
+                    rescans: 0,
+                }),
+            );
+            return false;
+        }
+        if alive {
+            // The witness pair is still live: both rows still share their
+            // context class (deletes only shrink classes), so the OD is
+            // still violated. The exact count (if any) could not be
+            // delta-maintained cheaply, so it degrades.
+            self.counters.witness_skips += 1;
+            self.cache.insert(
+                od,
+                CachedVerdict::Invalid(InvalidEntry {
+                    violations: None,
+                    witness: entry.witness,
+                    rescans: entry.rescans,
+                }),
+            );
+            return false;
+        }
+        if cheap && delta.is_some() && entry.rescans >= 1 {
+            // This entry has burned a witness search before: anchor the
+            // exact count now, so the next deletes this small resolve in
+            // O(touched) instead of another scan.
+            let count = full_violations(&od, ctx, self.enc, &mut self.scratch);
+            self.counters.recounted += 1;
+            if count == 0 {
+                self.counters.verdicts_revived += 1;
+            }
+            self.cache.insert(od, CachedVerdict::from_count(count));
+            return count == 0;
+        }
+        // Full fallback: search the (already compacted) partition for a
+        // fresh witness — early-exit, through the validator's own scan
+        // machinery — and cache what it finds so the next deletes resolve
+        // in O(1).
+        let witness = match find(self.inner) {
+            ViolationWitness::Valid => None,
+            ViolationWitness::Pair(s, t) => Some((s, t)),
+            ViolationWitness::Unsupported => find_witness(&od, ctx, self.enc),
+        };
+        self.counters.revalidated += 1;
+        match witness {
+            None => {
+                self.counters.verdicts_revived += 1;
+                self.cache.insert(od, CachedVerdict::Valid);
+                true
+            }
+            some => {
+                self.cache.insert(
+                    od,
+                    CachedVerdict::Invalid(InvalidEntry {
+                        violations: None,
+                        witness: some,
+                        rescans: entry.rescans.saturating_add(1),
+                    }),
+                );
                 false
             }
-            Some(true) if !self.is_dirty(od.context().bits()) => {
+        }
+    }
+
+    /// The full decision table for one candidate; `ctx` is the candidate's
+    /// current context partition, `validate` the boolean fallback, `find`
+    /// the validator-native witness search.
+    fn judge(
+        &mut self,
+        od: CanonicalOd,
+        ctx: &StrippedPartition,
+        validate: impl FnOnce(&mut V) -> bool,
+        find: impl FnOnce(&mut V) -> ViolationWitness,
+    ) -> bool {
+        let prior = self.cache.get(&od).copied();
+        match prior {
+            Some(CachedVerdict::Invalid(entry)) => {
+                if self.delete_touched(od.context().bits()) {
+                    self.resolve_deleted(od, entry, ctx, find)
+                } else {
+                    self.counters.skipped_false += 1;
+                    false
+                }
+            }
+            Some(CachedVerdict::Valid) if !self.is_dirty(od.context().bits()) => {
                 self.counters.skipped_clean += 1;
                 true
             }
             _ => {
                 let verdict = validate(self.inner);
                 self.counters.revalidated += 1;
-                if prior == Some(true) && !verdict {
+                if prior == Some(CachedVerdict::Valid) && !verdict {
                     self.counters.verdicts_flipped += 1;
                 }
-                self.cache.insert(od, verdict);
+                self.cache.insert(od, CachedVerdict::from_bool(verdict));
+                self.judged.insert(od);
                 verdict
             }
+        }
+    }
+}
+
+/// Whether a cached witness pair is still fully live.
+fn witness_alive(witness: Option<(u32, u32)>, live: &[bool]) -> bool {
+    witness.is_some_and(|(s, t)| live[s as usize] && live[t as usize])
+}
+
+/// Searches the context partition for one violating pair of `od` —
+/// early-exit, `τ`-free (the swap side uses the sort-then-sweep finder).
+fn find_witness(
+    od: &CanonicalOd,
+    ctx: &StrippedPartition,
+    enc: &EncodedRelation,
+) -> Option<(u32, u32)> {
+    match *od {
+        CanonicalOd::Constancy { rhs, .. } => find_constancy_violation(ctx, enc.codes(rhs)),
+        CanonicalOd::OrderCompat { a, b, .. } => {
+            find_swap_sweep(ctx.classes(), enc.codes(a), enc.codes(b))
+        }
+    }
+}
+
+/// The violating pairs of `od` inside a delete's touched classes, before
+/// (`removed`-side) and after (`remaining`-side) the removal.
+fn delta_violations(
+    od: &CanonicalOd,
+    delta: &RemoveDelta,
+    enc: &EncodedRelation,
+    scratch: &mut CountScratch,
+) -> (u64, u64) {
+    let (mut removed, mut remaining) = (0u64, 0u64);
+    for class in &delta.touched {
+        match *od {
+            CanonicalOd::Constancy { rhs, .. } => {
+                let codes = enc.codes(rhs);
+                removed += count_constancy_violations_rows(&class.old, codes, scratch);
+                remaining += count_constancy_violations_rows(&class.new, codes, scratch);
+            }
+            CanonicalOd::OrderCompat { a, b, .. } => {
+                let (ca, cb) = (enc.codes(a), enc.codes(b));
+                removed += count_swap_violations_rows(&class.old, ca, cb, scratch);
+                remaining += count_swap_violations_rows(&class.new, ca, cb, scratch);
+            }
+        }
+    }
+    (removed, remaining)
+}
+
+/// The total violating pairs of `od` over its (current) context partition.
+fn full_violations(
+    od: &CanonicalOd,
+    ctx: &StrippedPartition,
+    enc: &EncodedRelation,
+    scratch: &mut CountScratch,
+) -> u64 {
+    match *od {
+        CanonicalOd::Constancy { rhs, .. } => {
+            count_constancy_violations(ctx.classes(), enc.codes(rhs), scratch)
+        }
+        CanonicalOd::OrderCompat { a, b, .. } => {
+            count_swap_violations(ctx.classes(), enc.codes(a), enc.codes(b), scratch)
         }
     }
 }
@@ -88,13 +502,22 @@ fn od_of(task: &ValidationTask<'_>) -> CanonicalOd {
     }
 }
 
+/// The context partition a task's verdict is evaluated against (the parent
+/// partition for constancy, the context partition for order compatibility).
+fn ctx_of<'p>(task: &ValidationTask<'p>) -> &'p StrippedPartition {
+    match *task {
+        ValidationTask::Constancy { parent, .. } => parent,
+        ValidationTask::OrderCompat { ctx, .. } => ctx,
+    }
+}
+
 impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
     /// Batch judging with the cache consulted up front: resolved verdicts
-    /// (cached `false`, or cached `true` on a clean context) never reach the
-    /// validator, and only the unresolved remainder is sharded across the
-    /// executor's workers. Cache updates and counters are applied
-    /// sequentially in task order, so the judge's observable state is
-    /// independent of the thread count.
+    /// never reach the validator, delete-pass delta counts are applied
+    /// sequentially (they are `O(touched)` each), and only the unresolved
+    /// remainder is sharded across the executor's workers. Cache updates and
+    /// counters are applied sequentially in task order, so the judge's
+    /// observable state is independent of the thread count.
     fn judge_batch(
         &mut self,
         tasks: &[ValidationTask<'_>],
@@ -106,13 +529,26 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
         let mut unresolved: Vec<ValidationTask<'_>> = Vec::new();
         let mut unresolved_at: Vec<usize> = Vec::new();
         for (i, task) in tasks.iter().enumerate() {
+            if i % 64 == 0 {
+                cancel.check()?;
+            }
             let od = od_of(task);
-            match self.cache.get(&od).copied() {
-                Some(false) => {
-                    self.counters.skipped_false += 1;
-                    verdicts.push(Some(false));
+            let prior = self.cache.get(&od).copied();
+            match prior {
+                Some(CachedVerdict::Invalid(entry)) => {
+                    if self.delete_touched(od.context().bits()) {
+                        // Resolved inline: a witness liveness probe, an
+                        // O(touched) delta, or an early-exit witness search
+                        // (rare enough not to shard).
+                        let verdict = self
+                            .resolve_deleted(od, entry, ctx_of(task), |v| v.find_violation(task));
+                        verdicts.push(Some(verdict));
+                    } else {
+                        self.counters.skipped_false += 1;
+                        verdicts.push(Some(false));
+                    }
                 }
-                Some(true) if !self.is_dirty(od.context().bits()) => {
+                Some(CachedVerdict::Valid) if !self.is_dirty(od.context().bits()) => {
                     self.counters.skipped_clean += 1;
                     verdicts.push(Some(true));
                 }
@@ -127,10 +563,11 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
         for (&i, verdict) in unresolved_at.iter().zip(fresh) {
             let od = od_of(&tasks[i]);
             self.counters.revalidated += 1;
-            if self.cache.get(&od).copied() == Some(true) && !verdict {
+            if self.cache.get(&od).copied() == Some(CachedVerdict::Valid) && !verdict {
                 self.counters.verdicts_flipped += 1;
             }
-            self.cache.insert(od, verdict);
+            self.cache.insert(od, CachedVerdict::from_bool(verdict));
+            self.judged.insert(od);
             verdicts[i] = Some(verdict);
         }
         Ok(verdicts
@@ -147,9 +584,13 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
         node: &StrippedPartition,
         stats: &mut LevelStats,
     ) -> bool {
-        self.judge(CanonicalOd::constancy(parent_set, rhs), |v| {
-            OdValidator::constancy(v, parent, node, rhs, stats)
-        })
+        let task = ValidationTask::Constancy { parent_set, rhs, parent, node };
+        self.judge(
+            CanonicalOd::constancy(parent_set, rhs),
+            parent,
+            |v| OdValidator::constancy(v, parent, node, rhs, stats),
+            |v| v.find_violation(&task),
+        )
     }
 
     fn order_compat(
@@ -160,8 +601,13 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
         ctx: &StrippedPartition,
         stats: &mut LevelStats,
     ) -> bool {
-        self.judge(CanonicalOd::order_compat(ctx_set, a, b), |v| {
-            OdValidator::order_compat(v, ctx, ctx_set.bits() as usize, a, b, stats)
-        })
+        let task = ValidationTask::OrderCompat { ctx_set, a, b, ctx };
+        self.judge(
+            CanonicalOd::order_compat(ctx_set, a, b),
+            ctx,
+            |v| OdValidator::order_compat(v, ctx, ctx_set.bits() as usize, a, b, stats),
+            |v| v.find_violation(&task),
+        )
     }
 }
+

@@ -1,18 +1,21 @@
 //! **Incremental OD discovery** — maintaining the complete, minimal cover of
-//! canonical order dependencies while the relation grows.
+//! canonical order dependencies while the relation **mutates**: appended
+//! batches, row deletions, and in-place updates.
 //!
 //! [`crate::Fastod`](fastod::Fastod) answers "which ODs hold on `r`?" for a
-//! *static* instance. Production relations are not static: they accept
-//! appended tuples, and each append can change the answer. This crate turns
-//! the one-shot algorithm into a long-lived service primitive:
-//! [`IncrementalDiscovery`] wraps a discovered cover and accepts appended
-//! batches ([`IncrementalDiscovery::push_batch`]), after each of which its
-//! [`cover`](IncrementalDiscovery::cover) is — exactly, not approximately —
-//! what `Fastod::discover` would return on the concatenated relation
-//! (Theorem 8 keeps holding after every batch; the equivalence is pinned by
-//! an oracle-backed property suite).
+//! *static* instance. Production relations are not static: tuples arrive,
+//! get corrected, and get purged — and each mutation can change the answer.
+//! This crate turns the one-shot algorithm into a long-lived service
+//! primitive: [`IncrementalDiscovery`] wraps a discovered cover and accepts
+//! appends ([`push_batch`](IncrementalDiscovery::push_batch)), deletions
+//! ([`delete_rows`](IncrementalDiscovery::delete_rows)) and updates
+//! ([`update_rows`](IncrementalDiscovery::update_rows)), after each of
+//! which its [`cover`](IncrementalDiscovery::cover) is — exactly, not
+//! approximately — what `Fastod::discover` would return on the **surviving
+//! rows** (Theorem 8 keeps holding after every mutation; the equivalence is
+//! pinned by an oracle-backed property suite).
 //!
-//! # Why appends are the easy direction: invalidate-only monotonicity
+//! # Two monotone directions
 //!
 //! Both canonical OD shapes are *universally quantified over tuple pairs*:
 //!
@@ -21,53 +24,72 @@
 //! * `X: A ~ B` (order compatibility) fails iff some pair inside an
 //!   `X`-class is ordered oppositely by `A` and `B` — a **swap**.
 //!
-//! Appending tuples to `r` only *adds* candidate pairs; it never removes
-//! one. Hence over `r ∪ Δr`:
+//! Every violation is a pair *within one context class*, which gives each
+//! mutation direction a one-sided monotonicity:
 //!
-//! 1. **every OD invalid on `r` stays invalid** — its witnessing split/swap
-//!    pair is still there;
-//! 2. an OD valid on `r` stays valid **unless** a pair involving at least
-//!    one appended tuple violates it — and such a pair must fall inside a
-//!    context class that *gained an appended row*.
+//! * **appends only falsify.** Appending tuples adds candidate pairs and
+//!   removes none: an OD invalid on `r` stays invalid on `r ∪ Δr` (its
+//!   witnessing pair is still there), and a valid OD needs re-checking only
+//!   when its context partition is **dirty** — some appended row landed in
+//!   (or created) a non-singleton class;
+//! * **deletes only revive.** Deleting tuples removes candidate pairs and
+//!   adds none: a valid OD stays valid, and an invalid OD flips back to
+//!   valid exactly when its *last* violating pair is deleted — which can
+//!   only happen in a context class that lost a row.
 //!
-//! Fact 1 means a cached `false` verdict is binding forever: falsified
-//! candidates are never re-examined, no matter how many batches arrive.
-//! Fact 2 gives the re-check filter: a cached `true` verdict must be
-//! re-examined only when the candidate's context partition is **dirty** —
-//! some appended row landed in (or created) a non-singleton class. Batches
-//! whose rows are singletons under a context cannot break anything there.
+//! The boolean verdict cache of the append-only engine leaned on the first
+//! direction alone ("`false` is forever"). Deletions break that, so the
+//! cache now does **violation-count bookkeeping** ([`CachedVerdict`]): an
+//! invalid verdict can carry the exact number of violating pairs, a delete
+//! pass *decrements* it by recounting only the touched classes
+//! (**delta-validation**), and the verdict revives the moment the count
+//! hits zero — no full re-scan. Alongside the count, an invalid entry can
+//! cache one concrete **witness pair**, which re-confirms falseness in
+//! O(1) for as long as both its rows stay live. Counts and witnesses are
+//! materialized lazily (boolean scans early-exit; the first deletes that
+//! need them pay one search or count) and counts degrade when appends make
+//! them stale. An update (delete + append) runs as **one** combined pass:
+//! each cached verdict is threatened by exactly one mutation direction, so
+//! the two monotonicity arguments compose per entry.
 //!
-//! The same monotonicity shapes the *cover*: a minimal OD leaves the cover
-//! only by being falsified (its implication witnesses — valid ODs in strict
-//! sub-contexts — can only disappear, never appear), while falsifications
-//! *promote* previously-implied ODs deeper in the lattice into the cover.
-//! The engine therefore resumes the lattice traversal from falsified nodes:
-//! a flipped verdict leaves the falsified attribute in `C⁺c`/`C⁺s`, which
-//! re-opens exactly the descendant nodes that the one-shot run had pruned
-//! under the now-dead dependency, and those nodes are (re)built, validated
-//! and — thanks to the verdict cache — mostly satisfied without touching
-//! the data.
+//! The same two directions shape the *cover*: appends retire cover members
+//! by falsifying them (promoting previously-implied ODs into minimality),
+//! deletes revive ODs (which can in turn retire members they now imply).
+//! The engine replays the lattice traversal each pass with cached verdicts:
+//! a flipped verdict re-opens (or re-closes) exactly the descendant region
+//! the one-shot run would have explored differently, and the verdict cache
+//! satisfies almost all of it without touching the data.
 //!
-//! # What a batch costs
+//! # What a mutation costs
 //!
-//! Per [`push_batch`](IncrementalDiscovery::push_batch) with `Δ` appended
-//! rows over `n` existing ones:
+//! With `Δ` mutated rows over `n` live ones:
 //!
-//! * **encoding** — dictionary growth in `O(Δ log card)` plus an `O(n)` code
-//!   remap only for columns that saw values below their current maximum
-//!   ([`fastod_relation::GrowableRelation`]); never a full re-sort;
-//! * **partitions** — level-1 partitions absorb the batch via
-//!   `StrippedPartition::append_codes`; a product node is recomputed only
-//!   when *both* its generating parents are dirty, and reused (O(1), row
-//!   count bump) otherwise;
-//! * **validations** — candidates with cached `false` verdicts are skipped
-//!   outright; cached `true` verdicts on clean contexts are skipped too;
-//!   everything else is re-validated against the full instance.
+//! * **encoding** — appends grow dictionaries in `O(Δ log card)` (plus an
+//!   `O(n)` code remap only for columns that saw values below their current
+//!   maximum, [`fastod_relation::GrowableRelation`]); deletes are `O(Δ)`
+//!   tombstone flips in a liveness mask — codes never move and row ids are
+//!   stable forever;
+//! * **partitions** — level-1 partitions absorb appends via
+//!   `StrippedPartition::append_codes_masked`; a product node is recomputed
+//!   only when *both* its generating parents are append-dirty. Deletes are
+//!   cheaper still: `Π*_X(r ∖ D)` is pure class compaction of the retained
+//!   `Π*_X(r)` (`StrippedPartition::remove_rows`), so **every** retained
+//!   node absorbs a delete in place and only budget-evicted nodes are
+//!   recomputed as products;
+//! * **validations** — appends: cached-invalid candidates are skipped
+//!   outright, cached-valid ones on clean contexts too, the rest
+//!   re-validate. Deletes: cached-valid candidates are skipped outright,
+//!   cached-invalid ones on untouched contexts too, and the rest settle by
+//!   the cheapest available certificate — a witness liveness probe (O(1)),
+//!   an exact-count delta over the touched classes (O(touched)), or an
+//!   early-exit witness search; contexts whose partition was evicted under
+//!   the memory budget fall back to that last, full-validation route.
 //!
 //! The retained lattice ([`fastod::snapshot::DiscoverySnapshot`]) trades
-//! memory — every post-prune node's partition stays resident — for exactly
-//! this locality. `exp8_incremental` in `fastod-bench` measures the win
-//! against from-scratch re-discovery per batch.
+//! memory — every post-prune node's partition stays resident, under an
+//! optional byte budget — for exactly this locality. `exp8_incremental` and
+//! `exp9_mutations` in `fastod-bench` measure the win against from-scratch
+//! re-discovery per batch.
 //!
 //! # Example
 //!
@@ -83,7 +105,7 @@
 //! let mut engine = IncrementalDiscovery::new(&base);
 //! assert!(engine.cover().iter().any(|od| od.is_constancy())); // {}: [] -> c
 //!
-//! // A batch that breaks c's constancy retires the OD from the cover.
+//! // A batch that breaks c's constancy retires the OD from the cover …
 //! let batch = RelationBuilder::new()
 //!     .column_i64("k", vec![3])
 //!     .column_i64("c", vec![8])
@@ -91,11 +113,19 @@
 //!     .unwrap();
 //! let report = engine.push_batch(&batch).unwrap();
 //! assert_eq!(report.retired.len(), 1);
+//!
+//! // … and deleting the offending row revives it.
+//! let report = engine.delete_rows(&[2]).unwrap();
+//! assert_eq!(report.promoted.len(), 1);
+//! assert!(engine.cover().iter().any(|od| od.is_constancy()));
 //! ```
+
+#![deny(missing_docs)]
 
 mod engine;
 mod judge;
 mod stats;
 
 pub use engine::{IncrementalDiscovery, IncrementalError};
+pub use judge::{CachedVerdict, InvalidEntry};
 pub use stats::{BatchCounters, BatchReport, IncrementalStats};

@@ -19,6 +19,25 @@ pub struct BatchCounters {
     pub revalidated: usize,
     /// Re-validations whose verdict flipped `true → false` (falsifications).
     pub verdicts_flipped: usize,
+    /// Cached `false` verdicts re-confirmed in O(1) by a still-live cached
+    /// **witness pair** (a violating pair stays violating until one of its
+    /// rows is deleted).
+    pub witness_skips: usize,
+    /// Cached `false` verdicts resolved by **delta counting** in a delete
+    /// pass: the violation count was adjusted by recounting only the
+    /// context classes the delete touched (the delta-validation win).
+    pub delta_revalidated: usize,
+    /// Cached `false` verdicts whose violation count had to be materialized
+    /// by one full count over the context partition (first delete touching
+    /// them, or a count degraded by an intervening append).
+    pub recounted: usize,
+    /// Cached verdicts that flipped `false → true` in a delete pass — ODs
+    /// *revived* because their last violating pair was deleted.
+    pub verdicts_revived: usize,
+    /// Cache entries dropped because the pass could have changed them but
+    /// no retained state could prove otherwise (context evicted or not in
+    /// the current lattice); they are revalidated when next gathered.
+    pub entries_dropped: usize,
     /// Lattice nodes whose retained partition was reused with a row-count
     /// bump (clean nodes).
     pub nodes_reused: usize,
@@ -41,6 +60,11 @@ impl BatchCounters {
         self.skipped_clean += other.skipped_clean;
         self.revalidated += other.revalidated;
         self.verdicts_flipped += other.verdicts_flipped;
+        self.witness_skips += other.witness_skips;
+        self.delta_revalidated += other.delta_revalidated;
+        self.recounted += other.recounted;
+        self.verdicts_revived += other.verdicts_revived;
+        self.entries_dropped += other.entries_dropped;
         self.nodes_reused += other.nodes_reused;
         self.nodes_recomputed += other.nodes_recomputed;
         self.partitions_appended += other.partitions_appended;
@@ -49,18 +73,25 @@ impl BatchCounters {
     }
 }
 
-/// What one [`crate::IncrementalDiscovery::push_batch`] call did to the cover.
+/// What one mutation ([`crate::IncrementalDiscovery::push_batch`],
+/// [`delete_rows`](crate::IncrementalDiscovery::delete_rows) or
+/// [`update_rows`](crate::IncrementalDiscovery::update_rows)) did to the
+/// cover.
 #[derive(Clone, Debug)]
 pub struct BatchReport {
-    /// Rows the batch appended.
+    /// Rows the mutation appended.
     pub appended_rows: usize,
-    /// Total rows after the batch.
+    /// Rows the mutation tombstoned.
+    pub deleted_rows: usize,
+    /// Live rows after the mutation (physical slots minus tombstones).
     pub n_rows: usize,
-    /// Cover members falsified by the batch (appends can *only* remove a
-    /// cover member by falsifying it — see the crate docs).
+    /// Cover members that left the cover: falsified by appended rows, or
+    /// un-minimalized because a delete revived a more general OD that now
+    /// implies them.
     pub retired: Vec<CanonicalOd>,
-    /// ODs that entered the cover: previously implied by a now-falsified
-    /// member, they became minimal.
+    /// ODs that entered the cover: promoted into minimality after an append
+    /// falsified the member that implied them, or revived outright by a
+    /// delete removing their last violating pair.
     pub promoted: Vec<CanonicalOd>,
     /// Work breakdown for the pass.
     pub counters: BatchCounters,
@@ -75,11 +106,15 @@ pub struct BatchReport {
 /// churn alone.
 #[derive(Clone, Debug, Default)]
 pub struct IncrementalStats {
-    /// Maintenance passes run (including the initial discovery).
+    /// Maintenance passes run (including the initial discovery; every
+    /// mutation — append, delete or update — is one combined pass).
     pub passes: usize,
     /// Rows absorbed across all passes (the seed relation counts, via the
     /// initial pass).
     pub rows_appended: usize,
+    /// Rows tombstoned across all passes (updates count their replaced
+    /// rows here *and* in [`IncrementalStats::rows_appended`]).
+    pub rows_deleted: usize,
     /// Cover members retired across all passes.
     pub total_retired: usize,
     /// Cover members promoted across all passes (the initial cover counts,
@@ -95,6 +130,7 @@ impl IncrementalStats {
     pub(crate) fn absorb(&mut self, report: &BatchReport) {
         self.passes += 1;
         self.rows_appended += report.appended_rows;
+        self.rows_deleted += report.deleted_rows;
         self.total_retired += report.retired.len();
         self.total_promoted += report.promoted.len();
         self.totals.absorb(&report.counters);
@@ -129,6 +165,7 @@ mod tests {
         let mut s = IncrementalStats::default();
         s.absorb(&BatchReport {
             appended_rows: 10,
+            deleted_rows: 2,
             n_rows: 30,
             retired: vec![],
             promoted: vec![],
@@ -137,6 +174,7 @@ mod tests {
         });
         assert_eq!(s.passes, 1);
         assert_eq!(s.rows_appended, 10);
+        assert_eq!(s.rows_deleted, 2);
         assert_eq!(s.total_elapsed, Duration::from_millis(5));
     }
 }

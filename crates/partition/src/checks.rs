@@ -161,6 +161,52 @@ pub fn check_order_compat_sweep_classes(
     })
 }
 
+/// Like [`check_order_compat_sweep`] but returns a witness *swap* pair
+/// `(s, t)` with `s ≺_A t` and `t ≺_B s` inside one context class when the
+/// OD is violated. `O(Σ |E| log |E|)` like the boolean sweep — independent
+/// of `|r|`, and needing no `τ_A` — which is what makes it the witness
+/// finder of choice for the incremental engine's delete-time re-checks
+/// (the witness is then cached: a pair stays violating until one of its
+/// rows is deleted, because removals never separate two rows of a class).
+pub fn find_swap_sweep(
+    classes: Classes<'_>,
+    codes_a: &[u32],
+    codes_b: &[u32],
+) -> Option<(u32, u32)> {
+    let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+    for class in classes.iter() {
+        triples.clear();
+        triples.extend(
+            class
+                .iter()
+                .map(|&row| (codes_a[row as usize], codes_b[row as usize], row)),
+        );
+        triples.sort_unstable();
+        let mut last_a = u32::MAX;
+        let mut run_max: Option<(u32, u32)> = None; // (b, row) of current run
+        let mut prev_max: Option<(u32, u32)> = None; // max over strictly smaller-A runs
+        for (i, &(a, b, row)) in triples.iter().enumerate() {
+            if i == 0 || a != last_a {
+                if let Some((rb, rr)) = run_max.take() {
+                    if prev_max.is_none_or(|(pb, _)| rb > pb) {
+                        prev_max = Some((rb, rr));
+                    }
+                }
+                last_a = a;
+            }
+            if let Some((pb, pr)) = prev_max {
+                if b < pb {
+                    return Some((pr, row));
+                }
+            }
+            if run_max.is_none_or(|(rb, _)| b > rb) {
+                run_max = Some((b, row));
+            }
+        }
+    }
+    None
+}
+
 /// The run-structured τ-scan shared by [`check_order_compat`] and
 /// [`find_swap`]: `τ_A` is walked **run by run** (equal-`A` groups are
 /// pre-materialized by the counting sort, so no `A`-code is ever read),
@@ -279,6 +325,27 @@ mod tests {
         assert_eq!(fast, swap_naive(ctx, codes_a, codes_b), "fast vs naive");
         let sweep = check_order_compat_sweep(ctx, codes_a, codes_b, &mut scratch);
         assert_eq!(fast, sweep, "tau-scan vs sort-then-sweep");
+        // The sweep-based witness finder agrees on the verdict and, on
+        // violation, returns a genuine swap pair within one class.
+        match find_swap_sweep(ctx.classes(), codes_a, codes_b) {
+            None => assert!(fast, "finder missed a swap"),
+            Some((s, t)) => {
+                assert!(!fast, "finder invented a swap ({s}, {t})");
+                let (s, t) = (s as usize, t as usize);
+                assert!(
+                    ctx.classes()
+                        .iter()
+                        .any(|c| c.contains(&(s as u32)) && c.contains(&(t as u32))),
+                    "witness rows not in one class"
+                );
+                let a_cmp = codes_a[s].cmp(&codes_a[t]);
+                let b_cmp = codes_b[s].cmp(&codes_b[t]);
+                assert!(
+                    a_cmp == b_cmp.reverse() && a_cmp != std::cmp::Ordering::Equal,
+                    "witness ({s}, {t}) is not a swap"
+                );
+            }
+        }
         fast
     }
 

@@ -1,0 +1,296 @@
+//! Violation *counting* for canonical ODs — the currency of the incremental
+//! engine's mutable verdict cache.
+//!
+//! The boolean scans in [`crate::check_constancy`] /
+//! [`crate::check_order_compat`] answer "does a violation exist?" and may
+//! early-exit on the first witness. Under **deletions** a boolean is not
+//! enough: removing tuples can only *remove* violating pairs, so a cached
+//! `false` verdict flips back to `true` exactly when its violation count
+//! reaches zero — and maintaining that count under deletes only requires
+//! recounting the equivalence classes the delete actually touched
+//! (`new_count = old_count − count(touched classes before) + count(touched
+//! classes after)`; untouched classes cannot gain or lose a violating pair,
+//! because both violation shapes pair tuples *within* one context class).
+//!
+//! Counts are exact:
+//!
+//! * **splits** (constancy `X: [] ↦ A`) — pairs in one class of `Π*_X`
+//!   differing on `A`: per class `C(|E|,2) − Σ_v C(cnt_v,2)`, computed by
+//!   sorting the class's `A`-codes and walking equal-value runs,
+//!   `O(|E| log |E|)`;
+//! * **swaps** (order compatibility `X: A ~ B`) — pairs in one class ordered
+//!   oppositely by `A` and `B`: after sorting the class's `(A, B)` code
+//!   pairs, swaps are exactly the strict inversions of the `B` sequence
+//!   (equal-`A` groups are `B`-sorted and contribute none; ties on `B` are
+//!   not swaps), counted by merge sort in `O(|E| log |E|)`.
+//!
+//! Both counters operate on plain row slices, so the incremental engine can
+//! run them over a partition's [`Classes`] view *or* over the detached
+//! old/new class copies in a [`crate::RemoveDelta`].
+
+use crate::stripped::Classes;
+
+/// Reusable buffers for the violation counters. Like
+/// [`crate::ProductScratch`], callers on hot paths keep one per worker and
+/// reuse it across calls; after warm-up a count allocates nothing.
+#[derive(Debug, Default)]
+pub struct CountScratch {
+    /// `(A-code, B-code)` pairs of the class under count.
+    pairs: Vec<(u32, u32)>,
+    /// Sort/merge value buffer (`A`-codes for splits, `B`-codes for swaps).
+    vals: Vec<u32>,
+    /// Merge-sort ping-pong buffer.
+    tmp: Vec<u32>,
+}
+
+impl CountScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> CountScratch {
+        CountScratch::default()
+    }
+}
+
+/// `C(n, 2)` — tuple pairs among `n` rows.
+#[inline]
+fn pairs_of(n: usize) -> u64 {
+    (n as u64) * (n as u64 - 1) / 2
+}
+
+/// Counts the *split* pairs of one equivalence class: pairs of rows that
+/// differ on `codes_a`. Zero iff the class is constant on `A`.
+pub fn count_constancy_violations_rows(
+    rows: &[u32],
+    codes_a: &[u32],
+    scratch: &mut CountScratch,
+) -> u64 {
+    if rows.len() < 2 {
+        return 0;
+    }
+    scratch.vals.clear();
+    scratch
+        .vals
+        .extend(rows.iter().map(|&row| codes_a[row as usize]));
+    scratch.vals.sort_unstable();
+    let mut equal_pairs = 0u64;
+    let mut run = 1usize;
+    for i in 1..scratch.vals.len() {
+        if scratch.vals[i] == scratch.vals[i - 1] {
+            run += 1;
+        } else {
+            equal_pairs += pairs_of(run);
+            run = 1;
+        }
+    }
+    equal_pairs += pairs_of(run);
+    pairs_of(rows.len()) - equal_pairs
+}
+
+/// Counts the split pairs of the constancy OD `X: [] ↦ A` over a class view
+/// of `Π*_X`. Zero iff [`crate::check_constancy`] accepts.
+pub fn count_constancy_violations(
+    classes: Classes<'_>,
+    codes_a: &[u32],
+    scratch: &mut CountScratch,
+) -> u64 {
+    classes
+        .iter()
+        .map(|class| count_constancy_violations_rows(class, codes_a, scratch))
+        .sum()
+}
+
+/// Counts the *swap* pairs of one equivalence class: pairs of rows ordered
+/// strictly oppositely by `codes_a` and `codes_b` (Definition 5). Zero iff
+/// the class admits no swap.
+pub fn count_swap_violations_rows(
+    rows: &[u32],
+    codes_a: &[u32],
+    codes_b: &[u32],
+    scratch: &mut CountScratch,
+) -> u64 {
+    if rows.len() < 2 {
+        return 0;
+    }
+    scratch.pairs.clear();
+    scratch.pairs.extend(
+        rows.iter()
+            .map(|&row| (codes_a[row as usize], codes_b[row as usize])),
+    );
+    scratch.pairs.sort_unstable();
+    // Sorted by (A asc, B asc): equal-A groups are internally B-sorted, so
+    // every strict inversion of the B sequence crosses two distinct A values
+    // — exactly the swap pairs. Equal-B pairs are not inversions (strict).
+    scratch.vals.clear();
+    scratch.vals.extend(scratch.pairs.iter().map(|&(_, b)| b));
+    count_strict_inversions(&mut scratch.vals, &mut scratch.tmp)
+}
+
+/// Counts the swap pairs of the order-compatibility OD `X: A ~ B` over a
+/// class view of `Π*_X`. Zero iff [`crate::check_order_compat_sweep`]
+/// accepts.
+pub fn count_swap_violations(
+    classes: Classes<'_>,
+    codes_a: &[u32],
+    codes_b: &[u32],
+    scratch: &mut CountScratch,
+) -> u64 {
+    classes
+        .iter()
+        .map(|class| count_swap_violations_rows(class, codes_a, codes_b, scratch))
+        .sum()
+}
+
+/// Bottom-up merge sort of `vals`, returning the number of pairs `i < j`
+/// with `vals[i] > vals[j]` (strict; ties are not inversions).
+fn count_strict_inversions(vals: &mut [u32], tmp: &mut Vec<u32>) -> u64 {
+    let n = vals.len();
+    tmp.resize(n, 0);
+    let mut inversions = 0u64;
+    let mut width = 1usize;
+    while width < n {
+        let mut lo = 0usize;
+        while lo + width < n {
+            let mid = lo + width;
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                if vals[i] <= vals[j] {
+                    tmp[k] = vals[i];
+                    i += 1;
+                } else {
+                    // vals[i..mid] all exceed vals[j]: each is an inversion.
+                    tmp[k] = vals[j];
+                    inversions += (mid - i) as u64;
+                    j += 1;
+                }
+                k += 1;
+            }
+            tmp[k..k + (mid - i)].copy_from_slice(&vals[i..mid]);
+            let k2 = k + (mid - i);
+            tmp[k2..hi].copy_from_slice(&vals[j..hi]);
+            vals[lo..hi].copy_from_slice(&tmp[lo..hi]);
+            lo += 2 * width;
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::SwapScratch;
+    use crate::stripped::StrippedPartition;
+    use crate::{check_constancy, check_order_compat_sweep};
+
+    fn naive_splits(p: &StrippedPartition, codes_a: &[u32]) -> u64 {
+        let mut count = 0;
+        for class in p.classes() {
+            for (i, &s) in class.iter().enumerate() {
+                for &t in &class[i + 1..] {
+                    if codes_a[s as usize] != codes_a[t as usize] {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    fn naive_swaps(p: &StrippedPartition, codes_a: &[u32], codes_b: &[u32]) -> u64 {
+        let mut count = 0;
+        for class in p.classes() {
+            for (i, &s) in class.iter().enumerate() {
+                for &t in &class[i + 1..] {
+                    let (s, t) = (s as usize, t as usize);
+                    let a_lt = codes_a[s] < codes_a[t];
+                    let a_gt = codes_a[s] > codes_a[t];
+                    let b_lt = codes_b[s] < codes_b[t];
+                    let b_gt = codes_b[s] > codes_b[t];
+                    if (a_lt && b_gt) || (a_gt && b_lt) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn split_counts_match_naive_and_boolean() {
+        let ctx = StrippedPartition::from_classes(6, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let mut scratch = CountScratch::new();
+        // Constant within both classes: zero splits.
+        let a = vec![7, 7, 7, 9, 9, 9];
+        assert_eq!(count_constancy_violations(ctx.classes(), &a, &mut scratch), 0);
+        assert!(check_constancy(&ctx, &a));
+        // One deviant row in the first class: 2 split pairs.
+        let b = vec![7, 7, 8, 9, 9, 9];
+        assert_eq!(count_constancy_violations(ctx.classes(), &b, &mut scratch), 2);
+        assert_eq!(naive_splits(&ctx, &b), 2);
+        assert!(!check_constancy(&ctx, &b));
+    }
+
+    #[test]
+    fn swap_counts_match_naive_and_boolean() {
+        let ctx = StrippedPartition::unit(4);
+        let mut scratch = CountScratch::new();
+        // Reversed order: every pair is a swap = C(4,2).
+        let a = vec![0, 1, 2, 3];
+        let rev = vec![3, 2, 1, 0];
+        assert_eq!(count_swap_violations(ctx.classes(), &a, &rev, &mut scratch), 6);
+        // Equal-A and equal-B pairs are not swaps.
+        let ties_a = vec![0, 0, 1, 1];
+        let ties_b = vec![1, 0, 1, 1];
+        assert_eq!(
+            count_swap_violations(ctx.classes(), &ties_a, &ties_b, &mut scratch),
+            naive_swaps(&ctx, &ties_a, &ties_b)
+        );
+        assert_eq!(count_swap_violations(ctx.classes(), &a, &a, &mut scratch), 0);
+        assert!(check_order_compat_sweep(&ctx, &a, &a, &mut SwapScratch::new()));
+    }
+
+    #[test]
+    fn randomized_counts_agree_with_naive() {
+        let mut seed = 0x5851_F42D_4C95_7F2Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut scratch = CountScratch::new();
+        let mut swap_scratch = SwapScratch::new();
+        for _ in 0..300 {
+            let n = 2 + (next() % 14) as usize;
+            let card = 1 + (next() % 5) as u32;
+            let a: Vec<u32> = (0..n).map(|_| (next() % u64::from(card)) as u32).collect();
+            let b: Vec<u32> = (0..n).map(|_| (next() % u64::from(card)) as u32).collect();
+            let ctx_codes: Vec<u32> = (0..n).map(|_| (next() % 3) as u32).collect();
+            let ctx = StrippedPartition::from_codes(&ctx_codes, 3);
+            let splits = count_constancy_violations(ctx.classes(), &a, &mut scratch);
+            assert_eq!(splits, naive_splits(&ctx, &a), "splits {a:?} ctx {ctx_codes:?}");
+            assert_eq!(splits == 0, check_constancy(&ctx, &a));
+            let swaps = count_swap_violations(ctx.classes(), &a, &b, &mut scratch);
+            assert_eq!(swaps, naive_swaps(&ctx, &a, &b), "swaps {a:?}/{b:?}");
+            assert_eq!(
+                swaps == 0,
+                check_order_compat_sweep(&ctx, &a, &b, &mut swap_scratch)
+            );
+        }
+    }
+
+    #[test]
+    fn row_slice_counters_work_on_detached_classes() {
+        // The engine's delta path counts over detached Vec<u32> class copies
+        // (no partition involved).
+        let rows: Vec<u32> = vec![1, 3, 4];
+        let a = vec![9, 0, 9, 1, 2];
+        let b = vec![9, 2, 9, 1, 0];
+        let mut scratch = CountScratch::new();
+        assert_eq!(count_constancy_violations_rows(&rows, &a, &mut scratch), 3);
+        // (1,3): a 0<1, b 2>1 swap; (1,4): a 0<2, b 2>0 swap; (3,4): a 1<2, b 1>0 swap.
+        assert_eq!(count_swap_violations_rows(&rows, &a, &b, &mut scratch), 3);
+        assert_eq!(count_swap_violations_rows(&rows[..1], &a, &b, &mut scratch), 0);
+        assert_eq!(count_constancy_violations_rows(&[], &a, &mut scratch), 0);
+    }
+}

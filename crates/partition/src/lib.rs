@@ -18,11 +18,21 @@
 //!   [`check_order_compat`] for `X: A ~ B` (the paper's single-scan swap
 //!   test), plus witness-returning variants for data cleaning;
 //! * removal-based error measures ([`constancy_removal_error`],
-//!   [`swap_removal_error`]) used by the approximate-OD extension.
+//!   [`swap_removal_error`]) used by the approximate-OD extension;
+//! * mutation support for the incremental engine:
+//!   [`StrippedPartition::remove_rows`] (exact in-place class compaction
+//!   reporting a touched-class [`RemoveDelta`]), tombstone-aware builders
+//!   ([`StrippedPartition::from_codes_masked`],
+//!   [`StrippedPartition::unit_masked`],
+//!   [`StrippedPartition::append_codes_masked`]), and exact violation
+//!   **counters** ([`count_constancy_violations`],
+//!   [`count_swap_violations`]) that make cached verdicts maintainable
+//!   under deletions.
 
 #![deny(missing_docs)]
 
 mod checks;
+mod counts;
 mod errors;
 mod scratch;
 mod sorted;
@@ -30,9 +40,13 @@ mod stripped;
 
 pub use checks::{
     check_constancy, check_constancy_classes, check_order_compat, check_order_compat_sweep,
-    check_order_compat_sweep_classes, find_constancy_violation, find_swap,
+    check_order_compat_sweep_classes, find_constancy_violation, find_swap, find_swap_sweep,
+};
+pub use counts::{
+    count_constancy_violations, count_constancy_violations_rows, count_swap_violations,
+    count_swap_violations_rows, CountScratch,
 };
 pub use errors::{constancy_removal_error, swap_removal_error};
 pub use scratch::{ClassMap, ProductScratch, SwapScratch};
 pub use sorted::SortedColumn;
-pub use stripped::{AppendDelta, Classes, ClassesIter, StrippedPartition};
+pub use stripped::{AppendDelta, Classes, ClassesIter, RemoveDelta, StrippedPartition, TouchedClass};

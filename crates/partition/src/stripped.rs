@@ -20,6 +20,57 @@ impl AppendDelta {
     }
 }
 
+/// One equivalence class touched by a [`StrippedPartition::remove_rows`]
+/// call: its membership before and after the deleted rows were taken out.
+///
+/// Both row lists are detached copies (ascending row ids), so they stay
+/// valid after the partition compacts — which is what lets the incremental
+/// engine recount an OD's violating pairs over exactly the touched classes
+/// (`old` minus `new` is the delete's contribution) without rescanning the
+/// untouched remainder of the partition.
+#[derive(Clone, Debug)]
+pub struct TouchedClass {
+    /// The class before the removal (still containing the deleted rows).
+    pub old: Vec<u32>,
+    /// The surviving rows. May have fewer than 2 entries, in which case the
+    /// class was dropped from the stripped partition (it no longer pairs
+    /// tuples) but the survivors are still reported here for delta counting.
+    pub new: Vec<u32>,
+}
+
+/// Outcome of [`StrippedPartition::remove_rows`]: the classes the deletion
+/// actually touched. Empty (and not truncated) means the partition is
+/// structurally unchanged — every deleted row was a singleton under this
+/// context — so no verdict evaluated against it can have changed.
+#[derive(Clone, Debug, Default)]
+pub struct RemoveDelta {
+    /// Before/after membership of every class that lost at least one row.
+    /// Capture stops (see [`RemoveDelta::truncated`]) once the copies grow
+    /// past half the partition's covered rows.
+    pub touched: Vec<TouchedClass>,
+    /// The delete touched more class rows than worth copying: `touched` is
+    /// incomplete and must not be used for delta counting — consumers fall
+    /// back to re-validation. (Above the cap a consumer would re-scan
+    /// anyway: delta counting only beats a scan when the touched region is
+    /// a small fraction of the partition.)
+    pub truncated: bool,
+}
+
+impl RemoveDelta {
+    /// Whether the removal touched any class — i.e. whether dependencies
+    /// evaluated against this partition can have changed verdict
+    /// (deletions can only flip `false → true`).
+    pub fn is_dirty(&self) -> bool {
+        self.truncated || !self.touched.is_empty()
+    }
+
+    /// Whether `touched` is the complete touched-class record, usable for
+    /// exact delta counting.
+    pub fn is_exact(&self) -> bool {
+        !self.truncated
+    }
+}
+
 /// A borrowed view of a partition's equivalence classes in CSR form: class
 /// `i` is the contiguous row-id slice `rows[offsets[i]..offsets[i+1]]`.
 ///
@@ -166,6 +217,22 @@ impl StrippedPartition {
         }
     }
 
+    /// The unit partition over the **live** rows of a relation with
+    /// tombstones: one class holding every live row (none when fewer than 2
+    /// rows are live). `n_rows` stays the physical slot count —
+    /// `live.len()` — so row ids keep addressing the same code columns.
+    ///
+    /// With an all-`true` mask this equals [`StrippedPartition::unit`].
+    pub fn unit_masked(live: &[bool]) -> StrippedPartition {
+        let rows: Vec<u32> = (0..live.len() as u32).filter(|&r| live[r as usize]).collect();
+        if rows.len() >= 2 {
+            let end = rows.len() as u32;
+            StrippedPartition::from_csr(live.len(), rows, vec![0, end])
+        } else {
+            StrippedPartition::from_csr(live.len(), Vec::new(), vec![0])
+        }
+    }
+
     /// Builds `Π*_{{A}}` from a dense-rank code column via counting sort,
     /// O(n + cardinality), writing straight into the flat CSR buffers.
     pub fn from_codes(codes: &[u32], cardinality: u32) -> StrippedPartition {
@@ -190,6 +257,46 @@ impl StrippedPartition {
         }
         let mut rows = vec![0u32; total as usize];
         for (row, &c) in codes.iter().enumerate() {
+            let cur = cursor[c as usize];
+            if cur != u32::MAX {
+                rows[cur as usize] = row as u32;
+                cursor[c as usize] = cur + 1;
+            }
+        }
+        StrippedPartition::from_csr(n, rows, class_offsets)
+    }
+
+    /// [`StrippedPartition::from_codes`] over the **live** rows only: dead
+    /// (tombstoned) rows are treated as absent — they join no class and a
+    /// code left with a single live occurrence is a singleton. Codes of dead
+    /// rows are never read. With an all-`true` mask this equals
+    /// `from_codes`.
+    pub fn from_codes_masked(codes: &[u32], cardinality: u32, live: &[bool]) -> StrippedPartition {
+        debug_assert_eq!(codes.len(), live.len());
+        let n = codes.len();
+        let card = cardinality as usize;
+        let mut counts = vec![0u32; card];
+        for (row, &c) in codes.iter().enumerate() {
+            if live[row] {
+                debug_assert!((c as usize) < card.max(1));
+                counts[c as usize] += 1;
+            }
+        }
+        let mut class_offsets = vec![0u32];
+        let mut cursor: Vec<u32> = vec![u32::MAX; card];
+        let mut total = 0u32;
+        for (code, &count) in counts.iter().enumerate() {
+            if count >= 2 {
+                cursor[code] = total;
+                total += count;
+                class_offsets.push(total);
+            }
+        }
+        let mut rows = vec![0u32; total as usize];
+        for (row, &c) in codes.iter().enumerate() {
+            if !live[row] {
+                continue;
+            }
             let cur = cursor[c as usize];
             if cur != u32::MAX {
                 rows[cur as usize] = row as u32;
@@ -228,6 +335,144 @@ impl StrippedPartition {
         self.n_rows = n_rows;
     }
 
+    /// Removes the given rows from every class, compacting the CSR buffers
+    /// in place and dropping classes that fall below 2 members. This is the
+    /// **delete** counterpart of [`StrippedPartition::append_codes`], and it
+    /// is exact for *any* partition, not just level-1 ones:
+    /// `Π*_X(r ∖ D) = strip(Π*_X(r) ∖ D)` — deleting tuples never merges or
+    /// splits surviving classes — so the incremental engine absorbs a delete
+    /// into every retained node without recomputing a single product.
+    ///
+    /// `deleted` must be sorted ascending (row-id membership is resolved by
+    /// binary search; debug-asserted). The physical row count
+    /// ([`StrippedPartition::n_rows`]) is unchanged — deleted rows become
+    /// tombstones in the owning relation, they do not shift ids. O(1) reads
+    /// of [`covered_rows`](StrippedPartition::covered_rows) /
+    /// [`error`](StrippedPartition::error) stay exact because compaction
+    /// shrinks the flat row buffer itself.
+    ///
+    /// The returned [`RemoveDelta`] carries before/after copies of exactly
+    /// the classes that lost rows (as long as those copies stay under half
+    /// the covered rows — see [`RemoveDelta::truncated`]); an untouched
+    /// partition returns an empty delta (checked with one scan, no
+    /// rebuild).
+    ///
+    /// ```
+    /// use fastod_partition::StrippedPartition;
+    ///
+    /// // Classes {0..=7} and {8, 9} over 10 rows.
+    /// let mut p = StrippedPartition::from_codes(&[0, 0, 0, 0, 0, 0, 0, 0, 1, 1], 2);
+    /// let delta = p.remove_rows(&[9]);
+    /// // Deleting one of {8, 9} shrinks the class below 2: it is dropped,
+    /// // but the surviving row is still reported for delta counting.
+    /// assert_eq!(p.normalized(), vec![vec![0, 1, 2, 3, 4, 5, 6, 7]]);
+    /// assert!(delta.is_exact());
+    /// assert_eq!(delta.touched.len(), 1);
+    /// assert_eq!(delta.touched[0].old, vec![8, 9]);
+    /// assert_eq!(delta.touched[0].new, vec![8]);
+    /// // Deleting from the big class touches more rows than delta
+    /// // consumers would use: the copies are skipped, only the flag is set.
+    /// let delta = p.remove_rows(&[0]);
+    /// assert!(delta.is_dirty() && delta.truncated && delta.touched.is_empty());
+    /// assert_eq!(p.normalized(), vec![vec![1, 2, 3, 4, 5, 6, 7]]);
+    /// ```
+    pub fn remove_rows(&mut self, deleted: &[u32]) -> RemoveDelta {
+        debug_assert!(deleted.is_sorted(), "deleted row ids must be ascending");
+        if deleted.is_empty() {
+            return RemoveDelta::default();
+        }
+        let mut mask = vec![false; self.n_rows];
+        for &row in deleted {
+            mask[row as usize] = true;
+        }
+        self.remove_rows_masked(&mask)
+    }
+
+    /// [`StrippedPartition::remove_rows`] with the deleted set supplied as a
+    /// mask over the physical rows (`deleted[row]` true ⟺ delete `row`).
+    /// The hot form for snapshot-wide removal: the caller builds the mask
+    /// once and every partition's membership probe is a single indexed read
+    /// instead of a binary search.
+    pub fn remove_rows_masked(&mut self, deleted: &[bool]) -> RemoveDelta {
+        debug_assert_eq!(deleted.len(), self.n_rows);
+        let mut delta = RemoveDelta::default();
+        if !self.rows.iter().any(|&row| deleted[row as usize]) {
+            return delta;
+        }
+        // Touched-class copies are only useful to delta-counting consumers,
+        // which give up once the touched region passes half the covered
+        // rows — stop copying there and flag the delta as truncated.
+        let capture_cap = self.rows.len() / 2;
+        let mut captured = 0usize;
+        // Compact in place: the write cursors trail the read window, so no
+        // fresh buffers are allocated (the hot path runs over the whole
+        // retained snapshot per delete pass).
+        let n_classes = self.n_classes();
+        let mut write = 0usize;
+        let mut out_classes = 0usize;
+        // `read_lo` carries each class's start: the offset slot itself may
+        // already have been overwritten with a compacted end position.
+        let mut read_lo = 0usize;
+        for ci in 0..n_classes {
+            let (lo, hi) = (read_lo, self.class_offsets[ci + 1] as usize);
+            read_lo = hi;
+            // The class rows at [lo, hi) are still intact: writes so far
+            // ended at `write <= lo`.
+            let touched = self.rows[lo..hi].iter().any(|&row| deleted[row as usize]);
+            if !touched {
+                if write != lo {
+                    self.rows.copy_within(lo..hi, write);
+                }
+                write += hi - lo;
+                out_classes += 1;
+                self.class_offsets[out_classes] = write as u32;
+                continue;
+            }
+            let start = write;
+            let mut old: Vec<u32> = Vec::new();
+            let capture = !delta.truncated && {
+                // `kept <= class len`, so cap on the old size alone first.
+                captured += hi - lo;
+                captured <= capture_cap
+            };
+            if capture {
+                old = self.rows[lo..hi].to_vec();
+            }
+            for i in lo..hi {
+                let row = self.rows[i];
+                if !deleted[row as usize] {
+                    self.rows[write] = row;
+                    write += 1;
+                }
+            }
+            let kept = write - start;
+            if capture {
+                captured += kept;
+                if captured <= capture_cap {
+                    delta.touched.push(TouchedClass {
+                        old,
+                        new: self.rows[start..write].to_vec(),
+                    });
+                } else {
+                    delta.truncated = true;
+                    delta.touched.clear();
+                }
+            } else {
+                delta.truncated = true;
+                delta.touched.clear();
+            }
+            if kept >= 2 {
+                out_classes += 1;
+                self.class_offsets[out_classes] = write as u32;
+            } else {
+                write = start;
+            }
+        }
+        self.rows.truncate(write);
+        self.class_offsets.truncate(out_classes + 1);
+        delta
+    }
+
     /// Merges appended rows into the partition of a single code column
     /// (the incremental counterpart of [`StrippedPartition::from_codes`]).
     ///
@@ -244,6 +489,33 @@ impl StrippedPartition {
     /// only when some new row's code belongs to an old singleton or unseen
     /// code.
     pub fn append_codes(&mut self, codes: &[u32], cardinality: u32) -> AppendDelta {
+        self.append_codes_impl(codes, cardinality, None)
+    }
+
+    /// [`StrippedPartition::append_codes`] for a relation with tombstones:
+    /// `live` masks the **old** region `0..self.n_rows()`, and dead rows are
+    /// invisible — in particular a dead old singleton must *not* be
+    /// resurrected into a class when an appended row reuses its code. The
+    /// appended rows (`self.n_rows()..codes.len()`) are always live (the
+    /// engine applies deletes and appends in separate passes), and `live`
+    /// must already span the full new length.
+    pub fn append_codes_masked(
+        &mut self,
+        codes: &[u32],
+        cardinality: u32,
+        live: &[bool],
+    ) -> AppendDelta {
+        debug_assert_eq!(codes.len(), live.len());
+        debug_assert!(live[self.n_rows..].iter().all(|&l| l), "appended rows must be live");
+        self.append_codes_impl(codes, cardinality, Some(live))
+    }
+
+    fn append_codes_impl(
+        &mut self,
+        codes: &[u32],
+        cardinality: u32,
+        live: Option<&[bool]>,
+    ) -> AppendDelta {
         let old_n = self.n_rows;
         let new_n = codes.len();
         debug_assert!(new_n >= old_n, "code column shrank");
@@ -288,6 +560,10 @@ impl StrippedPartition {
         let mut old_partner: Vec<u32> = vec![u32::MAX; n_groups as usize];
         if n_groups > 0 {
             for row in 0..old_n {
+                if live.is_some_and(|l| !l[row]) {
+                    // Tombstoned rows cannot partner an appended orphan.
+                    continue;
+                }
                 let ci = class_idx[codes[row] as usize];
                 if ci != u32::MAX && (ci as usize) >= k {
                     let oi = (ci as usize) - k;
@@ -760,6 +1036,129 @@ mod tests {
         // Appended singletons do not change the product behaviour.
         let u = StrippedPartition::unit(7);
         assert_eq!(p.product_simple(&u), p);
+    }
+
+    /// Removing rows incrementally must agree with rebuilding the partition
+    /// from the surviving (masked) codes.
+    fn check_remove(codes: &[u32], deleted: &[u32]) {
+        let card = codes.iter().max().map_or(0, |&m| m + 1);
+        let mut incr = StrippedPartition::from_codes(codes, card);
+        let before = incr.clone();
+        let delta = incr.remove_rows(deleted);
+        let live: Vec<bool> = (0..codes.len() as u32)
+            .map(|r| deleted.binary_search(&r).is_err())
+            .collect();
+        let fresh = StrippedPartition::from_codes_masked(codes, card, &live);
+        assert_eq!(incr, fresh, "codes={codes:?} deleted={deleted:?}");
+        assert_eq!(incr.n_rows(), codes.len(), "physical slots must not shrink");
+        for class in incr.classes() {
+            assert!(class.is_sorted(), "removal broke row order: {class:?}");
+        }
+        // The delta reports exactly the classes that lost a member, with
+        // consistent before/after membership — unless the touched volume
+        // passed the capture cap, in which case only the flag remains.
+        let lost_classes = before
+            .classes()
+            .iter()
+            .filter(|c| c.iter().any(|row| deleted.binary_search(row).is_ok()))
+            .count();
+        if delta.is_exact() {
+            assert_eq!(delta.touched.len(), lost_classes);
+            for t in &delta.touched {
+                let expect_new: Vec<u32> = t
+                    .old
+                    .iter()
+                    .copied()
+                    .filter(|row| deleted.binary_search(row).is_err())
+                    .collect();
+                assert_eq!(t.new, expect_new);
+                assert!(t.new.len() < t.old.len());
+            }
+        } else {
+            assert!(delta.touched.is_empty(), "truncated deltas carry no copies");
+            assert!(lost_classes > 0);
+        }
+        assert_eq!(delta.is_dirty(), lost_classes > 0);
+    }
+
+    #[test]
+    fn remove_rows_matches_masked_rebuild() {
+        // Shrink a class, keep it ≥ 2.
+        check_remove(&[0, 0, 0, 1, 1], &[1]);
+        // Shrink a class below 2: dropped.
+        check_remove(&[0, 0, 1, 1], &[0]);
+        // Delete an entire class.
+        check_remove(&[0, 0, 1, 1], &[2, 3]);
+        // Deleted singletons touch nothing.
+        check_remove(&[0, 0, 1, 2], &[2, 3]);
+        // Everything deleted.
+        check_remove(&[0, 0, 0], &[0, 1, 2]);
+        // Nothing deleted.
+        check_remove(&[0, 0, 1], &[]);
+    }
+
+    #[test]
+    fn remove_rows_randomized_against_masked_rebuild() {
+        let mut seed = 0xD1B5_4A32_D192_ED03u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..300 {
+            let n = (next() % 16) as usize;
+            let card = 1 + (next() % 5) as u32;
+            let codes: Vec<u32> = (0..n).map(|_| (next() % u64::from(card)) as u32).collect();
+            let mut deleted: Vec<u32> =
+                (0..n as u32).filter(|_| next() % 3 == 0).collect();
+            deleted.dedup();
+            check_remove(&codes, &deleted);
+        }
+    }
+
+    #[test]
+    fn masked_builders_match_unmasked_on_all_live() {
+        let codes = vec![2, 0, 2, 1, 0];
+        let live = vec![true; 5];
+        assert_eq!(
+            StrippedPartition::from_codes_masked(&codes, 3, &live),
+            StrippedPartition::from_codes(&codes, 3)
+        );
+        assert_eq!(StrippedPartition::unit_masked(&live), StrippedPartition::unit(5));
+    }
+
+    #[test]
+    fn unit_masked_keeps_live_rows_only() {
+        let live = vec![true, false, true, true, false];
+        let u = StrippedPartition::unit_masked(&live);
+        assert_eq!(u.n_rows(), 5);
+        assert_eq!(u.normalized(), vec![vec![0, 2, 3]]);
+        // One live row: no pairs, empty partition.
+        let lonely = StrippedPartition::unit_masked(&[false, true, false]);
+        assert!(lonely.is_superkey());
+        assert_eq!(lonely.n_rows(), 3);
+    }
+
+    #[test]
+    fn append_codes_masked_ignores_dead_partners() {
+        // Code 1 occurs once alive (row 2) and once dead (row 1). An
+        // appended row with code 1 must pair with row 2 only.
+        let codes_old = vec![0u32, 1, 1];
+        let live = vec![true, false, true, true];
+        let mut p = StrippedPartition::from_codes_masked(&codes_old, 2, &live[..3]);
+        assert!(p.is_superkey(), "rows 1 (dead) and 2 do not form a class");
+        let full = vec![0u32, 1, 1, 1];
+        let delta = p.append_codes_masked(&full, 2, &live);
+        assert_eq!(p.normalized(), vec![vec![2, 3]]);
+        assert_eq!(delta.new_covered, vec![3]);
+        // A dead old singleton must not resurrect: append code 0 twice —
+        // they pair with the live row 0, never with a tombstone.
+        let mut q = StrippedPartition::from_codes_masked(&[0, 0], 1, &[true, false]);
+        assert!(q.is_superkey());
+        let d = q.append_codes_masked(&[0, 0, 0], 1, &[true, false, true]);
+        assert_eq!(q.normalized(), vec![vec![0, 2]]);
+        assert_eq!(d.new_covered, vec![2]);
     }
 
     #[test]

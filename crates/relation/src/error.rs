@@ -33,6 +33,22 @@ pub enum RelationError {
         /// Rendered schema of the batch.
         found: String,
     },
+    /// A row id referenced by a mutation (delete/update) is outside the
+    /// relation's physical slot range.
+    RowOutOfRange {
+        /// The offending row id.
+        row: usize,
+        /// Physical slot count of the relation (live + tombstoned).
+        n_rows: usize,
+    },
+    /// A mutation referenced a row that is already tombstoned — including
+    /// referencing the same row twice in one call. Deletes are not
+    /// idempotent: a double delete almost always means the caller's row
+    /// bookkeeping has drifted, so it is surfaced instead of ignored.
+    DeadRow {
+        /// The offending row id.
+        row: usize,
+    },
     /// CSV parsing failed.
     Csv {
         /// 1-based source line of the malformed record.
@@ -64,6 +80,12 @@ impl fmt::Display for RelationError {
                 f,
                 "schema mismatch: cannot append rows of {found} to a relation over {expected}"
             ),
+            RelationError::RowOutOfRange { row, n_rows } => {
+                write!(f, "row {row} is out of range (relation has {n_rows} slots)")
+            }
+            RelationError::DeadRow { row } => {
+                write!(f, "row {row} is already deleted")
+            }
             RelationError::Csv { line, message } => {
                 write!(f, "CSV parse error at line {line}: {message}")
             }

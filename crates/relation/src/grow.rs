@@ -156,6 +156,19 @@ pub struct AppendReport {
 /// Raw history is *not* retained (only the dictionaries are), so memory is
 /// O(n) codes + O(Σ cardinality) dictionary entries.
 ///
+/// # Deletions are tombstones
+///
+/// [`GrowableRelation::delete_rows`] marks rows dead in a **liveness mask**
+/// instead of compacting the code columns: row ids are stable forever, no
+/// code moves, and dictionaries keep values that may no longer occur. The
+/// encoding over the survivors is therefore *not* byte-identical to freshly
+/// encoding them (codes can have gaps) — but it is **order- and
+/// equality-equivalent**, which is the only thing OD semantics consume, so
+/// every masked partition build and validation scan over the live rows
+/// yields exactly the verdicts of the compacted relation. Consumers that
+/// walk code columns directly must skip rows where
+/// [`live()`](GrowableRelation::live) is `false`.
+///
 /// ```
 /// use fastod_relation::{GrowableRelation, RelationBuilder};
 /// let base = RelationBuilder::new().column_i64("x", vec![10, 30]).build().unwrap();
@@ -170,6 +183,11 @@ pub struct GrowableRelation {
     schema: Schema,
     dicts: Vec<Dict>,
     enc: EncodedRelation,
+    /// Liveness mask over the physical slots: `live[row]` is `false` once
+    /// `row` has been tombstoned by [`GrowableRelation::delete_rows`].
+    live: Vec<bool>,
+    /// Count of `true` entries in `live`.
+    n_live: usize,
 }
 
 impl GrowableRelation {
@@ -179,10 +197,13 @@ impl GrowableRelation {
         let dicts = (0..rel.n_attrs())
             .map(|a| Dict::build(rel.column(a), enc.codes(a), enc.cardinality(a)))
             .collect();
+        let n = rel.n_rows();
         GrowableRelation {
             schema: rel.schema().clone(),
             dicts,
             enc,
+            live: vec![true; n],
+            n_live: n,
         }
     }
 
@@ -191,9 +212,74 @@ impl GrowableRelation {
         &self.schema
     }
 
-    /// Current row count.
+    /// Physical slot count: every row ever appended, live or tombstoned.
+    /// Row ids index this range; they are never reassigned by a delete.
     pub fn n_rows(&self) -> usize {
         self.enc.n_rows()
+    }
+
+    /// Rows currently live (physical slots minus tombstones).
+    pub fn n_live(&self) -> usize {
+        self.n_live
+    }
+
+    /// The liveness mask over the physical slots (`live()[row]` is `false`
+    /// for tombstoned rows). Length equals [`GrowableRelation::n_rows`].
+    pub fn live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Whether `row` is a live slot (in range and not tombstoned).
+    pub fn is_live(&self, row: usize) -> bool {
+        self.live.get(row).copied().unwrap_or(false)
+    }
+
+    /// Tombstones the given rows. The physical slots (and their codes) stay
+    /// in place — deletes never shift row ids — but the rows become
+    /// invisible to every masked consumer of [`GrowableRelation::live`].
+    ///
+    /// Validation is atomic: every id must be in range and live (each at
+    /// most once) or *nothing* is deleted. Returns the deleted ids sorted
+    /// ascending — the shape downstream partition maintenance
+    /// (`StrippedPartition::remove_rows`) consumes.
+    ///
+    /// ```
+    /// use fastod_relation::{GrowableRelation, RelationBuilder};
+    /// let base = RelationBuilder::new().column_i64("x", vec![5, 6, 7]).build().unwrap();
+    /// let mut grow = GrowableRelation::new(&base);
+    /// assert_eq!(grow.delete_rows(&[2, 0]).unwrap(), vec![0, 2]);
+    /// assert_eq!(grow.n_live(), 1);
+    /// assert_eq!(grow.n_rows(), 3); // slots remain; row 1 keeps its id
+    /// assert!(grow.delete_rows(&[0]).is_err()); // double delete is an error
+    /// ```
+    ///
+    /// # Errors
+    /// [`RelationError::RowOutOfRange`] for ids `≥ n_rows()`;
+    /// [`RelationError::DeadRow`] for already-tombstoned ids or duplicates
+    /// within `rows`. `self` is unchanged on error.
+    pub fn delete_rows(&mut self, rows: &[usize]) -> Result<Vec<u32>, RelationError> {
+        let mut sorted: Vec<u32> = Vec::with_capacity(rows.len());
+        for &row in rows {
+            if row >= self.live.len() {
+                return Err(RelationError::RowOutOfRange {
+                    row,
+                    n_rows: self.live.len(),
+                });
+            }
+            if !self.live[row] {
+                return Err(RelationError::DeadRow { row });
+            }
+            sorted.push(row as u32);
+        }
+        sorted.sort_unstable();
+        if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(RelationError::DeadRow { row: dup[0] as usize });
+        }
+        for &row in &sorted {
+            self.live[row as usize] = false;
+        }
+        self.n_live -= sorted.len();
+        Ok(sorted)
     }
 
     /// The encoded relation over everything appended so far. Canonical: equal
@@ -216,6 +302,8 @@ impl GrowableRelation {
             self.enc.set_cardinality(a, dict.len() as u32);
         }
         self.enc.set_n_rows(old_n_rows + batch.n_rows());
+        self.live.resize(old_n_rows + batch.n_rows(), true);
+        self.n_live += batch.n_rows();
         Ok(AppendReport {
             old_n_rows,
             appended: batch.n_rows(),
@@ -304,6 +392,50 @@ mod tests {
             Err(RelationError::SchemaMismatch { .. })
         ));
         assert_eq!(grow.n_rows(), 1);
+    }
+
+    #[test]
+    fn delete_rows_tombstones_without_moving_codes() {
+        let base = rel(vec![10, 20, 30], vec!["a", "b", "c"]);
+        let mut grow = GrowableRelation::new(&base);
+        let before = grow.encoded().codes(0).to_vec();
+        let deleted = grow.delete_rows(&[1]).unwrap();
+        assert_eq!(deleted, vec![1]);
+        assert_eq!(grow.n_rows(), 3);
+        assert_eq!(grow.n_live(), 2);
+        assert_eq!(grow.live(), &[true, false, true]);
+        assert!(grow.is_live(0) && !grow.is_live(1) && !grow.is_live(9));
+        // Codes are untouched: deletes never remap or compact.
+        assert_eq!(grow.encoded().codes(0), before.as_slice());
+        // Appends after a delete land in fresh slots, live.
+        grow.extend(&rel(vec![15], vec!["d"])).unwrap();
+        assert_eq!(grow.n_rows(), 4);
+        assert_eq!(grow.n_live(), 3);
+        assert_eq!(grow.live(), &[true, false, true, true]);
+    }
+
+    #[test]
+    fn delete_rows_validates_atomically() {
+        let mut grow = GrowableRelation::new(&rel(vec![1, 2, 3], vec!["a", "b", "c"]));
+        // Out of range: nothing deleted.
+        assert!(matches!(
+            grow.delete_rows(&[1, 7]),
+            Err(RelationError::RowOutOfRange { row: 7, n_rows: 3 })
+        ));
+        assert_eq!(grow.n_live(), 3);
+        // Duplicate id within one call: nothing deleted.
+        assert!(matches!(
+            grow.delete_rows(&[2, 2]),
+            Err(RelationError::DeadRow { row: 2 })
+        ));
+        assert_eq!(grow.n_live(), 3);
+        grow.delete_rows(&[0]).unwrap();
+        // Double delete across calls.
+        assert!(matches!(
+            grow.delete_rows(&[0]),
+            Err(RelationError::DeadRow { row: 0 })
+        ));
+        assert_eq!(grow.n_live(), 2);
     }
 
     #[test]

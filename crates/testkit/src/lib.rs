@@ -1,7 +1,19 @@
 //! Brute-force oracles and fixtures for testing the FASTOD suite.
 //!
-//! Filled in alongside the oracle module; see [`oracle`].
+//! Everything here is deliberately *independent* of the production code
+//! paths: validity, minimality and violation counts are derived straight
+//! from the tuple-pair semantics of the paper's definitions, so agreement
+//! between FASTOD and this crate genuinely cross-checks two
+//! implementations. See [`oracle`] for the ground-truth enumerator
+//! ([`oracle_minimal_cover`]), its per-OD building blocks
+//! ([`oracle_valid_ods`]), and the definitional violation counter
+//! ([`oracle_violation_count`]) that pins the incremental engine's
+//! delete-time delta counting.
+
+#![deny(missing_docs)]
 
 pub mod oracle;
 
-pub use oracle::{oracle_minimal_cover, oracle_valid_ods, OracleReport};
+pub use oracle::{
+    oracle_minimal_cover, oracle_valid_ods, oracle_violation_count, OracleReport,
+};

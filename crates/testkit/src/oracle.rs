@@ -254,6 +254,39 @@ impl SubsetIndex {
     }
 }
 
+/// Definitional violation count of one canonical OD: the number of tuple
+/// pairs violating it, by exhaustive pair scan straight from Definition 6 —
+/// split pairs for constancy, swap pairs for order compatibility.
+///
+/// Quadratic in rows and independent of the partition machinery; it pins
+/// the sub-quadratic counters in `fastod-partition`
+/// (`count_constancy_violations`, `count_swap_violations`) that the
+/// incremental engine's delete-time delta-validation relies on. Zero iff
+/// the OD holds.
+pub fn oracle_violation_count(enc: &EncodedRelation, od: &CanonicalOd) -> u64 {
+    let n = enc.n_rows();
+    let mut count = 0u64;
+    for s in 0..n {
+        for t in (s + 1)..n {
+            if !enc.same_class(od.context(), s, t) {
+                continue;
+            }
+            let violated = match *od {
+                CanonicalOd::Constancy { rhs, .. } => enc.code(s, rhs) != enc.code(t, rhs),
+                CanonicalOd::OrderCompat { a, b, .. } => {
+                    let (sa, ta) = (enc.code(s, a), enc.code(t, a));
+                    let (sb, tb) = (enc.code(s, b), enc.code(t, b));
+                    (sa < ta && sb > tb) || (sa > ta && sb < tb)
+                }
+            };
+            if violated {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
 /// The unique minimal cover of the instance's valid ODs: exactly the valid
 /// ODs not implied by the remaining valid ones. By Theorem 8 this is what
 /// FASTOD must output.
@@ -351,6 +384,48 @@ mod tests {
         assert!(!report
             .valid
             .contains(&CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1)));
+    }
+
+    /// `oracle_violation_count` is zero exactly on the valid ODs, and its
+    /// counts follow the pair-removal arithmetic (deleting a row removes
+    /// exactly the violating pairs that row participates in).
+    #[test]
+    fn violation_counts_are_consistent_with_validity() {
+        let e = enc_of(vec![
+            ("k", vec![1, 2, 3, 4]),
+            ("c", vec![7, 7, 9, 9]),
+            ("s", vec![4, 3, 2, 1]),
+        ]);
+        for ctx_mask in 0u64..8 {
+            let ctx = AttrSet::from_bits(ctx_mask);
+            let valid = oracle_valid_ods(&e);
+            for a in 0..3 {
+                let od = CanonicalOd::constancy(ctx, a);
+                if !od.is_trivial() {
+                    assert_eq!(
+                        oracle_violation_count(&e, &od) == 0,
+                        valid.contains(&od),
+                        "{od}"
+                    );
+                }
+                for b in (a + 1)..3 {
+                    let od = CanonicalOd::order_compat(ctx, a, b);
+                    if !od.is_trivial() {
+                        assert_eq!(
+                            oracle_violation_count(&e, &od) == 0,
+                            valid.contains(&od),
+                            "{od}"
+                        );
+                    }
+                }
+            }
+        }
+        // k strictly ascending, s strictly descending: all C(4,2) pairs swap.
+        let od = CanonicalOd::order_compat(AttrSet::EMPTY, 0, 2);
+        assert_eq!(oracle_violation_count(&e, &od), 6);
+        // c has two 2-value groups: 2*2 split pairs under the empty context.
+        let od = CanonicalOd::constancy(AttrSet::EMPTY, 1);
+        assert_eq!(oracle_violation_count(&e, &od), 4);
     }
 
     #[test]

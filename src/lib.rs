@@ -50,6 +50,13 @@ pub use fastod_partition as partition;
 pub use fastod_relation as relation;
 pub use fastod_theory as theory;
 
+/// README code blocks are compiled (and, unless marked `no_run`, run) as
+/// doctests, so the quickstart — including the mutation round-trip — can
+/// never drift from the real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+struct ReadmeDoctests;
+
 /// Commonly used items in one import.
 pub mod prelude {
     pub use fastod::{DiscoveryConfig, DiscoveryResult, Fastod};

@@ -1,16 +1,23 @@
-//! The incremental engine's central contract: after **every** appended
-//! batch, `IncrementalDiscovery::cover` is set-exactly what a fresh
-//! `Fastod::discover` returns on the concatenated relation — and therefore,
+//! The incremental engine's central contract: after **every** mutation —
+//! appended batch, row deletion, or update —
+//! `IncrementalDiscovery::cover` is set-exactly what a fresh
+//! `Fastod::discover` returns on the surviving rows — and therefore,
 //! through `tests/oracle_theorem8.rs`, exactly the minimal cover of all
-//! valid canonical ODs (Theorem 8 keeps holding under streaming appends).
+//! valid canonical ODs (Theorem 8 keeps holding under arbitrary
+//! interleavings of appends, deletes and updates).
 //!
 //! The oracle cross-check here is deliberately redundant with transitivity:
 //! it pins the incremental cover against a partition-free ground truth, so a
 //! bug that somehow slipped into *both* traversal paths would still be
-//! caught.
+//! caught. The violation-count band additionally pins the partition-level
+//! counters (the currency of the engine's delete-time delta-validation)
+//! against the oracle's definitional pair scan.
 
+use fastod_suite::partition::{
+    count_constancy_violations, count_swap_violations, CountScratch, StrippedPartition,
+};
 use fastod_suite::prelude::*;
-use fastod_testkit::oracle_minimal_cover;
+use fastod_testkit::{oracle_minimal_cover, oracle_violation_count};
 use proptest::prelude::*;
 
 fn assert_cover_matches(engine: &IncrementalDiscovery, concat: &Relation, batch_no: usize) {
@@ -63,6 +70,122 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized schemas (≤ 5 attrs), 10 mutations each — a random
+    /// interleaving of appends, deletes and updates — with the cover
+    /// checked after every mutation against both from-scratch discovery on
+    /// the survivors and the brute-force oracle.
+    #[test]
+    fn cover_tracks_mixed_mutations(
+        n_attrs in 1usize..=5,
+        base_rows in 2usize..=10,
+        max_card in 1u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let base = fastod_suite::datagen::random_relation(base_rows, n_attrs, max_card, seed);
+        let mut engine = IncrementalDiscovery::new(&base);
+        // `history` accumulates every row ever appended at its physical id;
+        // `live` is the surviving id set, in ascending order.
+        let mut history = base.clone();
+        let mut live: Vec<usize> = (0..base_rows).collect();
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for step in 0..10u64 {
+            let roll = next() % 3;
+            if roll == 1 && !live.is_empty() {
+                // Delete 1–2 random live rows.
+                let mut victims = vec![live[(next() % live.len() as u64) as usize]];
+                if live.len() > 1 && next() % 2 == 0 {
+                    let second = live[(next() % live.len() as u64) as usize];
+                    if second != victims[0] {
+                        victims.push(second);
+                    }
+                }
+                engine.delete_rows(&victims).unwrap();
+                live.retain(|row| !victims.contains(row));
+            } else if roll == 2 && !live.is_empty() {
+                // Update one random live row.
+                let victim = live[(next() % live.len() as u64) as usize];
+                let replacement = fastod_suite::datagen::random_relation(
+                    1, n_attrs, max_card, seed ^ (0xD000 + step),
+                );
+                engine.update_rows(&[victim], &replacement).unwrap();
+                live.retain(|&row| row != victim);
+                live.push(history.n_rows());
+                history.extend(&replacement).unwrap();
+            } else {
+                // Append 1–3 rows.
+                let batch = fastod_suite::datagen::random_relation(
+                    1 + (step as usize % 3), n_attrs, max_card, seed ^ (0xC000 + step),
+                );
+                live.extend(history.n_rows()..history.n_rows() + batch.n_rows());
+                engine.push_batch(&batch).unwrap();
+                history.extend(&batch).unwrap();
+            }
+            prop_assert_eq!(engine.n_live(), live.len());
+            let survivors = history.select_rows(&live);
+            assert_cover_matches(&engine, &survivors, step as usize + 1);
+        }
+    }
+
+    /// The partition-level violation counters (which the engine's
+    /// delete-time delta-validation trusts for `false → true` flips) agree
+    /// with the oracle's definitional quadratic pair scan, on every context
+    /// of randomized instances.
+    #[test]
+    fn violation_counters_match_oracle(
+        n_attrs in 1usize..=4,
+        n_rows in 0usize..=12,
+        max_card in 1u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let rel = fastod_suite::datagen::random_relation(n_rows, n_attrs, max_card, seed);
+        let enc = rel.encode();
+        let singles: Vec<StrippedPartition> = (0..n_attrs)
+            .map(|a| StrippedPartition::from_codes(enc.codes(a), enc.cardinality(a)))
+            .collect();
+        let mut scratch = CountScratch::new();
+        for ctx_mask in 0u64..(1 << n_attrs) {
+            let ctx_set = AttrSet::from_bits(ctx_mask);
+            let ctx = ctx_set
+                .iter()
+                .fold(StrippedPartition::unit(n_rows), |acc, a| {
+                    acc.product_simple(&singles[a])
+                });
+            for a in 0..n_attrs {
+                if !ctx_set.contains(a) {
+                    let od = CanonicalOd::constancy(ctx_set, a);
+                    prop_assert_eq!(
+                        count_constancy_violations(ctx.classes(), enc.codes(a), &mut scratch),
+                        oracle_violation_count(&enc, &od),
+                        "{}", od
+                    );
+                }
+                for b in (a + 1)..n_attrs {
+                    if ctx_set.contains(a) || ctx_set.contains(b) {
+                        continue;
+                    }
+                    let od = CanonicalOd::order_compat(ctx_set, a, b);
+                    prop_assert_eq!(
+                        count_swap_violations(
+                            ctx.classes(), enc.codes(a), enc.codes(b), &mut scratch,
+                        ),
+                        oracle_violation_count(&enc, &od),
+                        "{}", od
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// A deterministic wider run (8 attributes — beyond the oracle, still cheap
 /// for from-scratch cross-checking) over 12 batches of structured data.
 #[test]
@@ -111,6 +234,63 @@ fn budgeted_stream_stays_equivalent() {
         }
         let totals = &engine.stats().totals;
         assert!(totals.nodes_evicted > 0, "budget never evicted: {totals:?}");
+    }
+}
+
+/// Mixed append/delete/update traffic under a starved partition memory
+/// budget, at several thread counts: eviction forces the delete sweep's
+/// full-validation fallback (touched contexts whose partitions are gone)
+/// and recomputation during the traversal — but must never change a single
+/// verdict. Cover identical to from-scratch on the survivors after every
+/// mutation, and the snapshot's resident bytes honour the cap.
+#[test]
+fn budgeted_mutations_stay_equivalent() {
+    for threads in [1usize, 2, 4] {
+        let budget = 2_048; // bytes — far below the unbudgeted footprint
+        let base = fastod_suite::datagen::flight_like(60, 8, 0xF00D);
+        let cfg = DiscoveryConfig::default()
+            .with_threads(threads)
+            .with_partition_memory_budget(budget);
+        let mut engine = IncrementalDiscovery::with_config(&base, cfg).unwrap();
+        let mut history = base.clone();
+        let mut live: Vec<usize> = (0..60).collect();
+        for b in 0..4u64 {
+            // Append a batch …
+            let batch = fastod_suite::datagen::flight_like(10, 8, 0x2000 + b);
+            live.extend(history.n_rows()..history.n_rows() + batch.n_rows());
+            engine.push_batch(&batch).unwrap();
+            history.extend(&batch).unwrap();
+            // … delete a stride of live rows …
+            let victims: Vec<usize> = live.iter().copied().skip(3).step_by(9).take(4).collect();
+            engine.delete_rows(&victims).unwrap();
+            live.retain(|row| !victims.contains(row));
+            // … and update one surviving row.
+            let victim = live[(7 * b as usize + 1) % live.len()];
+            let replacement = fastod_suite::datagen::flight_like(1, 8, 0x3000 + b);
+            engine.update_rows(&[victim], &replacement).unwrap();
+            live.retain(|&row| row != victim);
+            live.push(history.n_rows());
+            history.extend(&replacement).unwrap();
+
+            let survivors = history.select_rows(&live);
+            assert_cover_matches(&engine, &survivors, b as usize + 1);
+            assert!(
+                engine.snapshot().partition_bytes() <= budget,
+                "budget exceeded after round {b}: {} bytes (threads={threads})",
+                engine.snapshot().partition_bytes()
+            );
+        }
+        let totals = &engine.stats().totals;
+        assert!(totals.nodes_evicted > 0, "budget never evicted: {totals:?}");
+        // Starvation forces the full-validation fallback (evicted contexts
+        // re-validate instead of delta-counting) *and* the cheap
+        // certificates (witness probes / delta counts) still fire where
+        // partitions survived.
+        assert!(totals.nodes_recomputed > 0, "{totals:?}");
+        assert!(
+            totals.witness_skips + totals.delta_revalidated + totals.recounted > 0,
+            "no cheap certificate ever engaged: {totals:?}"
+        );
     }
 }
 
