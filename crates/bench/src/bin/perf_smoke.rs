@@ -1,17 +1,23 @@
 //! **Perf-smoke gate** for the scheduled perf workflow.
 //!
-//! Compares the single-thread exp1 validation-phase times just produced by
-//! `exp1_scalability_rows` (`results/exp1_validation.json`) against the
-//! committed baseline (`results/perf_baseline.json`) and exits non-zero when
-//! any dataset regressed by more than the tolerance (default 25%, override
-//! with `PERF_SMOKE_TOLERANCE`, a fraction).
+//! Compares freshly measured metrics against the committed baseline
+//! (`results/perf_baseline.json`) and exits non-zero when any metric
+//! regressed by more than the tolerance (default 25%, override with
+//! `PERF_SMOKE_TOLERANCE`, a fraction). Gated metrics:
+//!
+//! * the single-thread exp1 validation-phase times per dataset
+//!   (`results/exp1_validation.json`);
+//! * the serving layer's delete-wave maintenance time and p99 read latency
+//!   during maintenance (`results/exp10_serving.json`).
 //!
 //! Absolute times are hardware-bound: the committed baseline must come from
-//! the same runner class the weekly job uses. Refresh it by copying a green
-//! run's `exp1_validation.json` artifact over `results/perf_baseline.json`.
+//! the same runner class the weekly job uses. Refresh it by merging a green
+//! run's `exp1_validation.json` + `exp10_serving.json` artifacts into
+//! `results/perf_baseline.json`.
 //!
-//! Usage: `perf_smoke [baseline.json] [fresh.json]` (defaults to the two
-//! paths above).
+//! Usage: `perf_smoke [baseline.json] [fresh.json]...` — every baseline
+//! metric must appear in the union of the fresh files (defaults to the
+//! exp1 + exp10 paths above).
 
 use std::process::ExitCode;
 
@@ -20,9 +26,17 @@ fn main() -> ExitCode {
     let baseline_path = args
         .next()
         .unwrap_or_else(|| "results/perf_baseline.json".to_string());
-    let fresh_path = args
-        .next()
-        .unwrap_or_else(|| "results/exp1_validation.json".to_string());
+    let fresh_paths: Vec<String> = {
+        let rest: Vec<String> = args.collect();
+        if rest.is_empty() {
+            vec![
+                "results/exp1_validation.json".to_string(),
+                "results/exp10_serving.json".to_string(),
+            ]
+        } else {
+            rest
+        }
+    };
     let tolerance: f64 = std::env::var("PERF_SMOKE_TOLERANCE")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -37,9 +51,16 @@ fn main() -> ExitCode {
             }
         }
     };
-    let (Some(baseline), Some(fresh)) = (read(&baseline_path), read(&fresh_path)) else {
+    let Some(baseline) = read(&baseline_path) else {
         return ExitCode::FAILURE;
     };
+    let mut fresh: Vec<(String, f64)> = Vec::new();
+    for path in &fresh_paths {
+        match read(path) {
+            Some(entries) => fresh.extend(entries),
+            None => return ExitCode::FAILURE,
+        }
+    }
     if baseline.is_empty() || fresh.is_empty() {
         eprintln!("perf_smoke: empty baseline or fresh measurements");
         return ExitCode::FAILURE;
@@ -49,7 +70,7 @@ fn main() -> ExitCode {
     let mut compared = 0;
     for (name, base_ms) in &baseline {
         let Some((_, fresh_ms)) = fresh.iter().find(|(n, _)| n == name) else {
-            eprintln!("perf_smoke: dataset {name} missing from fresh run — failing");
+            eprintln!("perf_smoke: metric {name} missing from fresh run — failing");
             failed = true;
             continue;
         };
@@ -67,16 +88,16 @@ fn main() -> ExitCode {
         );
     }
     if compared == 0 {
-        eprintln!("perf_smoke: no overlapping datasets to compare");
+        eprintln!("perf_smoke: no overlapping metrics to compare");
         return ExitCode::FAILURE;
     }
     if failed {
         eprintln!(
-            "perf_smoke: validation-phase time regressed > {:.0}% on at least one dataset",
+            "perf_smoke: at least one metric regressed > {:.0}% against the baseline",
             tolerance * 100.0
         );
         return ExitCode::FAILURE;
     }
-    println!("perf_smoke: all datasets within {:.0}% of baseline", tolerance * 100.0);
+    println!("perf_smoke: all metrics within {:.0}% of baseline", tolerance * 100.0);
     ExitCode::SUCCESS
 }

@@ -45,6 +45,17 @@ impl CancelToken {
         )
     }
 
+    /// Requests cancellation through the token itself — every clone
+    /// observes it. Only tokens built by [`CancelToken::manual`] carry the
+    /// shared flag; on `never()`/timeout tokens this is a no-op (the serving
+    /// layer uses it to abort an in-flight maintenance pass on shutdown
+    /// without holding the raw flag handle).
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
     /// A token that cancels once `budget` has elapsed.
     ///
     /// The deadline is evaluated lazily on [`CancelToken::is_cancelled`]
@@ -126,5 +137,17 @@ mod tests {
         let t2 = t.clone();
         handle.store(true, Ordering::Relaxed);
         assert!(t2.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_through_token() {
+        let (t, _handle) = CancelToken::manual();
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled());
+        // No-op on tokens without a manual flag.
+        let never = CancelToken::never();
+        never.cancel();
+        assert!(!never.is_cancelled());
     }
 }

@@ -124,6 +124,22 @@ pub trait OdValidator {
         let _ = task;
         ViolationWitness::Unsupported
     }
+
+    /// [`find_violation`](OdValidator::find_violation) through a **shared**
+    /// reference with caller-supplied scratch, so a batch of witness
+    /// searches can be sharded across worker threads (the incremental
+    /// engine's delete-wave escalations). Must be a pure function of the
+    /// task — same witness at every thread count — and must agree with
+    /// [`find_violation`](OdValidator::find_violation), which is what keeps
+    /// cached witnesses thread-count-independent. The default opts out.
+    fn find_violation_shared(
+        &self,
+        task: &ValidationTask<'_>,
+        scratch: &mut SwapScratch,
+    ) -> ViolationWitness {
+        let _ = (task, scratch);
+        ViolationWitness::Unsupported
+    }
 }
 
 /// The shared sequential fallback: judge tasks one by one, in order.
@@ -469,28 +485,49 @@ impl OdValidator for ExactValidator<'_> {
     /// sort-then-sweep on sparse contexts, the early-exit `τ`-scan (no
     /// per-class sorting) on dense ones.
     fn find_violation(&mut self, task: &ValidationTask<'_>) -> ViolationWitness {
-        let found = match *task {
-            ValidationTask::Constancy { rhs, parent, .. } => {
-                if parent.is_superkey() {
-                    return ViolationWitness::Valid;
-                }
-                find_constancy_violation(parent, self.enc.codes(rhs))
+        let (enc, taus) = (self.enc, &self.taus);
+        exact_find_violation(enc, taus, &mut self.pools[0], task)
+    }
+
+    fn find_violation_shared(
+        &self,
+        task: &ValidationTask<'_>,
+        scratch: &mut SwapScratch,
+    ) -> ViolationWitness {
+        exact_find_violation(self.enc, &self.taus, scratch, task)
+    }
+}
+
+/// The witness search behind both [`OdValidator::find_violation`] entry
+/// points of [`ExactValidator`] — one body, so the exclusive and shared
+/// paths cannot drift (the `τ_A` cache behind each `OnceLock` is built
+/// racily but idempotently when workers share the validator).
+fn exact_find_violation(
+    enc: &EncodedRelation,
+    taus: &[OnceLock<SortedColumn>],
+    scratch: &mut SwapScratch,
+    task: &ValidationTask<'_>,
+) -> ViolationWitness {
+    let found = match *task {
+        ValidationTask::Constancy { rhs, parent, .. } => {
+            if parent.is_superkey() {
+                return ViolationWitness::Valid;
             }
-            ValidationTask::OrderCompat { a, b, ctx, .. } => {
-                if ctx.covered_rows().saturating_mul(SWEEP_DENSITY_CUTOFF) < ctx.n_rows() {
-                    find_swap_sweep(ctx.classes(), self.enc.codes(a), self.enc.codes(b))
-                } else {
-                    let tau = self.taus[a].get_or_init(|| {
-                        SortedColumn::build(self.enc.codes(a), self.enc.cardinality(a))
-                    });
-                    find_swap(ctx, tau, self.enc.codes(b), &mut self.pools[0])
-                }
-            }
-        };
-        match found {
-            Some((s, t)) => ViolationWitness::Pair(s, t),
-            None => ViolationWitness::Valid,
+            find_constancy_violation(parent, enc.codes(rhs))
         }
+        ValidationTask::OrderCompat { a, b, ctx, .. } => {
+            if ctx.covered_rows().saturating_mul(SWEEP_DENSITY_CUTOFF) < ctx.n_rows() {
+                find_swap_sweep(ctx.classes(), enc.codes(a), enc.codes(b))
+            } else {
+                let tau =
+                    taus[a].get_or_init(|| SortedColumn::build(enc.codes(a), enc.cardinality(a)));
+                find_swap(ctx, tau, enc.codes(b), scratch)
+            }
+        }
+    };
+    match found {
+        Some((s, t)) => ViolationWitness::Pair(s, t),
+        None => ViolationWitness::Valid,
     }
 }
 

@@ -205,6 +205,27 @@ impl IncrementalDiscovery {
         &self.stats
     }
 
+    /// The verdict cache as a sorted list — the engine's full observable
+    /// memo state. Exposed so equivalence tests (and the serving layer's
+    /// diagnostics) can pin that maintenance passes leave **byte-identical**
+    /// cache state at every thread count, not just identical covers.
+    pub fn cached_verdicts(&self) -> Vec<(CanonicalOd, CachedVerdict)> {
+        let mut entries: Vec<(CanonicalOd, CachedVerdict)> =
+            self.cache.iter().map(|(od, v)| (*od, *v)).collect();
+        entries.sort_by_key(|(od, _)| *od);
+        entries
+    }
+
+    /// Re-targets the retained-partition byte budget (see
+    /// [`DiscoveryConfig::partition_memory_budget`]) and evicts immediately
+    /// if the retained set now exceeds it. The serving layer uses this to
+    /// rebalance one global budget across sessions as relations come and go.
+    pub fn set_partition_budget(&mut self, budget: Option<usize>) {
+        self.config.partition_memory_budget = budget;
+        self.snapshot.set_budget(budget);
+        self.snapshot.enforce_budget();
+    }
+
     /// Appends a batch and restores the cover invariant.
     ///
     /// ```

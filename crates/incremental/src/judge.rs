@@ -9,7 +9,7 @@ use fastod::{
 use fastod_partition::{
     count_constancy_violations, count_constancy_violations_rows, count_swap_violations,
     count_swap_violations_rows, find_constancy_violation, find_swap_sweep, CountScratch,
-    RemoveDelta, StrippedPartition,
+    RemoveDelta, StrippedPartition, SwapScratch,
 };
 use fastod_relation::{AttrId, AttrSet, EncodedRelation};
 use fastod_theory::CanonicalOd;
@@ -152,7 +152,89 @@ pub(crate) struct CachedJudge<'a, V> {
     /// entries are still anchored.
     judged: HashSet<CanonicalOd>,
     scratch: CountScratch,
+    /// Per-worker scratch arenas for the sharded escalation phase; slot 0
+    /// doubles as the inline (single-thread) escalation scratch.
+    pools: Vec<EscalationScratch>,
     pub(crate) counters: BatchCounters,
+}
+
+/// Per-worker scratch for escalated delete-pass work: a swap arena for the
+/// witness searches and a count arena for the recounts.
+struct EscalationScratch {
+    swap: SwapScratch,
+    count: CountScratch,
+}
+
+impl EscalationScratch {
+    fn new() -> EscalationScratch {
+        EscalationScratch {
+            swap: SwapScratch::new(),
+            count: CountScratch::new(),
+        }
+    }
+}
+
+/// Why a delete-touched `Invalid` entry could not be resolved by a cheap
+/// certificate (witness-liveness probe, `O(touched)` count delta) and needs
+/// real partition work.
+#[derive(Clone, Copy)]
+enum EscalationKind {
+    /// Materialize the exact violation count over the whole context (the
+    /// entry has burned a witness search before; anchor a count so future
+    /// small deletes delta in `O(touched)`).
+    Recount,
+    /// Early-exit witness search over the current context partition.
+    Search,
+}
+
+/// The partition-work result for one escalated entry — pure data, produced
+/// by [`run_escalation`] on any worker thread and folded into the cache
+/// sequentially by [`CachedJudge::apply_escalation`].
+enum EscalationOutcome {
+    /// Exact violating-pair count (recount escalation).
+    Count(u64),
+    /// Fresh witness pair, or `None` when the OD now holds (search
+    /// escalation).
+    Witness(Option<(u32, u32)>),
+}
+
+/// One delete-pass entry queued for the sharded escalation phase of
+/// [`CachedJudge::judge_batch`].
+struct Escalation<'p> {
+    /// Index into the batch's task (and verdict) vector.
+    at: usize,
+    task: ValidationTask<'p>,
+    od: CanonicalOd,
+    entry: InvalidEntry,
+    kind: EscalationKind,
+}
+
+/// Executes one escalation against the current instance. A pure function of
+/// the task — no judge state, same result on every worker — which is what
+/// lets `judge_batch` shard these across threads while keeping the cache
+/// byte-identical to the sequential path.
+fn run_escalation<V: OdValidator>(
+    inner: &V,
+    enc: &EncodedRelation,
+    esc: &Escalation<'_>,
+    scratch: &mut EscalationScratch,
+) -> EscalationOutcome {
+    match esc.kind {
+        EscalationKind::Recount => EscalationOutcome::Count(full_violations(
+            &esc.od,
+            ctx_of(&esc.task),
+            enc,
+            &mut scratch.count,
+        )),
+        EscalationKind::Search => {
+            let witness = match inner.find_violation_shared(&esc.task, &mut scratch.swap) {
+                ViolationWitness::Valid => None,
+                ViolationWitness::Pair(s, t) => Some((s, t)),
+                ViolationWitness::Unsupported => find_witness(&esc.od, ctx_of(&esc.task), enc),
+            };
+            EscalationOutcome::Witness(witness)
+        }
+    }
 }
 
 impl<'a, V: OdValidator> CachedJudge<'a, V> {
@@ -174,6 +256,7 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
             dirty: HashMap::new(),
             judged: HashSet::new(),
             scratch: CountScratch::new(),
+            pools: vec![EscalationScratch::new()],
             counters: BatchCounters::default(),
         }
     }
@@ -270,24 +353,24 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
         });
     }
 
-    /// Resolves one cached-`Invalid` candidate in a delete pass, given the
-    /// current (already compacted) context partition. Cheapest certificate
-    /// first:
+    /// Tries the cheap certificates for one cached-`Invalid` candidate in a
+    /// delete pass, given the current (already compacted) context partition:
     ///
-    /// * cached witness pair fully live → still false, two bit-reads;
     /// * exact count cached and touched classes small → **delta count**
     ///   (`O(touched)`, flips to valid at zero);
-    /// * touched classes small but no count yet → one full count
-    ///   **materializes** it for future deltas;
-    /// * otherwise → early-exit witness search over the partition, caching
-    ///   the pair it finds.
-    fn resolve_deleted(
+    /// * cached witness pair fully live → still false, two bit-reads;
+    ///
+    /// Anything else escalates to real partition work — a recount when the
+    /// entry has burned a witness search before and the delta is small, a
+    /// fresh witness search otherwise. Escalations are returned (not run) so
+    /// `judge_batch` can shard them across the executor's workers; the
+    /// single-task path runs them inline.
+    fn classify_deleted(
         &mut self,
         od: CanonicalOd,
         entry: InvalidEntry,
         ctx: &StrippedPartition,
-        find: impl FnOnce(&mut V) -> ViolationWitness,
-    ) -> bool {
+    ) -> Result<bool, EscalationKind> {
         let bits = od.context().bits();
         // Exact-count arithmetic is only sound when this pass did not also
         // append covered rows into the context (the delta records removals
@@ -296,7 +379,7 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
         let delta = self
             .deltas
             .as_ref()
-            .expect("resolve_deleted requires a delete pass")
+            .expect("classify_deleted requires a delete pass")
             .get(&bits)
             .filter(|d| d.is_exact() && append_clean);
         let touched_rows: usize = delta
@@ -317,7 +400,7 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
             if updated == 0 {
                 self.counters.verdicts_revived += 1;
                 self.cache.insert(od, CachedVerdict::Valid);
-                return true;
+                return Ok(true);
             }
             self.cache.insert(
                 od,
@@ -329,7 +412,7 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
                     rescans: 0,
                 }),
             );
-            return false;
+            return Ok(false);
         }
         if alive {
             // The witness pair is still live: both rows still share their
@@ -345,65 +428,102 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
                     rescans: entry.rescans,
                 }),
             );
-            return false;
+            return Ok(false);
         }
         if cheap && delta.is_some() && entry.rescans >= 1 {
             // This entry has burned a witness search before: anchor the
             // exact count now, so the next deletes this small resolve in
             // O(touched) instead of another scan.
-            let count = full_violations(&od, ctx, self.enc, &mut self.scratch);
-            self.counters.recounted += 1;
-            if count == 0 {
-                self.counters.verdicts_revived += 1;
-            }
-            self.cache.insert(od, CachedVerdict::from_count(count));
-            return count == 0;
+            Err(EscalationKind::Recount)
+        } else {
+            // Full fallback: search the (already compacted) partition for a
+            // fresh witness — early-exit, through the validator's own scan
+            // machinery — caching the pair it finds so the next deletes
+            // resolve in O(1).
+            Err(EscalationKind::Search)
         }
-        // Full fallback: search the (already compacted) partition for a
-        // fresh witness — early-exit, through the validator's own scan
-        // machinery — and cache what it finds so the next deletes resolve
-        // in O(1).
-        let witness = match find(self.inner) {
-            ViolationWitness::Valid => None,
-            ViolationWitness::Pair(s, t) => Some((s, t)),
-            ViolationWitness::Unsupported => find_witness(&od, ctx, self.enc),
-        };
-        self.counters.revalidated += 1;
-        match witness {
-            None => {
-                self.counters.verdicts_revived += 1;
-                self.cache.insert(od, CachedVerdict::Valid);
-                true
+    }
+
+    /// Folds one escalation's partition-work result into the cache and
+    /// counters. Called sequentially in task order regardless of how the
+    /// work itself was sharded, so the judge's observable state stays
+    /// independent of the thread count.
+    fn apply_escalation(
+        &mut self,
+        od: CanonicalOd,
+        entry: InvalidEntry,
+        outcome: EscalationOutcome,
+    ) -> bool {
+        match outcome {
+            EscalationOutcome::Count(count) => {
+                self.counters.recounted += 1;
+                if count == 0 {
+                    self.counters.verdicts_revived += 1;
+                }
+                self.cache.insert(od, CachedVerdict::from_count(count));
+                count == 0
             }
-            some => {
-                self.cache.insert(
-                    od,
-                    CachedVerdict::Invalid(InvalidEntry {
-                        violations: None,
-                        witness: some,
-                        rescans: entry.rescans.saturating_add(1),
-                    }),
-                );
-                false
+            EscalationOutcome::Witness(witness) => {
+                self.counters.revalidated += 1;
+                self.counters.escalated_searches += 1;
+                match witness {
+                    None => {
+                        self.counters.verdicts_revived += 1;
+                        self.cache.insert(od, CachedVerdict::Valid);
+                        true
+                    }
+                    some => {
+                        self.cache.insert(
+                            od,
+                            CachedVerdict::Invalid(InvalidEntry {
+                                violations: None,
+                                witness: some,
+                                rescans: entry.rescans.saturating_add(1),
+                            }),
+                        );
+                        false
+                    }
+                }
             }
         }
     }
 
-    /// The full decision table for one candidate; `ctx` is the candidate's
-    /// current context partition, `validate` the boolean fallback, `find`
-    /// the validator-native witness search.
+    /// Resolves one delete-touched `Invalid` candidate end to end: cheap
+    /// certificates, then any escalation inline. The single-task entry
+    /// points and the batch path share this exact classification and
+    /// application logic — only the *scheduling* of escalated work differs
+    /// (inline here, sharded in `judge_batch`) — so the two paths cannot
+    /// drift.
+    fn resolve_deleted(
+        &mut self,
+        od: CanonicalOd,
+        entry: InvalidEntry,
+        task: &ValidationTask<'_>,
+    ) -> bool {
+        match self.classify_deleted(od, entry, ctx_of(task)) {
+            Ok(verdict) => verdict,
+            Err(kind) => {
+                let esc = Escalation { at: 0, task: *task, od, entry, kind };
+                let outcome = run_escalation(&*self.inner, self.enc, &esc, &mut self.pools[0]);
+                self.apply_escalation(od, entry, outcome)
+            }
+        }
+    }
+
+    /// The full decision table for one candidate. Both single-task entry
+    /// points funnel through here, and the batch prefix loop mirrors it
+    /// case for case (with escalations deferred for sharding).
     fn judge(
         &mut self,
         od: CanonicalOd,
-        ctx: &StrippedPartition,
-        validate: impl FnOnce(&mut V) -> bool,
-        find: impl FnOnce(&mut V) -> ViolationWitness,
+        task: &ValidationTask<'_>,
+        stats: &mut LevelStats,
     ) -> bool {
         let prior = self.cache.get(&od).copied();
         match prior {
             Some(CachedVerdict::Invalid(entry)) => {
                 if self.delete_touched(od.context().bits()) {
-                    self.resolve_deleted(od, entry, ctx, find)
+                    self.resolve_deleted(od, entry, task)
                 } else {
                     self.counters.skipped_false += 1;
                     false
@@ -414,7 +534,14 @@ impl<'a, V: OdValidator> CachedJudge<'a, V> {
                 true
             }
             _ => {
-                let verdict = validate(self.inner);
+                let verdict = match *task {
+                    ValidationTask::Constancy { rhs, parent, node, .. } => {
+                        OdValidator::constancy(self.inner, parent, node, rhs, stats)
+                    }
+                    ValidationTask::OrderCompat { ctx_set, a, b, ctx } => {
+                        OdValidator::order_compat(self.inner, ctx, ctx_set.bits() as usize, a, b, stats)
+                    }
+                };
                 self.counters.revalidated += 1;
                 if prior == Some(CachedVerdict::Valid) && !verdict {
                     self.counters.verdicts_flipped += 1;
@@ -511,13 +638,15 @@ fn ctx_of<'p>(task: &ValidationTask<'p>) -> &'p StrippedPartition {
     }
 }
 
-impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
+impl<V: OdValidator + Sync> OdJudge for CachedJudge<'_, V> {
     /// Batch judging with the cache consulted up front: resolved verdicts
     /// never reach the validator, delete-pass delta counts are applied
-    /// sequentially (they are `O(touched)` each), and only the unresolved
-    /// remainder is sharded across the executor's workers. Cache updates and
-    /// counters are applied sequentially in task order, so the judge's
-    /// observable state is independent of the thread count.
+    /// sequentially (they are `O(touched)` each), and the two expensive
+    /// remainders — delete-pass **escalations** (witness searches and
+    /// recounts that survived the cheap certificates) and the unresolved
+    /// candidates — are each sharded across the executor's workers. Cache
+    /// updates and counters are applied sequentially in task order, so the
+    /// judge's observable state is independent of the thread count.
     fn judge_batch(
         &mut self,
         tasks: &[ValidationTask<'_>],
@@ -526,6 +655,7 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
         stats: &mut LevelStats,
     ) -> Result<Vec<bool>, Cancelled> {
         let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(tasks.len());
+        let mut escalations: Vec<Escalation<'_>> = Vec::new();
         let mut unresolved: Vec<ValidationTask<'_>> = Vec::new();
         let mut unresolved_at: Vec<usize> = Vec::new();
         for (i, task) in tasks.iter().enumerate() {
@@ -537,12 +667,17 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
             match prior {
                 Some(CachedVerdict::Invalid(entry)) => {
                     if self.delete_touched(od.context().bits()) {
-                        // Resolved inline: a witness liveness probe, an
-                        // O(touched) delta, or an early-exit witness search
-                        // (rare enough not to shard).
-                        let verdict = self
-                            .resolve_deleted(od, entry, ctx_of(task), |v| v.find_violation(task));
-                        verdicts.push(Some(verdict));
+                        // Cheap certificates inline (O(1) probe, O(touched)
+                        // delta); real partition work is deferred so a
+                        // delete wave's witness searches never serialize on
+                        // this loop.
+                        match self.classify_deleted(od, entry, ctx_of(task)) {
+                            Ok(verdict) => verdicts.push(Some(verdict)),
+                            Err(kind) => {
+                                verdicts.push(None);
+                                escalations.push(Escalation { at: i, task: *task, od, entry, kind });
+                            }
+                        }
                     } else {
                         self.counters.skipped_false += 1;
                         verdicts.push(Some(false));
@@ -557,6 +692,32 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
                     unresolved.push(*task);
                     unresolved_at.push(i);
                 }
+            }
+        }
+        if exec.is_parallel() && escalations.len() >= 2 {
+            // Sharded escalation phase. The searches are pure functions of
+            // their task, so running them on workers and folding outcomes
+            // in task order yields the exact cache the inline path would.
+            // The executor polls `cancel` between work items.
+            let (inner, enc) = (&*self.inner, self.enc);
+            let outcomes = exec.try_map_with(
+                &mut self.pools,
+                EscalationScratch::new,
+                &escalations,
+                cancel,
+                |scratch, _i, esc| run_escalation(inner, enc, esc, scratch),
+            )?;
+            for (esc, outcome) in escalations.iter().zip(outcomes) {
+                verdicts[esc.at] = Some(self.apply_escalation(esc.od, esc.entry, outcome));
+            }
+        } else {
+            // Inline, with a bounded-latency cancel check per escalation —
+            // each item can be a long early-exit scan, so once per item
+            // (not once per 64) is the right granularity here.
+            for esc in &escalations {
+                cancel.check()?;
+                let outcome = run_escalation(&*self.inner, self.enc, esc, &mut self.pools[0]);
+                verdicts[esc.at] = Some(self.apply_escalation(esc.od, esc.entry, outcome));
             }
         }
         let fresh = self.inner.validate_batch(&unresolved, exec, cancel, stats)?;
@@ -585,12 +746,7 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
         stats: &mut LevelStats,
     ) -> bool {
         let task = ValidationTask::Constancy { parent_set, rhs, parent, node };
-        self.judge(
-            CanonicalOd::constancy(parent_set, rhs),
-            parent,
-            |v| OdValidator::constancy(v, parent, node, rhs, stats),
-            |v| v.find_violation(&task),
-        )
+        self.judge(CanonicalOd::constancy(parent_set, rhs), &task, stats)
     }
 
     fn order_compat(
@@ -602,12 +758,7 @@ impl<V: OdValidator> OdJudge for CachedJudge<'_, V> {
         stats: &mut LevelStats,
     ) -> bool {
         let task = ValidationTask::OrderCompat { ctx_set, a, b, ctx };
-        self.judge(
-            CanonicalOd::order_compat(ctx_set, a, b),
-            ctx,
-            |v| OdValidator::order_compat(v, ctx, ctx_set.bits() as usize, a, b, stats),
-            |v| v.find_violation(&task),
-        )
+        self.judge(CanonicalOd::order_compat(ctx_set, a, b), &task, stats)
     }
 }
 

@@ -34,6 +34,11 @@ pub struct BatchCounters {
     /// Cached verdicts that flipped `false → true` in a delete pass — ODs
     /// *revived* because their last violating pair was deleted.
     pub verdicts_revived: usize,
+    /// Delete-pass entries that escalated to a fresh witness search (the
+    /// cheap certificates — liveness probe, count delta — all failed).
+    /// These searches are sharded across the executor's workers in a batch;
+    /// a subset of [`BatchCounters::revalidated`].
+    pub escalated_searches: usize,
     /// Cache entries dropped because the pass could have changed them but
     /// no retained state could prove otherwise (context evicted or not in
     /// the current lattice); they are revalidated when next gathered.
@@ -64,6 +69,7 @@ impl BatchCounters {
         self.delta_revalidated += other.delta_revalidated;
         self.recounted += other.recounted;
         self.verdicts_revived += other.verdicts_revived;
+        self.escalated_searches += other.escalated_searches;
         self.entries_dropped += other.entries_dropped;
         self.nodes_reused += other.nodes_reused;
         self.nodes_recomputed += other.nodes_recomputed;

@@ -1,0 +1,346 @@
+//! Sessions (one served relation each) and the server registry.
+
+use crate::publish::EpochCell;
+use crate::snapshot::CoverSnapshot;
+use fastod::{CancelToken, DiscoveryConfig};
+use fastod_incremental::{BatchReport, IncrementalDiscovery, IncrementalError};
+use fastod_relation::{Relation, Schema};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No session is registered under this name.
+    UnknownSession(String),
+    /// A session under this name already exists.
+    DuplicateSession(String),
+    /// The underlying maintenance engine rejected the mutation (bad schema,
+    /// bad row ids, cancelled pass, …). The published cover is unchanged.
+    Engine(IncrementalError),
+    /// A maintenance thread panicked mid-pass, leaving the engine state
+    /// unknowable. The session keeps serving its last published cover but
+    /// accepts no further mutations; close and reopen it.
+    MaintenancePanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownSession(name) => write!(f, "unknown session `{name}`"),
+            ServeError::DuplicateSession(name) => write!(f, "session `{name}` already exists"),
+            ServeError::Engine(e) => write!(f, "maintenance rejected: {e}"),
+            ServeError::MaintenancePanicked => {
+                f.write_str("a maintenance pass panicked; close and reopen the session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IncrementalError> for ServeError {
+    fn from(e: IncrementalError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// One served relation: an [`IncrementalDiscovery`] engine behind a
+/// maintenance mutex, publishing [`CoverSnapshot`]s through an
+/// [`EpochCell`].
+///
+/// The reader/maintainer contract:
+///
+/// * **Reads never block.** [`read`](Session::read) touches only the epoch
+///   cell — never the engine mutex — so queries keep answering at full
+///   speed while a maintenance pass runs, no matter how long it takes.
+/// * **Reads are never torn.** Every snapshot a reader observes is the
+///   complete output of some finished pass (cover, row counts and epoch
+///   swapped in atomically), and epochs observed by any one reader are
+///   monotone.
+/// * **Reads are always validated.** A cancelled or failed pass publishes
+///   nothing: the previous snapshot keeps serving (its rows-absorbed
+///   horizon is simply older). This is what keeps the errata-corrected
+///   completeness guarantee intact under concurrency — there is no instant
+///   at which a half-maintained cover is visible.
+/// * **Maintenance is serialized per session** by the engine mutex;
+///   different sessions maintain concurrently.
+pub struct Session {
+    name: String,
+    engine: Mutex<IncrementalDiscovery>,
+    published: EpochCell<CoverSnapshot>,
+    /// Cancels an in-flight maintenance pass (cooperatively — the engine
+    /// polls between work items, including inside sharded delete-wave
+    /// escalations). Fired by [`Server::close`] so teardown latency is
+    /// bounded; the poisoned engine then serves nothing, but the session is
+    /// being dropped anyway.
+    cancel: CancelToken,
+}
+
+impl Session {
+    /// Opens a session by running the initial discovery over `rel`.
+    ///
+    /// The configured cancel token is replaced by a session-owned manual
+    /// token (composed with nothing else: serving sessions are long-lived,
+    /// deadline tokens belong to one-shot runs).
+    ///
+    /// # Errors
+    /// [`ServeError::Engine`] when the initial pass is cancelled before it
+    /// completes (only possible if the session is being torn down already).
+    pub fn open(
+        name: impl Into<String>,
+        rel: &Relation,
+        mut config: DiscoveryConfig,
+    ) -> Result<Session, ServeError> {
+        let (cancel, _flag) = CancelToken::manual();
+        config.cancel = cancel.clone();
+        let engine = IncrementalDiscovery::with_config(rel, config)?;
+        let initial = CoverSnapshot::of(&engine);
+        Ok(Session {
+            name: name.into(),
+            engine: Mutex::new(engine),
+            published: EpochCell::new(Arc::new(initial)),
+            cancel,
+        })
+    }
+
+    /// The session's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The served schema (immutable for the session's lifetime).
+    pub fn schema(&self) -> Schema {
+        self.read().1.schema().clone()
+    }
+
+    /// The current published snapshot with its epoch — lock-free, never
+    /// blocked by maintenance. Hold the `Arc` for as long as a consistent
+    /// view is needed; it stays valid (and unchanged) across any number of
+    /// later publishes.
+    pub fn read(&self) -> (u64, Arc<CoverSnapshot>) {
+        self.published.load()
+    }
+
+    /// The current publication epoch (one probe, no snapshot clone).
+    pub fn epoch(&self) -> u64 {
+        self.published.epoch()
+    }
+
+    /// Appends a batch, then publishes the new cover.
+    ///
+    /// # Errors
+    /// [`ServeError::Engine`] when the engine rejects or cancels the pass
+    /// (nothing is published); [`ServeError::MaintenancePanicked`] if an
+    /// earlier pass panicked.
+    pub fn push_batch(&self, batch: &Relation) -> Result<BatchReport, ServeError> {
+        self.maintain(|engine| engine.push_batch(batch))
+    }
+
+    /// Tombstones rows (physical ids), then publishes the new cover.
+    ///
+    /// # Errors
+    /// As for [`push_batch`](Session::push_batch).
+    pub fn delete_rows(&self, rows: &[usize]) -> Result<BatchReport, ServeError> {
+        self.maintain(|engine| engine.delete_rows(rows))
+    }
+
+    /// Replaces rows (physical ids) with `replacement`, then publishes the
+    /// new cover.
+    ///
+    /// # Errors
+    /// As for [`push_batch`](Session::push_batch).
+    pub fn update_rows(
+        &self,
+        rows: &[usize],
+        replacement: &Relation,
+    ) -> Result<BatchReport, ServeError> {
+        self.maintain(|engine| engine.update_rows(rows, replacement))
+    }
+
+    /// Runs one maintenance step under the engine mutex and publishes the
+    /// resulting snapshot iff the pass succeeded. The pass runs on the
+    /// caller's thread — the serving layer imposes no thread of its own —
+    /// but concurrent callers serialize here, and readers are never
+    /// involved.
+    fn maintain(
+        &self,
+        step: impl FnOnce(&mut IncrementalDiscovery) -> Result<BatchReport, IncrementalError>,
+    ) -> Result<BatchReport, ServeError> {
+        let mut engine = self.lock_engine()?;
+        let report = step(&mut engine)?;
+        self.published.publish(Arc::new(CoverSnapshot::of(&engine)));
+        Ok(report)
+    }
+
+    /// Whether the engine was poisoned by a cancelled pass. The session
+    /// still serves its last published snapshot; mutations are rejected.
+    pub fn is_poisoned(&self) -> bool {
+        self.lock_engine().map(|e| e.is_poisoned()).unwrap_or(true)
+    }
+
+    /// Requests cancellation of any in-flight maintenance pass. The pass
+    /// fails with [`IncrementalError::Cancelled`] and publishes nothing.
+    pub fn cancel_maintenance(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Re-targets the engine's retained-partition byte budget (used by the
+    /// server to split one global budget across sessions). Waits for any
+    /// in-flight pass.
+    pub fn set_partition_budget(&self, budget: Option<usize>) -> Result<(), ServeError> {
+        self.lock_engine()?.set_partition_budget(budget);
+        Ok(())
+    }
+
+    fn lock_engine(&self) -> Result<MutexGuard<'_, IncrementalDiscovery>, ServeError> {
+        self.engine.lock().map_err(|_| ServeError::MaintenancePanicked)
+    }
+}
+
+/// Registry of concurrently served relations.
+///
+/// Sessions are handed out as `Arc`s: queries and mutations go straight to
+/// the [`Session`] (the registry lock is only held to look names up, never
+/// across a maintenance pass), so maintenance on one relation never delays
+/// reads or writes on another.
+pub struct Server {
+    config: ServeConfig,
+    sessions: RwLock<HashMap<String, Arc<Session>>>,
+}
+
+/// Server-wide configuration.
+#[derive(Clone, Default)]
+pub struct ServeConfig {
+    /// Per-session discovery/maintenance configuration. The `cancel` token
+    /// is ignored (each session owns a manual token); the
+    /// `partition_memory_budget` is ignored in favour of
+    /// [`ServeConfig::total_partition_budget`].
+    pub discovery: DiscoveryConfig,
+    /// One retained-partition byte budget shared by **all** sessions: each
+    /// open session is allotted an equal share, re-split on every open and
+    /// close. `None` retains everything. Note the double-buffered snapshots
+    /// are *cover* snapshots — partition memory is not double-buffered, so
+    /// the budget bounds one copy per session, not two.
+    pub total_partition_budget: Option<usize>,
+}
+
+impl Server {
+    /// An empty registry.
+    pub fn new(config: ServeConfig) -> Server {
+        Server {
+            config,
+            sessions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Opens a session over `rel` (running its initial discovery on the
+    /// calling thread) and registers it under `name`. Re-splits the global
+    /// partition budget across all open sessions.
+    ///
+    /// # Errors
+    /// [`ServeError::DuplicateSession`] when the name is taken;
+    /// [`ServeError::Engine`] when the initial discovery fails.
+    pub fn open(&self, name: &str, rel: &Relation) -> Result<Arc<Session>, ServeError> {
+        if self.session(name).is_some() {
+            return Err(ServeError::DuplicateSession(name.to_string()));
+        }
+        // Initial discovery runs outside the registry lock so other
+        // sessions keep serving and mutating; the name is re-checked at
+        // insertion (a racing open of the same name loses politely).
+        let session = Arc::new(Session::open(name, rel, self.config.discovery.clone())?);
+        {
+            let mut sessions = self.sessions.write().expect("registry lock poisoned");
+            if sessions.contains_key(name) {
+                return Err(ServeError::DuplicateSession(name.to_string()));
+            }
+            sessions.insert(name.to_string(), Arc::clone(&session));
+        }
+        self.rebalance_budget();
+        Ok(session)
+    }
+
+    /// Looks a session up by name.
+    pub fn session(&self, name: &str) -> Option<Arc<Session>> {
+        self.sessions
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Closes a session: cancels any in-flight maintenance pass, removes it
+    /// from the registry, and re-splits the global budget over the
+    /// survivors. Readers still holding the session's `Arc` keep their
+    /// snapshots — `Arc`s make teardown safe, not instant.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] when the name is not registered.
+    pub fn close(&self, name: &str) -> Result<(), ServeError> {
+        let removed = self
+            .sessions
+            .write()
+            .expect("registry lock poisoned")
+            .remove(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_string()))?;
+        removed.cancel_maintenance();
+        self.rebalance_budget();
+        Ok(())
+    }
+
+    /// The registered session names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .sessions
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits the global partition budget equally across the open sessions.
+    /// Sessions whose retained set exceeds their new share evict down to it
+    /// immediately (waiting for their in-flight pass, if any); sessions
+    /// whose share grew refill lazily as later passes retain more.
+    fn rebalance_budget(&self) {
+        let Some(total) = self.config.total_partition_budget else {
+            return;
+        };
+        let sessions: Vec<Arc<Session>> = self
+            .sessions
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        if sessions.is_empty() {
+            return;
+        }
+        let share = total / sessions.len();
+        for session in sessions {
+            // A panicked session cannot rebalance; it is unusable anyway.
+            let _ = session.set_partition_budget(Some(share));
+        }
+    }
+}

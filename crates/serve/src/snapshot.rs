@@ -1,0 +1,100 @@
+//! The immutable read view a session publishes: one validated cover plus
+//! the syntactic query surface over it.
+
+use fastod_incremental::IncrementalDiscovery;
+use fastod_relation::{AttrId, Schema};
+use fastod_theory::axioms::implied_by_minimal_set;
+use fastod_theory::orders::{constant_attrs, od_implied, simplify_order_by};
+use fastod_theory::{CanonicalOd, OdSet};
+
+/// One fully validated, immutable view of a served relation's OD cover.
+///
+/// Produced at the end of a successful maintenance pass and published
+/// wholesale through the session's [`EpochCell`](crate::EpochCell) — a
+/// reader holding one sees a cover, row counts and pass number that all
+/// belong to the *same* instant of the mutation log. Every query method is
+/// purely syntactic over the complete minimal cover (paper §6 / Theorem 5):
+/// the data itself is never consulted, so queries cost microseconds and
+/// need no locks.
+#[derive(Clone, Debug)]
+pub struct CoverSnapshot {
+    schema: Schema,
+    cover: OdSet,
+    n_live: usize,
+    n_rows: usize,
+    passes: usize,
+}
+
+impl CoverSnapshot {
+    /// Captures the engine's current cover. Called by the session with the
+    /// maintenance mutex held, right after a successful pass.
+    pub(crate) fn of(engine: &IncrementalDiscovery) -> CoverSnapshot {
+        CoverSnapshot {
+            schema: engine.schema().clone(),
+            cover: engine.cover().clone(),
+            n_live: engine.n_live(),
+            n_rows: engine.n_rows(),
+            passes: engine.stats().passes,
+        }
+    }
+
+    /// The served schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The complete minimal cover this snapshot answers from.
+    pub fn minimal_cover(&self) -> &OdSet {
+        &self.cover
+    }
+
+    /// Live rows of the instance this cover was validated on.
+    pub fn n_live(&self) -> usize {
+        self.n_live
+    }
+
+    /// Physical row slots (live + tombstoned) at capture time.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Maintenance passes absorbed into this snapshot, counting the initial
+    /// discovery — i.e. this snapshot reflects the first `passes - 1`
+    /// mutations of the session's log.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// Whether the list OD `lhs ↦ rhs` holds on the snapshot's instance:
+    /// `ORDER BY lhs` produces rows that are also ordered by `rhs`.
+    pub fn is_valid(&self, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
+        od_implied(&self.cover, lhs, rhs)
+    }
+
+    /// Whether one canonical OD holds (directly in the cover or implied by
+    /// it through context augmentation).
+    pub fn holds(&self, od: &CanonicalOd) -> bool {
+        implied_by_minimal_set(&self.cover, od)
+    }
+
+    /// "What orders hold given this prefix?" — the attributes whose order
+    /// an index (or stream) sorted on `prefix` already satisfies, i.e.
+    /// every `a` with `prefix ↦ [a]`. Sorted ascending; includes the prefix
+    /// attributes themselves (trivially) and every constant.
+    pub fn orders_from_prefix(&self, prefix: &[AttrId]) -> Vec<AttrId> {
+        (0..self.schema.n_attrs())
+            .filter(|&a| od_implied(&self.cover, prefix, &[a]))
+            .collect()
+    }
+
+    /// Minimizes an `ORDER BY` spec: drops positions implied by the ones
+    /// before them (paper §1.1, Query 1's `d_quarter`).
+    pub fn simplify_order_by(&self, spec: &[AttrId]) -> Vec<AttrId> {
+        simplify_order_by(&self.cover, spec)
+    }
+
+    /// Attributes constant over the whole (live) instance.
+    pub fn constant_attrs(&self) -> Vec<AttrId> {
+        constant_attrs(&self.cover, self.schema.n_attrs()).to_vec()
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! USAGE:
 //!   fastod <FILE.csv> [OPTIONS]
+//!   fastod serve <FILE.csv> [OPTIONS]
 //!
 //! OPTIONS:
 //!   --no-header            treat the first line as data (columns named c0, c1, ...)
@@ -17,14 +18,23 @@
 //!                          witnesses; OD syntax: "ctx1,ctx2:[]->A" or
 //!                          "ctx1:A~B" (attribute names)
 //!   --stats                print per-level statistics (Figure 7 style)
+//!
+//! SERVE OPTIONS (mutation + query replay over the serving layer):
+//!   --readers <N>          concurrent reader threads issuing lock-free
+//!                          cover queries while mutations replay (default 2)
+//!   --batch <N>            rows per appended mutation batch (default 16)
+//!   --base-frac <F>        fraction of the file seeding the initial
+//!                          discovery; the rest replays as mutation traffic
+//!                          (default 0.5)
 //! ```
 
 use fastod_suite::discovery::{ApproxConfig, ApproxFastod, CancelToken};
 use fastod_suite::prelude::*;
 use fastod_suite::relation::csv::read_csv_file;
+use fastod_suite::serve::ServeConfig;
 use fastod_suite::theory::find_violations;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Args {
     file: String,
@@ -35,6 +45,10 @@ struct Args {
     epsilon: Option<f64>,
     violations: Option<String>,
     stats: bool,
+    serve: bool,
+    readers: usize,
+    batch: usize,
+    base_frac: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,8 +61,16 @@ fn parse_args() -> Result<Args, String> {
         epsilon: None,
         violations: None,
         stats: false,
+        serve: false,
+        readers: 2,
+        batch: 16,
+        base_frac: 0.5,
     };
-    let mut iter = std::env::args().skip(1);
+    let mut iter = std::env::args().skip(1).peekable();
+    if iter.peek().map(String::as_str) == Some("serve") {
+        args.serve = true;
+        iter.next();
+    }
     let need = |iter: &mut dyn Iterator<Item = String>, flag: &str| {
         iter.next().ok_or_else(|| format!("{flag} needs a value"))
     };
@@ -83,6 +105,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--violations" => args.violations = Some(need(&mut iter, "--violations")?),
+            "--readers" => {
+                args.readers = need(&mut iter, "--readers")?
+                    .parse()
+                    .map_err(|e| format!("--readers: {e}"))?
+            }
+            "--batch" => {
+                args.batch = need(&mut iter, "--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--base-frac" => {
+                args.base_frac = need(&mut iter, "--base-frac")?
+                    .parse()
+                    .map_err(|e| format!("--base-frac: {e}"))?
+            }
             "--help" | "-h" => return Err("help".into()),
             other if args.file.is_empty() && !other.starts_with('-') => {
                 args.file = other.to_string()
@@ -119,6 +156,135 @@ fn parse_od(spec: &str, schema: &Schema) -> Result<CanonicalOd, String> {
     }
 }
 
+/// The `p`-th percentile of an ascending-sorted latency sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    match sorted.len() {
+        0 => 0,
+        len => sorted[(((len - 1) as f64) * p).round() as usize],
+    }
+}
+
+/// `fastod serve`: replay the file as live traffic against the serving
+/// layer. The first `--base-frac` of the rows seed the initial discovery;
+/// the rest stream in as append batches and are then deleted again in
+/// waves, while `--readers` threads hammer the published snapshot with
+/// lock-free cover queries. Prints maintenance-pass and read-latency
+/// summaries — the CLI face of the `exp10_serving` benchmark.
+fn run_serve(rel: &Relation, args: &Args) -> ExitCode {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let n = rel.n_rows();
+    if n == 0 {
+        eprintln!("serve: the relation has no rows to replay");
+        return ExitCode::FAILURE;
+    }
+    let base_rows = ((n as f64 * args.base_frac).round() as usize).clamp(1, n);
+    let batch = args.batch.max(1);
+    let base = rel.select_rows(&(0..base_rows).collect::<Vec<_>>());
+    let server = fastod_suite::serve::Server::new(ServeConfig {
+        discovery: DiscoveryConfig::default().with_threads(args.threads),
+        total_partition_budget: None,
+    });
+    let started = Instant::now();
+    let session = match server.open("cli", &base) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "seeded {} of {} rows in {:?}; cover = {} ODs; replaying {} rows as mutations",
+        base_rows,
+        n,
+        started.elapsed(),
+        session.read().1.minimal_cover().len(),
+        n - base_rows,
+    );
+
+    let stop = AtomicBool::new(false);
+    let mut append_ms: Vec<f64> = Vec::new();
+    let mut delete_ms: Vec<f64> = Vec::new();
+    let mut read_ns: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..args.readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut lat = Vec::new();
+                    let mut last_epoch = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = Instant::now();
+                        let (epoch, snap) = session.read();
+                        let answer = if snap.schema().n_attrs() >= 2 {
+                            snap.is_valid(&[0], &[1])
+                        } else {
+                            snap.constant_attrs().is_empty()
+                        };
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        std::hint::black_box(answer);
+                        assert!(epoch >= last_epoch, "published epochs must be monotone");
+                        last_epoch = epoch;
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        // Append the tail in batches, then delete the same rows again in
+        // waves — the delete passes are where cached witnesses die and the
+        // sharded escalation path earns its keep.
+        let mut i = base_rows;
+        while i < n {
+            let hi = (i + batch).min(n);
+            let chunk = rel.select_rows(&(i..hi).collect::<Vec<_>>());
+            let t = Instant::now();
+            session
+                .push_batch(&chunk)
+                .expect("replayed batch matches the schema");
+            append_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            i = hi;
+        }
+        let mut row = base_rows;
+        while row < n {
+            let hi = (row + batch).min(n);
+            let ids: Vec<usize> = (row..hi).collect();
+            let t = Instant::now();
+            session
+                .delete_rows(&ids)
+                .expect("replayed ids are live");
+            delete_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            row = hi;
+        }
+        stop.store(true, Ordering::Relaxed);
+        for handle in readers {
+            read_ns.extend(handle.join().expect("reader panicked"));
+        }
+    });
+
+    read_ns.sort_unstable();
+    let (epoch, snap) = session.read();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    eprintln!(
+        "replayed {} append passes (mean {:.2} ms) + {} delete passes (mean {:.2} ms); \
+         final epoch {}, cover = {} ODs over {} live rows",
+        append_ms.len(),
+        mean(&append_ms),
+        delete_ms.len(),
+        mean(&delete_ms),
+        epoch,
+        snap.minimal_cover().len(),
+        snap.n_live(),
+    );
+    eprintln!(
+        "{} reads across {} reader threads: p50 {:.1} us, p99 {:.1} us (never blocked on maintenance)",
+        read_ns.len(),
+        args.readers,
+        percentile(&read_ns, 0.50) as f64 / 1e3,
+        percentile(&read_ns, 0.99) as f64 / 1e3,
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -128,7 +294,9 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: fastod <FILE.csv> [--no-header] [--max-level N] [--timeout SECS] \
-                 [--threads N] [--epsilon F] [--violations OD] [--stats]"
+                 [--threads N] [--epsilon F] [--violations OD] [--stats]\n       \
+                 fastod serve <FILE.csv> [--no-header] [--threads N] [--readers N] \
+                 [--batch N] [--base-frac F]"
             );
             return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
@@ -147,6 +315,9 @@ fn main() -> ExitCode {
         rel.n_rows(),
         rel.n_attrs()
     );
+    if args.serve {
+        return run_serve(&rel, &args);
+    }
     let enc = rel.encode();
     let names = rel.schema().names();
 

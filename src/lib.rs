@@ -14,6 +14,8 @@
 //!   variants);
 //! * [`incremental`] — streaming maintenance of the discovered cover under
 //!   appended tuple batches;
+//! * [`serve`] — the concurrent serving layer: lock-free cover reads over
+//!   many incrementally maintained relations;
 //! * [`baselines`] — the ORDER and TANE comparators;
 //! * [`datagen`] — synthetic dataset generators for the paper's workloads.
 //!
@@ -48,6 +50,7 @@ pub use fastod_datagen as datagen;
 pub use fastod_incremental as incremental;
 pub use fastod_partition as partition;
 pub use fastod_relation as relation;
+pub use fastod_serve as serve;
 pub use fastod_theory as theory;
 
 /// README code blocks are compiled (and, unless marked `no_run`, run) as
@@ -61,6 +64,7 @@ struct ReadmeDoctests;
 pub mod prelude {
     pub use fastod::{DiscoveryConfig, DiscoveryResult, Fastod};
     pub use fastod_incremental::{BatchReport, IncrementalDiscovery};
+    pub use fastod_serve::{CoverSnapshot, ServeConfig, Server, Session};
     pub use fastod_relation::{
         AttrId, AttrSet, DataType, EncodedRelation, GrowableRelation, Relation, RelationBuilder,
         Schema, Value,

@@ -294,6 +294,123 @@ fn budgeted_mutations_stay_equivalent() {
     }
 }
 
+/// The sharded delete-pass witness searches are a pure reordering of the
+/// sequential path: replaying the same mixed-mutation log (the band of
+/// `cover_tracks_mixed_mutations`, tilted towards delete waves so witnesses
+/// keep dying) at 1, 2 and 4 executor threads must leave the **identical
+/// verdict set and cache state** — `cached_verdicts()` compared entry for
+/// entry after every mutation, and identical batch counters at the end.
+#[test]
+fn sharded_delete_waves_match_sequential_path() {
+    let base = fastod_suite::datagen::flight_like(60, 8, 0xF00D);
+    let mut engines: Vec<IncrementalDiscovery> = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let cfg = DiscoveryConfig::default().with_threads(threads);
+            IncrementalDiscovery::with_config(&base, cfg).unwrap()
+        })
+        .collect();
+    let mut live: Vec<usize> = (0..60).collect();
+    let mut appended = 60;
+    for b in 0..6u64 {
+        // Append a batch, then delete a wave four times its size — the
+        // delete-heavy shape that forces escalated witness searches.
+        let batch = fastod_suite::datagen::flight_like(8, 8, 0x4000 + b);
+        for engine in &mut engines {
+            engine.push_batch(&batch).unwrap();
+        }
+        live.extend(appended..appended + batch.n_rows());
+        appended += batch.n_rows();
+        let victims: Vec<usize> = live.iter().copied().skip(1).step_by(3).take(16).collect();
+        for engine in &mut engines {
+            engine.delete_rows(&victims).unwrap();
+        }
+        live.retain(|row| !victims.contains(row));
+
+        let (reference, rest) = engines.split_first().unwrap();
+        for engine in rest {
+            assert_eq!(
+                reference.cover().sorted(),
+                engine.cover().sorted(),
+                "cover diverged from the sequential path after round {b}"
+            );
+            assert_eq!(
+                reference.cached_verdicts(),
+                engine.cached_verdicts(),
+                "verdict cache diverged from the sequential path after round {b}"
+            );
+        }
+    }
+    let (reference, rest) = engines.split_first().unwrap();
+    for engine in rest {
+        assert_eq!(
+            reference.stats().totals,
+            engine.stats().totals,
+            "batch counters diverged across thread counts"
+        );
+    }
+    // The rounds actually exercised the sharded path: cheap certificates
+    // failed often enough that fresh witness searches were escalated.
+    assert!(
+        reference.stats().totals.escalated_searches > 0,
+        "no delete-pass entry ever escalated to a witness search: {:?}",
+        reference.stats().totals
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same contract over the randomized mixed-mutation band: any
+    /// interleaving of appends, deletes and updates leaves byte-identical
+    /// covers and verdict caches at 1 and 4 executor threads.
+    #[test]
+    fn sharded_mutations_match_sequential(
+        n_attrs in 1usize..=5,
+        base_rows in 2usize..=10,
+        max_card in 1u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let base = fastod_suite::datagen::random_relation(base_rows, n_attrs, max_card, seed);
+        let mut sequential = IncrementalDiscovery::new(&base);
+        let mut sharded = IncrementalDiscovery::with_config(
+            &base,
+            DiscoveryConfig::default().with_threads(4),
+        ).unwrap();
+        let mut live: Vec<usize> = (0..base_rows).collect();
+        let mut appended = base_rows;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for step in 0..8u64 {
+            if next() % 2 == 0 && live.len() >= 2 {
+                // Delete a wave of up to half the live rows.
+                let stride = 1 + (next() as usize % 3);
+                let victims: Vec<usize> =
+                    live.iter().copied().step_by(stride + 1).take(live.len() / 2).collect();
+                sequential.delete_rows(&victims).unwrap();
+                sharded.delete_rows(&victims).unwrap();
+                live.retain(|row| !victims.contains(row));
+            } else {
+                let batch = fastod_suite::datagen::random_relation(
+                    1 + (step as usize % 3), n_attrs, max_card, seed ^ (0xE000 + step),
+                );
+                sequential.push_batch(&batch).unwrap();
+                sharded.push_batch(&batch).unwrap();
+                live.extend(appended..appended + batch.n_rows());
+                appended += batch.n_rows();
+            }
+            prop_assert_eq!(sequential.cover().sorted(), sharded.cover().sorted());
+            prop_assert_eq!(sequential.cached_verdicts(), sharded.cached_verdicts());
+        }
+        prop_assert_eq!(&sequential.stats().totals, &sharded.stats().totals);
+    }
+}
+
 /// Batches that monotonically extend every column (the time-series shape:
 /// fresh keys, fresh timestamps) must keep monotone ODs alive and the cover
 /// equivalent throughout.

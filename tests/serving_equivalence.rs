@@ -1,0 +1,199 @@
+//! The serving layer's reader/maintainer contract, checked end to end:
+//! while a maintenance loop replays a mutation log through a [`Session`],
+//! concurrent reader threads may observe *any* prefix of the log — but
+//! never anything else. Every `(epoch, snapshot)` a reader loads must
+//! satisfy:
+//!
+//! * **no torn reads** — the snapshot's cover is set-exactly what a
+//!   from-scratch `Fastod::discover` returns on the survivors after the
+//!   first `epoch` mutations (epoch `e` *is* the log position, since every
+//!   successful pass publishes exactly one epoch);
+//! * **monotone epochs** — a reader never travels back in time;
+//! * **lock-free reads** — readers run full tilt through every pass and
+//!   the maintenance loop never waits for them.
+//!
+//! Exercised at 1, 2 and 4 reader threads over randomized append/delete
+//! logs (proptest), per the serving layer's determinism story the observed
+//! covers are compared against precomputed per-prefix ground truth.
+
+use fastod_suite::prelude::*;
+use fastod_suite::serve::{ServeConfig, Server};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One mutation of the replayed log.
+enum Mutation {
+    Append(Relation),
+    Delete(Vec<usize>),
+}
+
+/// Builds a random mutation log over `base` and the from-scratch minimal
+/// cover of every prefix: `expected[i]` is the sorted cover after the first
+/// `i` mutations (so `expected[0]` is the base relation's cover).
+fn build_log(
+    base: &Relation,
+    n_attrs: usize,
+    max_card: u32,
+    seed: u64,
+    n_mutations: usize,
+) -> (Vec<Mutation>, Vec<Vec<CanonicalOd>>) {
+    let mut history = base.clone();
+    let mut live: Vec<usize> = (0..base.n_rows()).collect();
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let cover_of = |rel: &Relation| {
+        Fastod::new(DiscoveryConfig::default())
+            .discover(&rel.encode())
+            .ods
+            .sorted()
+    };
+    let mut log = Vec::with_capacity(n_mutations);
+    let mut expected = vec![cover_of(base)];
+    for step in 0..n_mutations {
+        if next() % 2 == 0 && live.len() >= 2 {
+            let victims: Vec<usize> = live
+                .iter()
+                .copied()
+                .step_by(1 + (next() as usize % 3))
+                .take(live.len() / 2)
+                .collect();
+            live.retain(|row| !victims.contains(row));
+            log.push(Mutation::Delete(victims));
+        } else {
+            let batch = fastod_suite::datagen::random_relation(
+                1 + step % 3,
+                n_attrs,
+                max_card,
+                seed ^ (0xA000 + step as u64),
+            );
+            live.extend(history.n_rows()..history.n_rows() + batch.n_rows());
+            history.extend(&batch).unwrap();
+            log.push(Mutation::Append(batch));
+        }
+        expected.push(cover_of(&history.select_rows(&live)));
+    }
+    (log, expected)
+}
+
+/// Replays the log through a session while `n_readers` threads hammer the
+/// published snapshot, then checks every observation against the per-prefix
+/// ground truth.
+fn check_serving(
+    base: &Relation,
+    log: &[Mutation],
+    expected: &[Vec<CanonicalOd>],
+    n_readers: usize,
+) {
+    let server = Server::new(ServeConfig::default());
+    let session = server.open("t", base).unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..n_readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut observed: Vec<(u64, Vec<CanonicalOd>)> = Vec::new();
+                    let mut last_epoch = 0u64;
+                    // At least one read always happens — on a loaded box the
+                    // whole log can replay before this thread is scheduled.
+                    loop {
+                        let (epoch, snap) = session.read();
+                        assert!(epoch >= last_epoch, "epoch went backwards");
+                        last_epoch = epoch;
+                        if observed.last().map(|(e, _)| *e) != Some(epoch) {
+                            observed.push((epoch, snap.minimal_cover().sorted()));
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for mutation in log {
+            match mutation {
+                Mutation::Append(batch) => session.push_batch(batch).unwrap(),
+                Mutation::Delete(rows) => session.delete_rows(rows).unwrap(),
+            };
+        }
+        stop.store(true, Ordering::Relaxed);
+        for handle in readers {
+            let observed = handle.join().expect("reader panicked");
+            assert!(!observed.is_empty(), "reader observed nothing");
+            for (epoch, cover) in observed {
+                let prefix = usize::try_from(epoch).unwrap();
+                assert!(
+                    prefix < expected.len(),
+                    "epoch {epoch} beyond the {}-mutation log",
+                    expected.len() - 1
+                );
+                assert_eq!(
+                    cover, expected[prefix],
+                    "torn read: epoch {epoch}'s cover is not the from-scratch \
+                     cover of log prefix {prefix}"
+                );
+            }
+        }
+    });
+    // The maintenance loop ran to the end of the log regardless of readers.
+    assert_eq!(session.epoch(), log.len() as u64);
+    assert_eq!(session.read().1.minimal_cover().sorted(), *expected.last().unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized append/delete logs served under concurrent readers:
+    /// every observed cover equals from-scratch discovery on some prefix of
+    /// the mutation log, epochs are monotone per reader, and the final
+    /// published state is the full log's cover — at 1, 2 and 4 readers.
+    #[test]
+    fn observed_covers_are_log_prefixes(
+        n_attrs in 1usize..=5,
+        base_rows in 2usize..=10,
+        max_card in 1u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let base = fastod_suite::datagen::random_relation(base_rows, n_attrs, max_card, seed);
+        let (log, expected) = build_log(&base, n_attrs, max_card, seed, 6);
+        for n_readers in [1usize, 2, 4] {
+            check_serving(&base, &log, &expected, n_readers);
+        }
+    }
+}
+
+/// A deterministic wider run: structured data (8 attributes), a longer log,
+/// 4 readers — the shape the proptest band cannot reach cheaply.
+#[test]
+fn structured_stream_serves_consistent_prefixes() {
+    let base = fastod_suite::datagen::flight_like(40, 8, 0x5EED);
+    let mut history = base.clone();
+    let mut live: Vec<usize> = (0..40).collect();
+    let cover_of = |rel: &Relation| {
+        Fastod::new(DiscoveryConfig::default())
+            .discover(&rel.encode())
+            .ods
+            .sorted()
+    };
+    let mut log = Vec::new();
+    let mut expected = vec![cover_of(&base)];
+    for b in 0..8u64 {
+        if b % 2 == 0 {
+            let batch = fastod_suite::datagen::flight_like(10, 8, 0x6000 + b);
+            live.extend(history.n_rows()..history.n_rows() + batch.n_rows());
+            history.extend(&batch).unwrap();
+            log.push(Mutation::Append(batch));
+        } else {
+            let victims: Vec<usize> = live.iter().copied().skip(2).step_by(4).take(8).collect();
+            live.retain(|row| !victims.contains(row));
+            log.push(Mutation::Delete(victims));
+        }
+        expected.push(cover_of(&history.select_rows(&live)));
+    }
+    check_serving(&base, &log, &expected, 4);
+}
