@@ -9,9 +9,15 @@
 //! same [`ProductScratch`] must not grow its arena
 //! ([`ProductScratch::arena_bytes`] stays constant — the assertion below
 //! fails the bench run if reuse breaks and buffers start reallocating).
+//!
+//! The `*_noop_obs` rows pin the disabled-recorder contract of `fastod-obs`:
+//! the same work plus a per-iteration counter add and span guard must cost
+//! the same as the bare row — the no-op sink is how instrumented production
+//! code stays free when nobody is tracing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fastod_datagen::{flight_like, ncvoter_like};
+use fastod_obs::Obs;
 use fastod_partition::{
     check_constancy, check_order_compat_sweep, ProductScratch, StrippedPartition, SwapScratch,
 };
@@ -56,6 +62,39 @@ fn bench_partition_hot(c: &mut Criterion) {
 
     group.bench_function("constancy_sweep_20k", |b| {
         b.iter(|| check_constancy(black_box(&p_carrier), black_box(enc.codes(7))))
+    });
+
+    // Observability overhead guards: the same two hottest operations with a
+    // *disabled* fastod-obs recorder issuing a counter add and a span per
+    // iteration — the way the discovery loop is instrumented. These rows
+    // must track their uninstrumented twins above; a visible gap means the
+    // no-op path stopped being a single branch and discovery pays for
+    // telemetry nobody asked for.
+    let obs = Obs::disabled();
+    assert!(!obs.is_enabled());
+    group.bench_function("csr_product_20k_noop_obs", |b| {
+        let mut scratch = ProductScratch::new();
+        let _ = p_carrier.product(&p_orig, &mut scratch);
+        let counter = obs.counter("partition.products");
+        b.iter(|| {
+            let _span = obs.span("product");
+            counter.incr();
+            black_box(&p_carrier).product(black_box(&p_orig), &mut scratch)
+        })
+    });
+    group.bench_function("swap_sweep_20k_noop_obs", |b| {
+        let mut scratch = SwapScratch::new();
+        let counter = obs.counter("validate.swap_sweeps");
+        b.iter(|| {
+            let _span = obs.span("swap_sweep");
+            counter.incr();
+            check_order_compat_sweep(
+                black_box(&p_carrier),
+                enc.codes(2),
+                enc.codes(8),
+                &mut scratch,
+            )
+        })
     });
 
     // CSR append: absorb a 5% tail batch into the 95% prefix partition.

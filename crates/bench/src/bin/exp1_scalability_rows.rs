@@ -18,8 +18,8 @@
 
 use fastod_baselines::{Order, OrderConfig, Tane, TaneConfig};
 use fastod_bench::{
-    budget_from_env, fastod_thread_sweep, run_budgeted, sweep_speedup, table::Table,
-    thread_sweep_from_env, write_csv, Scale,
+    budget_from_env, fastod_thread_sweep_obs, obs_from_env, run_budgeted, sweep_speedup,
+    table::Table, thread_sweep_from_env, write_csv, Scale,
 };
 use fastod_datagen::{dbtesma_like, flight_like, ncvoter_like};
 use fastod_relation::Relation;
@@ -29,6 +29,7 @@ type Gen = Box<dyn Fn(usize) -> Relation>;
 fn main() {
     let scale = Scale::from_env();
     let budget = budget_from_env();
+    let obs = obs_from_env();
     let threads_sweep = thread_sweep_from_env();
     let n_attrs = 10;
     let datasets: Vec<(&str, Gen)> = vec![
@@ -75,7 +76,13 @@ fn main() {
             let order = run_budgeted(budget, |t| {
                 Order::new(OrderConfig { cancel: t, ..Default::default() }).try_discover(&enc)
             });
-            let runs = fastod_thread_sweep(&enc, &threads_sweep, budget, &format!("{name} |r|={n}"));
+            let runs = fastod_thread_sweep_obs(
+                &enc,
+                &threads_sweep,
+                budget,
+                &format!("{name} |r|={n}"),
+                &obs,
+            );
             if pct == 100 {
                 if let Some(val) = runs
                     .iter()
@@ -133,12 +140,13 @@ fn main() {
         ],
         &csv_rows,
     );
+    obs.flush();
     fastod_bench::write_results_file(
         "exp1_validation.json",
-        &fastod_bench::validation_json(&val_json),
+        &fastod_bench::metrics_json(&val_json, &obs),
     );
     println!(
-        "(CSV written to results/exp1_scalability_rows.csv; validation-phase JSON to \
+        "(CSV written to results/exp1_scalability_rows.csv; metrics snapshot JSON to \
          results/exp1_validation.json)"
     );
 }

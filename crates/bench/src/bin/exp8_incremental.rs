@@ -14,10 +14,14 @@
 //! engine's per-batch cost is a fraction of from-scratch (false verdicts are
 //! never revisited; clean lattice regions are reused), and the gap widens
 //! with the accumulated row count. Writes `results/exp8_incremental.csv`
-//! plus a JSON summary for the scheduled perf-regression job.
+//! plus a unified `fastod.metrics.v1` snapshot JSON (totals as gauges, the
+//! engine's `incr.*` counters alongside) for the scheduled perf job.
 
 use fastod::{DiscoveryConfig, Fastod};
-use fastod_bench::{format_duration, table::Table, write_csv, write_results_file, Scale};
+use fastod_bench::{
+    format_duration, metrics_json, obs_from_env, table::Table, write_csv, write_results_file,
+    Scale,
+};
 use fastod_datagen::{flight_like, ncvoter_like};
 use fastod_incremental::IncrementalDiscovery;
 use fastod_relation::Relation;
@@ -32,6 +36,10 @@ struct DatasetRun {
 
 fn main() {
     let scale = Scale::from_env();
+    // Always record in memory (the incr.* counters land in the JSON summary);
+    // FASTOD_TRACE upgrades the recorder to a JSONL trace sink.
+    let env_obs = obs_from_env();
+    let obs = if env_obs.is_enabled() { env_obs } else { fastod_obs::Obs::enabled() };
     let (base_rows, batch_rows, n_batches, n_attrs) = (
         scale.pick(2_000, 20_000, 100_000),
         scale.pick(200, 2_000, 10_000),
@@ -59,7 +67,11 @@ fn main() {
             "retired", "promoted", "revalidated", "skipped",
         ]);
         let t0 = Instant::now();
-        let mut engine = IncrementalDiscovery::new(&base);
+        let mut engine = IncrementalDiscovery::with_config(
+            &base,
+            DiscoveryConfig::default().with_obs(obs.clone()),
+        )
+        .expect("default configuration cannot cancel");
         let setup = t0.elapsed();
         let mut concat = base.clone();
         let mut incremental_total = Duration::ZERO;
@@ -129,20 +141,25 @@ fn main() {
         ],
         &csv_rows,
     );
-    let mut json = String::from("{\n  \"experiment\": \"exp8_incremental\",\n  \"datasets\": [\n");
-    for (i, run) in runs.iter().enumerate() {
-        let sep = if i + 1 < runs.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"batches\": {}, \"incremental_ms\": {}, \
-             \"scratch_ms\": {}, \"speedup\": {:.2}}}{sep}\n",
-            run.name,
-            run.batches,
-            run.incremental_total.as_millis(),
-            run.scratch_total.as_millis(),
+    // Unified metrics snapshot: per-dataset totals as gauges (ms), with the
+    // run's incr.* counters and span aggregates riding along for context.
+    let mut gauges: Vec<(String, f64)> = Vec::new();
+    for run in &runs {
+        gauges.push((
+            format!("exp8_{}_incremental_ms", run.name),
+            run.incremental_total.as_secs_f64() * 1_000.0,
+        ));
+        gauges.push((
+            format!("exp8_{}_scratch_ms", run.name),
+            run.scratch_total.as_secs_f64() * 1_000.0,
+        ));
+        gauges.push((
+            format!("exp8_{}_speedup", run.name),
             run.scratch_total.as_secs_f64() / run.incremental_total.as_secs_f64().max(1e-9),
         ));
+        gauges.push((format!("exp8_{}_batches", run.name), run.batches as f64));
     }
-    json.push_str("  ]\n}\n");
-    write_results_file("exp8_incremental.json", &json);
-    println!("(CSV written to results/exp8_incremental.csv, JSON summary to results/exp8_incremental.json)");
+    obs.flush();
+    write_results_file("exp8_incremental.json", &metrics_json(&gauges, &obs));
+    println!("(CSV written to results/exp8_incremental.csv, metrics snapshot to results/exp8_incremental.json)");
 }

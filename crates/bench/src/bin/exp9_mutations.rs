@@ -20,12 +20,16 @@
 //! in-place class compaction; valid verdicts are untouchable; falsified
 //! ones are re-confirmed by cached witness pairs or per-touched-class
 //! delta counts), so the gap over from-scratch is wider than exp8's
-//! append-only one. Writes `results/exp9_mutations.csv` plus a JSON
-//! summary for the scheduled perf-regression job;
+//! append-only one. Writes `results/exp9_mutations.csv` plus a unified
+//! `fastod.metrics.v1` snapshot JSON (totals as gauges, the engines'
+//! `incr.*` counters alongside) for the scheduled perf job;
 //! `results/exp9_mutations_note.md` records the first numbers.
 
 use fastod::{DiscoveryConfig, Fastod};
-use fastod_bench::{format_duration, table::Table, write_csv, write_results_file, Scale};
+use fastod_bench::{
+    format_duration, metrics_json, obs_from_env, table::Table, write_csv, write_results_file,
+    Scale,
+};
 use fastod_datagen::{dbtesma_like, flight_like, ncvoter_like};
 use fastod_incremental::IncrementalDiscovery;
 use fastod_relation::Relation;
@@ -57,6 +61,10 @@ impl Rng {
 
 fn main() {
     let scale = Scale::from_env();
+    // Always record in memory (the incr.* counters land in the JSON summary);
+    // FASTOD_TRACE upgrades the recorder to a JSONL trace sink.
+    let env_obs = obs_from_env();
+    let obs = if env_obs.is_enabled() { env_obs } else { fastod_obs::Obs::enabled() };
     let (base_rows, batch_rows, n_rounds, n_attrs) = (
         scale.pick(2_000, 20_000, 100_000),
         scale.pick(200, 2_000, 10_000),
@@ -90,7 +98,11 @@ fn main() {
             "revalidated", "delta", "recounted", "revived", "skipped",
         ]);
         let t0 = Instant::now();
-        let mut engine = IncrementalDiscovery::new(&base);
+        let mut engine = IncrementalDiscovery::with_config(
+            &base,
+            DiscoveryConfig::default().with_obs(obs.clone()),
+        )
+        .expect("default configuration cannot cancel");
         let setup = t0.elapsed();
         // Model of the survivors: every row ever appended + the live ids.
         let mut history = base.clone();
@@ -218,22 +230,28 @@ fn main() {
         ],
         &csv_rows,
     );
-    let mut json = String::from("{\n  \"experiment\": \"exp9_mutations\",\n  \"datasets\": [\n");
-    for (i, run) in runs.iter().enumerate() {
-        let sep = if i + 1 < runs.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"rounds\": {}, \"incremental_ms\": {}, \
-             \"scratch_ms\": {}, \"speedup\": {:.2}}}{sep}\n",
-            run.name,
-            run.rounds,
-            run.incremental_total.as_millis(),
-            run.scratch_total.as_millis(),
+    // Unified metrics snapshot: per-dataset totals as gauges (ms), with the
+    // engines' incr.* counters and span aggregates riding along for context.
+    let mut gauges: Vec<(String, f64)> = Vec::new();
+    for run in &runs {
+        gauges.push((
+            format!("exp9_{}_incremental_ms", run.name),
+            run.incremental_total.as_secs_f64() * 1_000.0,
+        ));
+        gauges.push((
+            format!("exp9_{}_scratch_ms", run.name),
+            run.scratch_total.as_secs_f64() * 1_000.0,
+        ));
+        gauges.push((
+            format!("exp9_{}_speedup", run.name),
             run.scratch_total.as_secs_f64() / run.incremental_total.as_secs_f64().max(1e-9),
         ));
+        gauges.push((format!("exp9_{}_rounds", run.name), run.rounds as f64));
     }
-    json.push_str("  ]\n}\n");
-    write_results_file("exp9_mutations.json", &json);
+    obs.flush();
+    write_results_file("exp9_mutations.json", &metrics_json(&gauges, &obs));
     println!(
-        "(CSV written to results/exp9_mutations.csv, JSON summary to results/exp9_mutations.json)"
+        "(CSV written to results/exp9_mutations.csv, metrics snapshot to \
+         results/exp9_mutations.json)"
     );
 }

@@ -10,14 +10,24 @@
 //! * the serving layer's delete-wave maintenance time and p99 read latency
 //!   during maintenance (`results/exp10_serving.json`).
 //!
+//! Fresh files are the unified `fastod.metrics.v1` [`MetricsSnapshot`]
+//! JSON every `exp*` bin now emits — gate gauges keep their historical
+//! bare names, and the snapshot's counters/histograms ride along for
+//! context without being gated (only baseline keys are compared). Files in
+//! the older flat `{"name": ms}` shape (like a not-yet-refreshed committed
+//! baseline) still parse via the fallback in
+//! [`fastod_bench::parse_metrics_json`].
+//!
 //! Absolute times are hardware-bound: the committed baseline must come from
 //! the same runner class the weekly job uses. Refresh it by merging a green
 //! run's `exp1_validation.json` + `exp10_serving.json` artifacts into
-//! `results/perf_baseline.json`.
+//! `results/perf_baseline.json` (either format works as a baseline).
 //!
 //! Usage: `perf_smoke [baseline.json] [fresh.json]...` — every baseline
 //! metric must appear in the union of the fresh files (defaults to the
 //! exp1 + exp10 paths above).
+//!
+//! [`MetricsSnapshot`]: fastod_obs::MetricsSnapshot
 
 use std::process::ExitCode;
 
@@ -44,7 +54,7 @@ fn main() -> ExitCode {
 
     let read = |path: &str| -> Option<Vec<(String, f64)>> {
         match std::fs::read_to_string(path) {
-            Ok(text) => Some(fastod_bench::parse_validation_json(&text)),
+            Ok(text) => Some(fastod_bench::parse_metrics_json(&text)),
             Err(e) => {
                 eprintln!("perf_smoke: cannot read {path}: {e}");
                 None

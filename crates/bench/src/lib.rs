@@ -14,6 +14,7 @@
 //!   paper's "* 5h" markers.
 
 use fastod::{CancelToken, Cancelled, DiscoveryConfig, Fastod};
+use fastod_obs::{MetricsSnapshot, Obs};
 use fastod_relation::EncodedRelation;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -184,12 +185,29 @@ pub fn fastod_thread_sweep(
     budget: Duration,
     label: &str,
 ) -> Vec<ThreadRun> {
+    fastod_thread_sweep_obs(enc, sweep, budget, label, &Obs::disabled())
+}
+
+/// [`fastod_thread_sweep`] with an observability recorder attached to every
+/// run (spans/counters from all thread counts aggregate into one recorder).
+pub fn fastod_thread_sweep_obs(
+    enc: &EncodedRelation,
+    sweep: &[usize],
+    budget: Duration,
+    label: &str,
+    obs: &Obs,
+) -> Vec<ThreadRun> {
     let mut runs = Vec::with_capacity(sweep.len());
     let mut reference_cover: Option<Vec<fastod_theory::CanonicalOd>> = None;
     for &threads in sweep {
         let outcome = run_budgeted(budget, |t| {
-            Fastod::new(DiscoveryConfig::default().with_cancel(t).with_threads(threads))
-                .try_discover(enc)
+            Fastod::new(
+                DiscoveryConfig::default()
+                    .with_cancel(t)
+                    .with_threads(threads)
+                    .with_obs(obs.clone()),
+            )
+            .try_discover(enc)
         });
         let mut summary = "—".to_string();
         if let Some(r) = outcome.value() {
@@ -272,6 +290,45 @@ pub fn parse_validation_json(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// The recorder for an `exp*` run: a JSONL trace sink when `FASTOD_TRACE`
+/// names a file (the weekly perf job sets it on one run and uploads the
+/// trace as an artifact), else the free no-op.
+pub fn obs_from_env() -> Obs {
+    match std::env::var("FASTOD_TRACE") {
+        Ok(path) if !path.is_empty() => Obs::to_file(&path).unwrap_or_else(|e| {
+            eprintln!("warning: could not create trace file {path}: {e}");
+            Obs::disabled()
+        }),
+        _ => Obs::disabled(),
+    }
+}
+
+/// Renders the unified [`MetricsSnapshot`] JSON for an `exp*` results file:
+/// the gate gauges (bare names, values exactly as measured — the perf gate
+/// compares them key-for-key against the committed baseline) plus whatever
+/// the run's recorder aggregated; counters/histograms/spans ride along for
+/// context without being gated.
+pub fn metrics_json(gauges: &[(String, f64)], obs: &Obs) -> String {
+    let mut snapshot = obs.snapshot();
+    for (name, ms) in gauges {
+        snapshot.set_gauge(name.clone(), *ms);
+    }
+    snapshot.to_json()
+}
+
+/// Parses a perf-gate metrics file: the unified [`MetricsSnapshot`] JSON
+/// (schema-marked `fastod.metrics.v1`, flattened via
+/// [`MetricsSnapshot::flat_metrics`]) or — for files predating the snapshot
+/// format, like the committed baseline — the flat `{"name": ms}` shape via
+/// [`parse_validation_json`]. Gauge names are identical in both, so old and
+/// new files compare key-for-key.
+pub fn parse_metrics_json(text: &str) -> Vec<(String, f64)> {
+    match MetricsSnapshot::parse_json(text) {
+        Some(snapshot) => snapshot.flat_metrics(),
+        None => parse_validation_json(text),
+    }
+}
+
 /// Writes an arbitrary artifact (e.g. a JSON summary for the scheduled perf
 /// job) under `results/`, creating the directory. Non-fatal on failure.
 pub fn write_results_file(file_name: &str, contents: &str) {
@@ -322,6 +379,19 @@ mod tests {
         }
         assert!(parse_validation_json("{}").is_empty());
         assert!(parse_validation_json("not json at all").is_empty());
+    }
+
+    #[test]
+    fn metrics_json_reads_both_formats() {
+        // The unified snapshot format...
+        let mut snap = MetricsSnapshot::default();
+        snap.set_gauge("flight", 77.5);
+        let flat = parse_metrics_json(&snap.to_json());
+        assert_eq!(flat, vec![("flight".to_string(), 77.5)]);
+        // ...and the historical flat baseline shape.
+        let flat = parse_metrics_json("{\n  \"flight\": 77.060\n}");
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].0, "flight");
     }
 
     #[test]

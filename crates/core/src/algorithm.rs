@@ -9,6 +9,7 @@ use crate::snapshot::{compute_candidate_sets_parallel, prune_level, validate_lev
 use crate::stats::{DiscoveryStats, LevelStats};
 use crate::validators::{ExactValidator, OdJudge};
 use crate::{CancelToken, Cancelled};
+use fastod_obs::Obs;
 use fastod_partition::ProductScratch;
 use fastod_relation::EncodedRelation;
 use fastod_theory::OdSet;
@@ -25,6 +26,8 @@ pub(crate) struct DriverOptions {
     /// Worker threads for validation and partition products (see
     /// [`crate::DiscoveryConfig::threads`]).
     pub threads: usize,
+    /// Observability recorder threaded into the executor and phase spans.
+    pub obs: Obs,
 }
 
 /// The exact FASTOD discovery algorithm (Algorithm 1).
@@ -76,6 +79,7 @@ impl Fastod {
             cancel: self.config.cancel.clone(),
             lemma5_removals: true,
             threads: self.config.threads,
+            obs: self.config.obs.clone(),
         };
         run_lattice(enc, &mut validator, &opts)
     }
@@ -88,14 +92,19 @@ pub(crate) fn run_lattice<J: OdJudge>(
     opts: &DriverOptions,
 ) -> Result<DiscoveryResult, Cancelled> {
     let start = Instant::now();
+    // Spans shadow the stats clocks exactly — guard opened right after the
+    // Instant, dropped right before `.elapsed()` — so a trace's span tree
+    // and DiscoveryStats agree to within the guard's own overhead.
+    let run_span = opts.obs.span_with("discover", &[("n_attrs", enc.n_attrs() as u64)]);
     let n_attrs = enc.n_attrs();
     let mut m = OdSet::new();
     let mut stats = DiscoveryStats::default();
-    let exec = Executor::new(opts.threads);
+    let exec = Executor::with_obs(opts.threads, opts.obs.clone());
     // One product arena per worker, reused across every lattice level.
     let mut product_pool: Vec<ProductScratch> = Vec::new();
 
     if n_attrs == 0 {
+        drop(run_span);
         stats.total_time = start.elapsed();
         return Ok(DiscoveryResult { ods: m, stats });
     }
@@ -108,13 +117,19 @@ pub(crate) fn run_lattice<J: OdJudge>(
 
     while !current.is_empty() {
         let level_start = Instant::now();
+        let level_span =
+            opts.obs.span_with("level", &[("level", l as u64), ("nodes", current.len() as u64)]);
         let mut lstats = LevelStats {
             level: l,
             nodes: current.len(),
             ..Default::default()
         };
-        compute_candidate_sets_parallel(l, &mut current, &prev, n_attrs, &exec, &opts.cancel)?;
+        {
+            let _span = opts.obs.span_with("compute_candidates", &[("level", l as u64)]);
+            compute_candidate_sets_parallel(l, &mut current, &prev, n_attrs, &exec, &opts.cancel)?;
+        }
         let validate_start = Instant::now();
+        let validate_span = opts.obs.span_with("validate_level", &[("level", l as u64)]);
         validate_level(
             l,
             &mut current,
@@ -127,10 +142,12 @@ pub(crate) fn run_lattice<J: OdJudge>(
             &exec,
             &opts.cancel,
         )?;
+        drop(validate_span);
         lstats.validate_time = validate_start.elapsed();
         prune_level(l, &mut current, &mut lstats);
         let reached_cap = opts.max_level.is_some_and(|cap| l >= cap);
         let generate_start = Instant::now();
+        let generate_span = opts.obs.span_with("generate_level", &[("level", l as u64)]);
         let next = if reached_cap {
             Level::new()
         } else {
@@ -142,15 +159,20 @@ pub(crate) fn run_lattice<J: OdJudge>(
                 &opts.cancel,
             )?
         };
+        drop(generate_span);
         lstats.generate_time = generate_start.elapsed();
+        drop(level_span);
         lstats.time = level_start.elapsed();
+        opts.obs.add("discover.ods_found", lstats.ods_found() as u64);
         stats.levels.push(lstats);
         prev_prev = std::mem::take(&mut prev);
         prev = std::mem::take(&mut current);
         current = next;
         l += 1;
     }
+    drop(run_span);
     stats.total_time = start.elapsed();
+    opts.obs.add("discover.runs", 1);
     Ok(DiscoveryResult { ods: m, stats })
 }
 

@@ -17,6 +17,7 @@ use crate::algorithm::{run_lattice, DriverOptions};
 use crate::result::DiscoveryResult;
 use crate::validators::ApproxValidator;
 use crate::{CancelToken, Cancelled};
+use fastod_obs::Obs;
 use fastod_relation::EncodedRelation;
 
 /// Configuration for approximate discovery.
@@ -31,6 +32,8 @@ pub struct ApproxConfig {
     pub cancel: CancelToken,
     /// Worker threads (see [`crate::DiscoveryConfig::threads`]).
     pub threads: usize,
+    /// Observability recorder (see [`crate::DiscoveryConfig::obs`]).
+    pub obs: Obs,
 }
 
 impl ApproxConfig {
@@ -42,6 +45,7 @@ impl ApproxConfig {
             max_level: None,
             cancel: CancelToken::never(),
             threads: 1,
+            obs: Obs::disabled(),
         }
     }
 
@@ -60,6 +64,12 @@ impl ApproxConfig {
     /// Sets the worker-thread count (`0` = all available cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches an observability recorder (spans, counters, histograms).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -90,6 +100,7 @@ impl ApproxFastod {
             cancel: self.config.cancel.clone(),
             lemma5_removals: false,
             threads: self.config.threads,
+            obs: self.config.obs.clone(),
         };
         run_lattice(enc, &mut validator, &opts)
     }

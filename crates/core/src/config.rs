@@ -1,6 +1,7 @@
 //! Discovery configuration.
 
 use crate::CancelToken;
+use fastod_obs::Obs;
 
 /// How constancy ODs (`X\A: [] ↦ A`, i.e. FDs) are validated.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -49,6 +50,11 @@ pub struct DiscoveryConfig {
     /// on demand. The discovered cover is identical under any budget — only
     /// the reuse/recompute split changes.
     pub partition_memory_budget: Option<usize>,
+    /// Observability recorder. The default ([`Obs::disabled`]) records
+    /// nothing and costs one branch per instrumentation point; an enabled
+    /// recorder collects per-phase spans, counters and latency histograms
+    /// (see the `fastod-obs` crate docs and `--trace` in the CLI).
+    pub obs: Obs,
 }
 
 impl Default for DiscoveryConfig {
@@ -59,6 +65,7 @@ impl Default for DiscoveryConfig {
             fd_check: FdCheckMode::default(),
             threads: 1,
             partition_memory_budget: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -99,6 +106,12 @@ impl DiscoveryConfig {
     /// on demand.
     pub fn with_partition_memory_budget(mut self, bytes: usize) -> Self {
         self.partition_memory_budget = Some(bytes);
+        self
+    }
+
+    /// Attaches an observability recorder (spans, counters, histograms).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 }

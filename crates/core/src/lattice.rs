@@ -71,6 +71,7 @@ pub fn calculate_next_level_parallel(
 ) -> Result<Level, Cancelled> {
     cancel.check()?;
     let joins = candidate_joins(level);
+    exec.obs().add("partition.products", joins.len() as u64);
     let partitions = exec.try_map_with(
         pool,
         ProductScratch::new,

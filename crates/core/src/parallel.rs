@@ -18,7 +18,9 @@
 //! sequential code path.
 
 use crate::{CancelToken, Cancelled};
+use fastod_obs::Obs;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// How often a worker polls the cancellation token, in items.
 const CANCEL_POLL_ITEMS: usize = 64;
@@ -31,6 +33,7 @@ const CANCEL_POLL_ITEMS: usize = 64;
 #[derive(Clone, Debug)]
 pub struct Executor {
     threads: usize,
+    obs: Obs,
 }
 
 impl Executor {
@@ -39,12 +42,27 @@ impl Executor {
     /// [`crate::DiscoveryConfig`] default) runs everything inline on the
     /// caller's thread.
     pub fn new(threads: usize) -> Executor {
+        Executor::with_obs(threads, Obs::disabled())
+    }
+
+    /// Like [`Executor::new`], with an observability recorder: each call
+    /// bumps `executor.calls`/`executor.items`, and parallel calls record
+    /// per-worker `executor.worker_items` / `executor.worker_busy_us` /
+    /// `executor.worker_idle_us` histograms (idle ≈ time lost to steal
+    /// contention and join skew).
+    pub fn with_obs(threads: usize, obs: Obs) -> Executor {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             threads
         };
-        Executor { threads }
+        Executor { threads, obs }
+    }
+
+    /// The recorder this executor reports to (disabled unless constructed
+    /// via [`Executor::with_obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The resolved worker count (≥ 1).
@@ -87,6 +105,11 @@ impl Executor {
         if pool.len() < n_workers {
             pool.resize_with(n_workers, make);
         }
+        let instrument = self.obs.is_enabled();
+        if instrument {
+            self.obs.add("executor.calls", 1);
+            self.obs.add("executor.items", items.len() as u64);
+        }
         if n_workers == 1 {
             // Inline path: no spawn, identical to the historical sequential
             // loop (same scratch, same item order).
@@ -103,6 +126,7 @@ impl Executor {
 
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
+        let wall_start = instrument.then(Instant::now);
         let mut buffers: Vec<Vec<(u32, R)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = pool[..n_workers]
                 .iter_mut()
@@ -111,6 +135,7 @@ impl Executor {
                     scope.spawn(move || {
                         let mut local: Vec<(u32, R)> = Vec::new();
                         let mut processed = 0usize;
+                        let mut busy_ns = 0u64;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
@@ -126,16 +151,39 @@ impl Executor {
                                 break;
                             }
                             processed += 1;
+                            let item_start = instrument.then(Instant::now);
                             local.push((i as u32, f(scratch, i, &items[i])));
+                            if let Some(start) = item_start {
+                                busy_ns += start.elapsed().as_nanos() as u64;
+                            }
                         }
-                        local
+                        (local, busy_ns, processed as u64)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor worker panicked"))
-                .collect()
+            let mut buffers = Vec::with_capacity(n_workers);
+            let mut worker_stats = Vec::with_capacity(n_workers);
+            for handle in handles {
+                let (local, busy_ns, processed) =
+                    handle.join().expect("executor worker panicked");
+                buffers.push(local);
+                worker_stats.push((busy_ns, processed));
+            }
+            if let Some(wall_start) = wall_start {
+                // Joined wall time is the fairest idle baseline: a worker's
+                // idle = time it spent not running `f` while the call was
+                // in flight (startup latency, steal contention, join skew).
+                let wall_ns = wall_start.elapsed().as_nanos() as u64;
+                let busy = self.obs.histogram("executor.worker_busy_us");
+                let idle = self.obs.histogram("executor.worker_idle_us");
+                let per_worker = self.obs.histogram("executor.worker_items");
+                for &(busy_ns, processed) in &worker_stats {
+                    busy.record(busy_ns / 1_000);
+                    idle.record(wall_ns.saturating_sub(busy_ns) / 1_000);
+                    per_worker.record(processed);
+                }
+            }
+            buffers
         });
         // Only a worker-observed stop counts: when `stop` is unset every
         // index was processed, and a deadline elapsing after the fact must
@@ -252,6 +300,36 @@ mod tests {
         let exec = Executor::new(4);
         let out: Vec<u32> = exec.map(&[] as &[u32], |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn obs_counters_exact_across_thread_counts() {
+        for threads in [1usize, 2, 4] {
+            let obs = Obs::enabled();
+            let exec = Executor::with_obs(threads, obs.clone());
+            let items: Vec<u64> = (0..1003).collect();
+            let seen = obs.counter("test.items_seen");
+            let mut pool: Vec<()> = Vec::new();
+            let out = exec
+                .try_map_with(&mut pool, || (), &items, &CancelToken::never(), |(), _, &x| {
+                    seen.incr();
+                    x
+                })
+                .unwrap();
+            assert_eq!(out.len(), 1003);
+            let snap = obs.snapshot();
+            // Exact totals regardless of scheduling/interleaving.
+            assert_eq!(snap.counter("test.items_seen"), Some(1003), "threads={threads}");
+            assert_eq!(snap.counter("executor.items"), Some(1003));
+            assert_eq!(snap.counter("executor.calls"), Some(1));
+            if threads > 1 {
+                let per_worker = snap.histogram("executor.worker_items").unwrap();
+                assert_eq!(per_worker.count, threads as u64);
+                // Per-worker item counts sum back to the item total.
+                let total = (per_worker.mean * per_worker.count as f64).round() as u64;
+                assert_eq!(total, 1003);
+            }
+        }
     }
 
     #[test]

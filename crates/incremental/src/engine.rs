@@ -485,6 +485,11 @@ impl IncrementalDiscovery {
     /// as before — the two directions threaten disjoint verdict sets.
     fn refresh(&mut self, pass: Pass<'_>) -> Result<BatchReport, Cancelled> {
         let started = Instant::now();
+        let obs = self.config.obs.clone();
+        let pass_span = obs.span_with(
+            "maintenance_pass",
+            &[("deleted", pass.deleted.len() as u64)],
+        );
         let deltas = (!pass.deleted.is_empty()).then(|| self.snapshot.remove_rows(pass.deleted));
         let enc = self.grow.encoded();
         let live = self.grow.live();
@@ -495,7 +500,7 @@ impl IncrementalDiscovery {
         let cancel = self.config.cancel.clone();
         // Unresolved re-validations shard across the same executor the
         // one-shot driver uses; cache bookkeeping stays sequential.
-        let exec = Executor::new(self.config.threads);
+        let exec = Executor::with_obs(self.config.threads, obs.clone());
         let mut old = std::mem::take(&mut self.snapshot);
         let mut validator = ExactValidator::new(enc, self.config.fd_check);
         let mut judge =
@@ -551,6 +556,10 @@ impl IncrementalDiscovery {
 
             let mut l = 1usize;
             while !levels[l].is_empty() {
+                let level_span = obs.span_with(
+                    "level",
+                    &[("level", l as u64), ("nodes", levels[l].len() as u64)],
+                );
                 let mut lstats = LevelStats {
                     level: l,
                     nodes: levels[l].len(),
@@ -562,14 +571,20 @@ impl IncrementalDiscovery {
                     let prev = &before[l - 1];
                     let empty = Level::new();
                     let prev_prev = if l >= 2 { &before[l - 2] } else { &empty };
-                    compute_candidate_sets_parallel(l, current, prev, n_attrs, &exec, &cancel)?;
+                    {
+                        let _span = obs.span_with("compute_candidates", &[("level", l as u64)]);
+                        compute_candidate_sets_parallel(l, current, prev, n_attrs, &exec, &cancel)?;
+                    }
+                    let _span = obs.span_with("validate_level", &[("level", l as u64)]);
                     validate_level(
                         l, current, prev, prev_prev, &mut judge, &mut m, &mut lstats, true,
                         &exec, &cancel,
                     )?;
+                    drop(_span);
                     prune_level(l, current, &mut lstats);
                 }
                 let reached_cap = self.config.max_level.is_some_and(|cap| l >= cap);
+                let generate_span = obs.span_with("generate_level", &[("level", l as u64)]);
                 let next = if reached_cap {
                     Level::new()
                 } else {
@@ -601,6 +616,8 @@ impl IncrementalDiscovery {
                         p
                     })?
                 };
+                drop(generate_span);
+                drop(level_span);
                 levels.push(next);
                 l += 1;
             }
@@ -637,6 +654,7 @@ impl IncrementalDiscovery {
             .copied()
             .collect();
         self.cover = m;
+        drop(pass_span);
         let report = BatchReport {
             appended_rows: appended,
             deleted_rows: pass.deleted.len(),
@@ -646,6 +664,15 @@ impl IncrementalDiscovery {
             counters,
             elapsed: started.elapsed(),
         };
+        if obs.is_enabled() {
+            obs.add("incr.passes", 1);
+            obs.add("incr.rows_appended", report.appended_rows as u64);
+            obs.add("incr.rows_deleted", report.deleted_rows as u64);
+            obs.add("incr.retired", report.retired.len() as u64);
+            obs.add("incr.promoted", report.promoted.len() as u64);
+            report.counters.export_counters(&obs);
+            obs.histogram("incr.pass_us").record(report.elapsed.as_micros() as u64);
+        }
         self.stats.absorb(&report);
         Ok(report)
     }

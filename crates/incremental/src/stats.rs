@@ -1,6 +1,8 @@
 //! Per-batch reports and cumulative engine statistics.
 
+use fastod_obs::Obs;
 use fastod_theory::CanonicalOd;
+use std::fmt;
 use std::time::Duration;
 
 /// Work counters for one maintenance pass, split by how each piece of work
@@ -59,6 +61,40 @@ pub struct BatchCounters {
 }
 
 impl BatchCounters {
+    /// Every counter as a `(name, value)` pair, in declaration order — the
+    /// single source for [`BatchCounters::export_counters`] and the
+    /// [`Display`](fmt::Display) render.
+    pub fn fields(&self) -> [(&'static str, usize); 15] {
+        [
+            ("skipped_false", self.skipped_false),
+            ("skipped_clean", self.skipped_clean),
+            ("revalidated", self.revalidated),
+            ("verdicts_flipped", self.verdicts_flipped),
+            ("witness_skips", self.witness_skips),
+            ("delta_revalidated", self.delta_revalidated),
+            ("recounted", self.recounted),
+            ("verdicts_revived", self.verdicts_revived),
+            ("escalated_searches", self.escalated_searches),
+            ("entries_dropped", self.entries_dropped),
+            ("nodes_reused", self.nodes_reused),
+            ("nodes_recomputed", self.nodes_recomputed),
+            ("partitions_appended", self.partitions_appended),
+            ("dirty_nodes", self.dirty_nodes),
+            ("nodes_evicted", self.nodes_evicted),
+        ]
+    }
+
+    /// Adds every counter to `obs` under `incr.<field>` — how a pass's
+    /// certificate-ladder outcomes land in a [`fastod_obs::MetricsSnapshot`].
+    pub fn export_counters(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for (name, value) in self.fields() {
+            obs.add(&format!("incr.{name}"), value as u64);
+        }
+    }
+
     /// Folds another pass's counters into this one.
     pub fn absorb(&mut self, other: &BatchCounters) {
         self.skipped_false += other.skipped_false;
@@ -76,6 +112,28 @@ impl BatchCounters {
         self.partitions_appended += other.partitions_appended;
         self.dirty_nodes += other.dirty_nodes;
         self.nodes_evicted += other.nodes_evicted;
+    }
+}
+
+/// Compact one-line render: zero counters are elided, so a typical
+/// append pass reads `skipped_false=812 skipped_clean=95 revalidated=3
+/// nodes_reused=40 partitions_appended=5`. All-zero renders `(no work)`.
+impl fmt::Display for BatchCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (name, value) in self.fields() {
+            if value != 0 {
+                if any {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{name}={value}")?;
+                any = true;
+            }
+        }
+        if !any {
+            f.write_str("(no work)")?;
+        }
+        Ok(())
     }
 }
 
@@ -164,6 +222,29 @@ mod tests {
         assert_eq!(a.skipped_false, 4);
         assert_eq!(a.revalidated, 2);
         assert_eq!(a.nodes_reused, 5);
+    }
+
+    #[test]
+    fn display_is_compact_and_elides_zeros() {
+        let c = BatchCounters {
+            skipped_false: 12,
+            revalidated: 3,
+            nodes_reused: 7,
+            ..Default::default()
+        };
+        assert_eq!(c.to_string(), "skipped_false=12 revalidated=3 nodes_reused=7");
+        assert_eq!(BatchCounters::default().to_string(), "(no work)");
+    }
+
+    #[test]
+    fn export_lands_in_snapshot() {
+        let obs = Obs::enabled();
+        let c = BatchCounters { witness_skips: 9, ..Default::default() };
+        c.export_counters(&obs);
+        c.export_counters(&obs); // accumulates across passes
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("incr.witness_skips"), Some(18));
+        assert_eq!(snap.counter("incr.skipped_false"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Fixed-bucket log2 histograms with lock-free atomic recording.
+//!
+//! A [`LogHistogram`] has one bucket for zero plus one per power-of-two
+//! magnitude (`[2^(i-1), 2^i)`), 65 buckets total — enough to cover the
+//! full `u64` range with a fixed 520-byte footprint and no allocation on
+//! the record path. Recording is four relaxed atomic RMWs; quantile
+//! readout walks the bucket array and reports the **upper bound of the
+//! bucket holding the requested rank**, clamped to the exact observed
+//! maximum. Percentiles are therefore conservative (never under-reported)
+//! and accurate to within a factor of 2, which is the usual log-bucket
+//! trade: streaming, allocation-free, mergeable — the properties a serving
+//! read path needs — in exchange for coarse tail values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One bucket for zero plus one per power-of-two magnitude of `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// A streaming log2-bucket histogram of `u64` samples.
+///
+/// Recording never locks or allocates, so one histogram can be shared
+/// (behind an `Arc` or by reference) across any number of threads; totals
+/// are exact, bucket placement is exact, and quantiles are bucket-granular
+/// (see the [module docs](self)).
+pub struct LogHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in: `0` for zero, else
+    /// `⌊log2(v)⌋ + 1` (so bucket `i ≥ 1` spans `[2^(i-1), 2^i - 1]`).
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `(low, high)` value range of bucket `i`.
+    ///
+    /// # Panics
+    /// If `i >= N_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < N_BUCKETS, "bucket index out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample. Lock-free, allocation-free, wait-free on
+    /// platforms with native 64-bit atomics.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Wrapping on overflow — acceptable for a metrics sum.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether no sample was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Sum of all recorded samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the recorded samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`): the upper bound of the bucket
+    /// containing the `⌈q·count⌉`-th smallest sample, clamped to the exact
+    /// observed maximum. `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_bounds(i).1.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// A point-in-time percentile summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("max", &self.max())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time summary of a [`LogHistogram`] — what a
+/// [`crate::MetricsSnapshot`] carries per histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median (bucket upper bound, clamped to the observed max).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact observed maximum.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index((1 << 10) - 1), 10);
+        assert_eq!(LogHistogram::bucket_index(1 << 10), 11);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_index(1 << 63), 64);
+        assert_eq!(LogHistogram::bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_range() {
+        // Buckets tile u64 exactly: bounds are contiguous and inclusive.
+        assert_eq!(LogHistogram::bucket_bounds(0), (0, 0));
+        assert_eq!(LogHistogram::bucket_bounds(1), (1, 1));
+        assert_eq!(LogHistogram::bucket_bounds(2), (2, 3));
+        assert_eq!(LogHistogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        for i in 1..N_BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_bounds(i);
+            let (_, prev_hi) = LogHistogram::bucket_bounds(i - 1);
+            assert_eq!(lo, prev_hi + 1, "bucket {i} not contiguous");
+            assert!(lo <= hi);
+            // Every value in the range maps back to the bucket.
+            assert_eq!(LogHistogram::bucket_index(lo), i);
+            assert_eq!(LogHistogram::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn records_zero_and_max() {
+        let h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(0.0), 0);
+        // Median of [0, MAX]: rank 1 lands in the zero bucket.
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Wrapping sum: 0 + MAX.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_and_clamped() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Conservative: at least the true quantile, at most its bucket's
+        // upper bound (and never above the true max).
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let h = LogHistogram::new();
+        h.record(777);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            // One sample: every quantile clamps to the observed max.
+            assert_eq!(h.quantile(q), 777);
+        }
+    }
+
+    #[test]
+    fn merge_folds_everything() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(1);
+        a.record(100);
+        b.record(1_000_000);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1_000_101);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn concurrent_totals_are_exact() {
+        let h = LogHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.max(), 3 * 10_000 + 9_999);
+    }
+}

@@ -1,0 +1,110 @@
+//! Reading JSONL trace files back — one [`TraceEvent`] per span close.
+//!
+//! The trace writer (see [`crate::Obs::to_file`]) emits one JSON object per
+//! line when a span guard drops:
+//!
+//! ```json
+//! {"type": "span", "name": "validate_level", "id": 12, "parent": 11,
+//!  "thread": 1, "start_ns": 104042, "dur_ns": 73210, "fields": {"level": 3}}
+//! ```
+//!
+//! * `id` is unique per recorder (monotonically assigned at span open);
+//! * `parent` is the id of the innermost span open **on the same thread**
+//!   when this one opened, omitted for roots;
+//! * `start_ns` is relative to the recorder's creation instant;
+//! * `dur_ns` is the span's wall-clock duration;
+//! * `fields` carries the integer fields passed to
+//!   [`crate::Obs::span_with`], omitted when empty.
+//!
+//! Lines are written atomically under one lock, so a multi-threaded trace
+//! is valid JSONL but **close-ordered**: children appear before their
+//! parents (a parent closes last). [`parse_trace`] tolerates and skips
+//! malformed lines, so a trace truncated by a crash still parses.
+
+use crate::json::{parse, Json};
+
+/// One closed span read back from a JSONL trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: String,
+    /// Recorder-unique span id.
+    pub id: u64,
+    /// Enclosing span's id, if any.
+    pub parent: Option<u64>,
+    /// Small per-thread label (assigned in first-span order).
+    pub thread: u64,
+    /// Open instant, nanoseconds since the recorder was created.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Integer fields attached at span open.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl TraceEvent {
+    /// Looks up an attached field by name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Parses a JSONL trace, skipping blank or malformed lines.
+pub fn parse_trace(text: &str) -> Vec<TraceEvent> {
+    text.lines().filter_map(parse_line).collect()
+}
+
+fn parse_line(line: &str) -> Option<TraceEvent> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let doc = parse(line)?;
+    if doc.get("type")?.as_str() != Some("span") {
+        return None;
+    }
+    let num = |key: &str| doc.get(key).and_then(Json::as_f64);
+    let mut fields = Vec::new();
+    if let Some(entries) = doc.get("fields").and_then(Json::entries) {
+        for (name, v) in entries {
+            if let Some(x) = v.as_f64() {
+                fields.push((name.clone(), x as u64));
+            }
+        }
+    }
+    Some(TraceEvent {
+        name: doc.get("name")?.as_str()?.to_string(),
+        id: num("id")? as u64,
+        parent: doc.get("parent").and_then(Json::as_f64).map(|p| p as u64),
+        thread: num("thread")? as u64,
+        start_ns: num("start_ns")? as u64,
+        dur_ns: num("dur_ns")? as u64,
+        fields,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_skips_malformed() {
+        let text = concat!(
+            r#"{"type": "span", "name": "level", "id": 2, "parent": 1, "thread": 1, "#,
+            r#""start_ns": 100, "dur_ns": 50, "fields": {"level": 3}}"#,
+            "\n",
+            "garbage line\n",
+            "\n",
+            r#"{"type": "span", "name": "discover", "id": 1, "thread": 1, "#,
+            r#""start_ns": 90, "dur_ns": 900}"#,
+            "\n",
+        );
+        let events = parse_trace(text);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "level");
+        assert_eq!(events[0].parent, Some(1));
+        assert_eq!(events[0].field("level"), Some(3));
+        assert_eq!(events[1].parent, None);
+        assert_eq!(events[1].dur_ns, 900);
+    }
+}

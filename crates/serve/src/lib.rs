@@ -122,6 +122,39 @@ mod tests {
     }
 
     #[test]
+    fn metrics_cover_reads_and_passes() {
+        let obs = fastod_obs::Obs::enabled();
+        let config = ServeConfig {
+            discovery: fastod::DiscoveryConfig::default().with_obs(obs),
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config);
+        let session = server.open("r", &random_relation(20, 3, 3, 11)).unwrap();
+        for _ in 0..10 {
+            let _ = session.read();
+        }
+        session.push_batch(&random_relation(5, 3, 3, 12)).unwrap();
+        let snap = session.metrics();
+        assert_eq!(snap.counter("serve.reads"), Some(10));
+        assert_eq!(snap.histogram("serve.read_ns").unwrap().count, 10);
+        // One mutation pass (open's initial discovery doesn't go through
+        // maintain), plus the engine's own pass counters underneath.
+        assert_eq!(snap.histogram("serve.pass_us").unwrap().count, 1);
+        assert_eq!(snap.span("serve_pass").unwrap().count, 1);
+        assert_eq!(snap.counter("incr.passes"), Some(2));
+        assert!(snap.histogram("serve.publish_lag_us").unwrap().count >= 1);
+        // The server shares the recorder, so its view matches.
+        assert_eq!(server.metrics().counter("serve.reads"), Some(10));
+
+        // Disabled observability → empty snapshots, still serving fine.
+        let quiet = Server::new(ServeConfig::default());
+        let s = quiet.open("q", &random_relation(8, 3, 3, 13)).unwrap();
+        let _ = s.read();
+        assert!(s.metrics().is_empty());
+        assert!(quiet.metrics().is_empty());
+    }
+
+    #[test]
     fn failed_mutation_publishes_nothing() {
         let server = Server::new(ServeConfig::default());
         let base = random_relation(8, 3, 3, 1);

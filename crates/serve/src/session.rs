@@ -4,10 +4,12 @@ use crate::publish::EpochCell;
 use crate::snapshot::CoverSnapshot;
 use fastod::{CancelToken, DiscoveryConfig};
 use fastod_incremental::{BatchReport, IncrementalDiscovery, IncrementalError};
+use fastod_obs::{Counter, Histogram, MetricsSnapshot, Obs};
 use fastod_relation::{Relation, Schema};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]
@@ -83,6 +85,16 @@ pub struct Session {
     /// bounded; the poisoned engine then serves nothing, but the session is
     /// being dropped anyway.
     cancel: CancelToken,
+    /// The recorder from the session's [`DiscoveryConfig`] (shared with the
+    /// engine, and — via [`ServeConfig`] — with every sibling session).
+    obs: Obs,
+    /// Pre-resolved serving metrics: handles are resolved once at open so
+    /// the read path pays one branch (disabled) or one relaxed RMW
+    /// (enabled), never a registry lookup.
+    read_ns: Histogram,
+    reads: Counter,
+    pass_us: Histogram,
+    publish_us: Histogram,
 }
 
 impl Session {
@@ -102,6 +114,7 @@ impl Session {
     ) -> Result<Session, ServeError> {
         let (cancel, _flag) = CancelToken::manual();
         config.cancel = cancel.clone();
+        let obs = config.obs.clone();
         let engine = IncrementalDiscovery::with_config(rel, config)?;
         let initial = CoverSnapshot::of(&engine);
         Ok(Session {
@@ -109,6 +122,11 @@ impl Session {
             engine: Mutex::new(engine),
             published: EpochCell::new(Arc::new(initial)),
             cancel,
+            read_ns: obs.histogram("serve.read_ns"),
+            reads: obs.counter("serve.reads"),
+            pass_us: obs.histogram("serve.pass_us"),
+            publish_us: obs.histogram("serve.publish_lag_us"),
+            obs,
         })
     }
 
@@ -127,7 +145,17 @@ impl Session {
     /// view is needed; it stays valid (and unchanged) across any number of
     /// later publishes.
     pub fn read(&self) -> (u64, Arc<CoverSnapshot>) {
-        self.published.load()
+        // Timing only when observed: the histogram handle is pre-resolved,
+        // so the disabled fast path is a single branch.
+        if self.read_ns.is_enabled() {
+            let start = Instant::now();
+            let out = self.published.load();
+            self.read_ns.record(start.elapsed().as_nanos() as u64);
+            self.reads.incr();
+            out
+        } else {
+            self.published.load()
+        }
     }
 
     /// The current publication epoch (one probe, no snapshot clone).
@@ -176,9 +204,28 @@ impl Session {
         step: impl FnOnce(&mut IncrementalDiscovery) -> Result<BatchReport, IncrementalError>,
     ) -> Result<BatchReport, ServeError> {
         let mut engine = self.lock_engine()?;
+        let span = self.obs.span("serve_pass");
         let report = step(&mut engine)?;
+        let publish_start = Instant::now();
         self.published.publish(Arc::new(CoverSnapshot::of(&engine)));
+        drop(span);
+        if self.obs.is_enabled() {
+            // Publish lag: time the new cover existed before readers could
+            // see it (snapshot construction + epoch swap).
+            self.publish_us.record(publish_start.elapsed().as_micros() as u64);
+            self.pass_us.record(report.elapsed.as_micros() as u64);
+        }
         Ok(report)
+    }
+
+    /// A snapshot of everything the session's recorder collected: `serve.*`
+    /// read/pass metrics plus the engine's `incr.*` counters and spans.
+    /// Sessions opened through one [`Server`] share that server's recorder,
+    /// so their metrics aggregate; open a [`Session`] directly with a
+    /// dedicated [`DiscoveryConfig::obs`] for per-relation isolation. Empty
+    /// when observability is disabled.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Whether the engine was poisoned by a cancelled pass. The session
@@ -317,6 +364,14 @@ impl Server {
     /// Whether no sessions are open.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A snapshot of the server-wide recorder ([`ServeConfig`]'s
+    /// `discovery.obs`). Every session opened here shares it, so this is the
+    /// aggregate view across all sessions, past and present. Empty when
+    /// observability is disabled.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.config.discovery.obs.snapshot()
     }
 
     /// Splits the global partition budget equally across the open sessions.

@@ -3,6 +3,7 @@
 //! ```text
 //! USAGE:
 //!   fastod <FILE.csv> [OPTIONS]
+//!   fastod stats <FILE.csv> [OPTIONS]
 //!   fastod serve <FILE.csv> [OPTIONS]
 //!
 //! OPTIONS:
@@ -18,6 +19,13 @@
 //!                          witnesses; OD syntax: "ctx1,ctx2:[]->A" or
 //!                          "ctx1:A~B" (attribute names)
 //!   --stats                print per-level statistics (Figure 7 style)
+//!   --trace <FILE.jsonl>   write a structured span trace of the run (one
+//!                          JSON event per closed span; schema documented
+//!                          in fastod-obs) and enable metrics collection
+//!
+//! The `stats` subcommand runs discovery with metrics enabled and prints
+//! the per-level table plus the full metrics snapshot (counters, latency
+//! histograms, span totals) instead of the OD list.
 //!
 //! SERVE OPTIONS (mutation + query replay over the serving layer):
 //!   --readers <N>          concurrent reader threads issuing lock-free
@@ -26,9 +34,13 @@
 //!   --base-frac <F>        fraction of the file seeding the initial
 //!                          discovery; the rest replays as mutation traffic
 //!                          (default 0.5)
+//!   --verbose              print each maintenance pass's work counters
+//!                          (certificate-ladder outcomes) and a final
+//!                          metrics snapshot
 //! ```
 
 use fastod_suite::discovery::{ApproxConfig, ApproxFastod, CancelToken};
+use fastod_suite::obs::{LogHistogram, Obs};
 use fastod_suite::prelude::*;
 use fastod_suite::relation::csv::read_csv_file;
 use fastod_suite::serve::ServeConfig;
@@ -46,6 +58,11 @@ struct Args {
     violations: Option<String>,
     stats: bool,
     serve: bool,
+    /// The `stats` subcommand: discovery with metrics, snapshot instead of
+    /// the OD list.
+    stats_cmd: bool,
+    trace: Option<String>,
+    verbose: bool,
     readers: usize,
     batch: usize,
     base_frac: f64,
@@ -62,14 +79,24 @@ fn parse_args() -> Result<Args, String> {
         violations: None,
         stats: false,
         serve: false,
+        stats_cmd: false,
+        trace: None,
+        verbose: false,
         readers: 2,
         batch: 16,
         base_frac: 0.5,
     };
     let mut iter = std::env::args().skip(1).peekable();
-    if iter.peek().map(String::as_str) == Some("serve") {
-        args.serve = true;
-        iter.next();
+    match iter.peek().map(String::as_str) {
+        Some("serve") => {
+            args.serve = true;
+            iter.next();
+        }
+        Some("stats") => {
+            args.stats_cmd = true;
+            iter.next();
+        }
+        _ => {}
     }
     let need = |iter: &mut dyn Iterator<Item = String>, flag: &str| {
         iter.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -78,6 +105,8 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--no-header" => args.header = false,
             "--stats" => args.stats = true,
+            "--verbose" => args.verbose = true,
+            "--trace" => args.trace = Some(need(&mut iter, "--trace")?),
             "--max-level" => {
                 args.max_level = Some(
                     need(&mut iter, "--max-level")?
@@ -156,21 +185,15 @@ fn parse_od(spec: &str, schema: &Schema) -> Result<CanonicalOd, String> {
     }
 }
 
-/// The `p`-th percentile of an ascending-sorted latency sample.
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    match sorted.len() {
-        0 => 0,
-        len => sorted[(((len - 1) as f64) * p).round() as usize],
-    }
-}
-
 /// `fastod serve`: replay the file as live traffic against the serving
 /// layer. The first `--base-frac` of the rows seed the initial discovery;
 /// the rest stream in as append batches and are then deleted again in
 /// waves, while `--readers` threads hammer the published snapshot with
 /// lock-free cover queries. Prints maintenance-pass and read-latency
-/// summaries — the CLI face of the `exp10_serving` benchmark.
-fn run_serve(rel: &Relation, args: &Args) -> ExitCode {
+/// summaries — the CLI face of the `exp10_serving` benchmark. Read
+/// percentiles come from a shared streaming [`LogHistogram`] (no per-read
+/// allocation, no end-of-run sort).
+fn run_serve(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     let n = rel.n_rows();
@@ -182,7 +205,9 @@ fn run_serve(rel: &Relation, args: &Args) -> ExitCode {
     let batch = args.batch.max(1);
     let base = rel.select_rows(&(0..base_rows).collect::<Vec<_>>());
     let server = fastod_suite::serve::Server::new(ServeConfig {
-        discovery: DiscoveryConfig::default().with_threads(args.threads),
+        discovery: DiscoveryConfig::default()
+            .with_threads(args.threads)
+            .with_obs(obs.clone()),
         total_partition_budget: None,
     });
     let started = Instant::now();
@@ -205,12 +230,15 @@ fn run_serve(rel: &Relation, args: &Args) -> ExitCode {
     let stop = AtomicBool::new(false);
     let mut append_ms: Vec<f64> = Vec::new();
     let mut delete_ms: Vec<f64> = Vec::new();
-    let mut read_ns: Vec<u64> = Vec::new();
+    // One streaming histogram shared by every reader: recording is a few
+    // relaxed atomic adds, so there is no per-reader buffer to merge and no
+    // million-entry sort after the run.
+    let read_ns = LogHistogram::new();
     std::thread::scope(|scope| {
         let readers: Vec<_> = (0..args.readers)
             .map(|_| {
-                scope.spawn(|| {
-                    let mut lat = Vec::new();
+                let (read_ns, stop, session) = (&read_ns, &stop, &session);
+                scope.spawn(move || {
                     let mut last_epoch = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         let t = Instant::now();
@@ -220,12 +248,11 @@ fn run_serve(rel: &Relation, args: &Args) -> ExitCode {
                         } else {
                             snap.constant_attrs().is_empty()
                         };
-                        lat.push(t.elapsed().as_nanos() as u64);
+                        read_ns.record(t.elapsed().as_nanos() as u64);
                         std::hint::black_box(answer);
                         assert!(epoch >= last_epoch, "published epochs must be monotone");
                         last_epoch = epoch;
                     }
-                    lat
                 })
             })
             .collect();
@@ -238,10 +265,18 @@ fn run_serve(rel: &Relation, args: &Args) -> ExitCode {
             let hi = (i + batch).min(n);
             let chunk = rel.select_rows(&(i..hi).collect::<Vec<_>>());
             let t = Instant::now();
-            session
+            let report = session
                 .push_batch(&chunk)
                 .expect("replayed batch matches the schema");
             append_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            if args.verbose {
+                eprintln!(
+                    "append pass {} ({:.2} ms): {}",
+                    append_ms.len(),
+                    append_ms.last().unwrap(),
+                    report.counters
+                );
+            }
             i = hi;
         }
         let mut row = base_rows;
@@ -249,19 +284,26 @@ fn run_serve(rel: &Relation, args: &Args) -> ExitCode {
             let hi = (row + batch).min(n);
             let ids: Vec<usize> = (row..hi).collect();
             let t = Instant::now();
-            session
+            let report = session
                 .delete_rows(&ids)
                 .expect("replayed ids are live");
             delete_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            if args.verbose {
+                eprintln!(
+                    "delete pass {} ({:.2} ms): {}",
+                    delete_ms.len(),
+                    delete_ms.last().unwrap(),
+                    report.counters
+                );
+            }
             row = hi;
         }
         stop.store(true, Ordering::Relaxed);
         for handle in readers {
-            read_ns.extend(handle.join().expect("reader panicked"));
+            handle.join().expect("reader panicked");
         }
     });
 
-    read_ns.sort_unstable();
     let (epoch, snap) = session.read();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     eprintln!(
@@ -275,13 +317,17 @@ fn run_serve(rel: &Relation, args: &Args) -> ExitCode {
         snap.minimal_cover().len(),
         snap.n_live(),
     );
+    let lat = read_ns.summary();
     eprintln!(
         "{} reads across {} reader threads: p50 {:.1} us, p99 {:.1} us (never blocked on maintenance)",
-        read_ns.len(),
+        lat.count,
         args.readers,
-        percentile(&read_ns, 0.50) as f64 / 1e3,
-        percentile(&read_ns, 0.99) as f64 / 1e3,
+        lat.p50 as f64 / 1e3,
+        lat.p99 as f64 / 1e3,
     );
+    if obs.is_enabled() {
+        eprintln!("\n{}", session.metrics().render());
+    }
     ExitCode::SUCCESS
 }
 
@@ -294,9 +340,10 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: fastod <FILE.csv> [--no-header] [--max-level N] [--timeout SECS] \
-                 [--threads N] [--epsilon F] [--violations OD] [--stats]\n       \
+                 [--threads N] [--epsilon F] [--violations OD] [--stats] [--trace OUT.jsonl]\n       \
+                 fastod stats <FILE.csv> [same options]\n       \
                  fastod serve <FILE.csv> [--no-header] [--threads N] [--readers N] \
-                 [--batch N] [--base-frac F]"
+                 [--batch N] [--base-frac F] [--verbose] [--trace OUT.jsonl]"
             );
             return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
@@ -315,8 +362,26 @@ fn main() -> ExitCode {
         rel.n_rows(),
         rel.n_attrs()
     );
+    // One recorder for the whole run: a `--trace` file sink, an in-memory
+    // recorder for `fastod stats` / verbose serve, or the free no-op.
+    let obs = match &args.trace {
+        Some(path) => match Obs::to_file(path) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error creating trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None if args.stats_cmd || (args.serve && args.verbose) => Obs::enabled(),
+        None => Obs::disabled(),
+    };
     if args.serve {
-        return run_serve(&rel, &args);
+        let code = run_serve(&rel, &args, &obs);
+        obs.flush();
+        if let Some(path) = &args.trace {
+            eprintln!("trace written to {path}");
+        }
+        return code;
     }
     let enc = rel.encode();
     let names = rel.schema().names();
@@ -348,7 +413,8 @@ fn main() -> ExitCode {
     let result = if let Some(eps) = args.epsilon {
         let mut cfg = ApproxConfig::new(eps)
             .with_cancel(cancel)
-            .with_threads(args.threads);
+            .with_threads(args.threads)
+            .with_obs(obs.clone());
         if let Some(l) = args.max_level {
             cfg = cfg.with_max_level(l);
         }
@@ -356,7 +422,8 @@ fn main() -> ExitCode {
     } else {
         let mut cfg = DiscoveryConfig::default()
             .with_cancel(cancel)
-            .with_threads(args.threads);
+            .with_threads(args.threads)
+            .with_obs(obs.clone());
         if let Some(l) = args.max_level {
             cfg = cfg.with_max_level(l);
         }
@@ -369,8 +436,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for od in result.ods.sorted() {
-        println!("{}", od.display(names));
+    if !args.stats_cmd {
+        for od in result.ods.sorted() {
+            println!("{}", od.display(names));
+        }
     }
     eprintln!(
         "\n{} ODs ({} constancies + {} order compatibilities) in {:?}",
@@ -379,8 +448,15 @@ fn main() -> ExitCode {
         result.n_ocds(),
         result.stats.total_time
     );
-    if args.stats {
+    if args.stats || args.stats_cmd {
         eprintln!("\n{}", result.stats.level_table());
+    }
+    if args.stats_cmd {
+        println!("{}", obs.snapshot().render());
+    }
+    obs.flush();
+    if let Some(path) = &args.trace {
+        eprintln!("trace written to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -16,6 +16,9 @@
 //!   appended tuple batches;
 //! * [`serve`] — the concurrent serving layer: lock-free cover reads over
 //!   many incrementally maintained relations;
+//! * [`obs`] — the structured tracing/metrics runtime threaded through all
+//!   of the above (`DiscoveryConfig::obs`, `fastod --trace`, `fastod
+//!   stats`);
 //! * [`baselines`] — the ORDER and TANE comparators;
 //! * [`datagen`] — synthetic dataset generators for the paper's workloads.
 //!
@@ -48,6 +51,7 @@ pub use fastod as discovery;
 pub use fastod_baselines as baselines;
 pub use fastod_datagen as datagen;
 pub use fastod_incremental as incremental;
+pub use fastod_obs as obs;
 pub use fastod_partition as partition;
 pub use fastod_relation as relation;
 pub use fastod_serve as serve;

@@ -1,0 +1,141 @@
+//! The observability layer's end-to-end contract: a traced discovery run
+//! must tell the same story as `DiscoveryStats`.
+//!
+//! One relation goes through `Fastod::discover` with a JSONL trace sink
+//! attached. The trace must reconstruct the phase structure of the
+//! algorithm — one `discover` root, one `level` span per processed lattice
+//! level, and `compute_candidates`/`validate_level`/`generate_level`
+//! children under each — and the span durations must agree with the
+//! `Instant`-based timings the stats module reports independently. The two
+//! clocks bracket the same code regions by construction, so they are
+//! allowed to diverge only by the per-span bookkeeping itself (a relative
+//! ±5% plus a small absolute slack for sub-millisecond phases).
+
+use fastod_suite::obs::{parse_trace, Obs, TraceEvent};
+use fastod_suite::prelude::*;
+use std::time::Duration;
+
+/// |measured - reported| within 5% of the larger, plus `slack` for phases
+/// too short for a relative bound to be meaningful.
+fn close(a: Duration, b: Duration, slack: Duration) -> bool {
+    let (a, b) = (a.as_secs_f64(), b.as_secs_f64());
+    (a - b).abs() <= 0.05 * a.max(b) + slack.as_secs_f64()
+}
+
+#[test]
+fn trace_matches_discovery_stats() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "fastod-observability-{}.jsonl",
+        std::process::id()
+    ));
+    let obs = Obs::to_file(&trace_path).expect("trace file created");
+
+    let rel = fastod_suite::datagen::flight_like(2_000, 8, 0x0B5E);
+    let enc = rel.encode();
+    let result =
+        Fastod::new(DiscoveryConfig::default().with_obs(obs.clone())).discover(&enc);
+    obs.flush();
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace readable");
+    let _ = std::fs::remove_file(&trace_path);
+    let events = parse_trace(&text);
+    let stats = &result.stats;
+    assert!(!stats.levels.is_empty(), "discovery processed at least one level");
+
+    // Exactly one root: the whole run, carrying the attribute count.
+    let roots: Vec<&TraceEvent> = events.iter().filter(|e| e.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "one root span, got {roots:?}");
+    let root = roots[0];
+    assert_eq!(root.name, "discover");
+    assert_eq!(root.field("n_attrs"), Some(enc.n_attrs() as u64));
+    assert!(
+        close(
+            Duration::from_nanos(root.dur_ns),
+            stats.total_time,
+            Duration::from_millis(5)
+        ),
+        "discover span {}ns vs stats total {:?}",
+        root.dur_ns,
+        stats.total_time
+    );
+
+    // One `level` span per processed lattice level, all parented to the
+    // root, with the level/nodes fields matching the stats table row.
+    let mut levels: Vec<&TraceEvent> =
+        events.iter().filter(|e| e.name == "level").collect();
+    levels.sort_by_key(|e| e.field("level"));
+    assert_eq!(levels.len(), stats.levels.len());
+    for (span, row) in levels.iter().zip(&stats.levels) {
+        assert_eq!(span.parent, Some(root.id), "levels hang off the run span");
+        assert_eq!(span.field("level"), Some(row.level as u64));
+        assert_eq!(span.field("nodes"), Some(row.nodes as u64));
+        assert!(
+            close(
+                Duration::from_nanos(span.dur_ns),
+                row.time,
+                Duration::from_millis(2)
+            ),
+            "level {} span {}ns vs stats {:?}",
+            row.level,
+            span.dur_ns,
+            row.time
+        );
+    }
+
+    // Each level wraps the three phases; phase spans nest under their level
+    // and phase totals agree with the stats' independent clocks.
+    for phase in ["compute_candidates", "validate_level", "generate_level"] {
+        let spans: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.name == phase).collect();
+        assert_eq!(spans.len(), stats.levels.len(), "{phase} once per level");
+        for span in &spans {
+            let parent = span.parent.expect("phase spans are never roots");
+            assert!(
+                levels.iter().any(|l| l.id == parent),
+                "{phase} span parented to a level span"
+            );
+        }
+    }
+    let phase_total = |name: &str| -> Duration {
+        events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| Duration::from_nanos(e.dur_ns))
+            .sum()
+    };
+    assert!(
+        close(
+            phase_total("validate_level"),
+            stats.validation_time(),
+            Duration::from_millis(2)
+        ),
+        "validate spans {:?} vs stats {:?}",
+        phase_total("validate_level"),
+        stats.validation_time()
+    );
+    assert!(
+        close(
+            phase_total("generate_level"),
+            stats.generation_time(),
+            Duration::from_millis(2)
+        ),
+        "generate spans {:?} vs stats {:?}",
+        phase_total("generate_level"),
+        stats.generation_time()
+    );
+
+    // The in-memory aggregates describe the same run as the trace file.
+    let snapshot = obs.snapshot();
+    assert_eq!(snapshot.counter("discover.runs"), Some(1));
+    assert_eq!(
+        snapshot.counter("discover.ods_found"),
+        Some(result.ods.len() as u64)
+    );
+    assert_eq!(snapshot.span("discover").map(|s| s.count), Some(1));
+    assert_eq!(
+        snapshot.span("validate_level").map(|s| s.count),
+        Some(stats.levels.len() as u64)
+    );
+    assert!(snapshot.counter("executor.calls").unwrap_or(0) > 0);
+    assert!(snapshot.counter("partition.products").unwrap_or(0) > 0);
+}
