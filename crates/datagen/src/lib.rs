@@ -16,6 +16,7 @@
 pub mod datasets;
 pub mod generator;
 pub mod noise;
+pub mod scenario;
 
 pub use datasets::{
     dbtesma_like, employee_table, flight_like, hepatitis_like, ncvoter_like, random_relation,
@@ -23,3 +24,4 @@ pub use datasets::{
 };
 pub use generator::{ColumnSpec, GeneratorError, TableSpec};
 pub use noise::{inject_noise, InjectedError};
+pub use scenario::{scenario_corpus, MutationOp, Scenario};

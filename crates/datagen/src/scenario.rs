@@ -1,0 +1,421 @@
+//! A corpus of adversarial data-quality scenarios with recorded mutation
+//! traces — the workload side of the differential harness
+//! (`fastod_testkit::run_differential`).
+//!
+//! Each [`Scenario`] is a base relation plus a replayable [`MutationOp`]
+//! trace. The corpus ([`scenario_corpus`]) concentrates on the places where
+//! encodings disagree with naive implementations: nulls under both ordering
+//! policies, the `f64::total_cmp` edge values (`±NaN`, `±0.0`, infinities),
+//! dates, near-sorted and heavy-tailed distributions, degenerate shapes
+//! (all-distinct, all-constant, single-row, empty), and mixed
+//! append/delete/update replays. Everything is deterministic: no RNG, so a
+//! scenario never drifts between runs or thread counts.
+
+use crate::generator::TableSpec;
+use crate::ColumnSpec;
+use fastod_relation::{Date, NullPolicy, Relation, RelationBuilder};
+
+/// One step of a recorded mutation trace, in the incremental engine's
+/// vocabulary (`push_batch` / `delete_rows` / `update_rows`).
+#[derive(Clone, Debug)]
+pub enum MutationOp {
+    /// Append the batch's rows.
+    Append(Relation),
+    /// Tombstone rows by physical id (append order, counting updates'
+    /// replacement rows).
+    Delete(Vec<usize>),
+    /// Replace rows by physical id with the replacement's rows (logically:
+    /// tombstone + append, as the engine implements updates).
+    Update {
+        /// Physical ids of the rows being replaced.
+        rows: Vec<usize>,
+        /// Replacement rows, one per id.
+        replacement: Relation,
+    },
+}
+
+/// A named base relation plus a mutation trace to replay against it.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable scenario name (used in harness failure messages).
+    pub name: &'static str,
+    /// The initial relation.
+    pub base: Relation,
+    /// Mutations applied in order after the base is loaded.
+    pub trace: Vec<MutationOp>,
+}
+
+impl Scenario {
+    /// A scenario with no mutations.
+    pub fn one_shot(name: &'static str, base: Relation) -> Scenario {
+        Scenario { name, base, trace: Vec::new() }
+    }
+
+    /// Replays the trace with the engine's append-at-end update semantics
+    /// and returns the surviving rows as a plain relation — the instance a
+    /// from-scratch discovery must agree with after the full trace.
+    pub fn final_state(&self) -> Relation {
+        let mut history = self.base.clone();
+        let mut live = vec![true; history.n_rows()];
+        for op in &self.trace {
+            match op {
+                MutationOp::Append(batch) => {
+                    history.extend(batch).expect("scenario batch matches the schema");
+                    live.resize(history.n_rows(), true);
+                }
+                MutationOp::Delete(rows) => {
+                    for &row in rows {
+                        assert!(live[row], "scenario deletes a dead row");
+                        live[row] = false;
+                    }
+                }
+                MutationOp::Update { rows, replacement } => {
+                    for &row in rows {
+                        assert!(live[row], "scenario updates a dead row");
+                        live[row] = false;
+                    }
+                    history.extend(replacement).expect("scenario replacement matches");
+                    live.resize(history.n_rows(), true);
+                }
+            }
+        }
+        let survivors: Vec<usize> =
+            (0..history.n_rows()).filter(|&row| live[row]).collect();
+        history.select_rows(&survivors)
+    }
+}
+
+/// A base with int and string columns where nulls interleave with values,
+/// under the given policy. Mutations append more nulls, delete a null row
+/// and a non-null row, and update a null into a value.
+fn nulls_scenario(name: &'static str, policy: NullPolicy) -> Scenario {
+    let base = RelationBuilder::new()
+        .null_policy(policy)
+        .column_i64_opt("id", vec![Some(3), None, Some(1), Some(2), None, Some(1)])
+        .column_str_opt(
+            "tag",
+            vec![Some("b"), Some("a"), None, Some("a"), None, Some("c")],
+        )
+        .column_i64("grp", vec![7, 7, 7, 7, 7, 7])
+        .build()
+        .unwrap();
+    let batch = RelationBuilder::new()
+        .null_policy(policy)
+        .column_i64_opt("id", vec![None, Some(4)])
+        .column_str_opt("tag", vec![Some("d"), None])
+        .column_i64("grp", vec![7, 9])
+        .build()
+        .unwrap();
+    let fix = RelationBuilder::new()
+        .null_policy(policy)
+        .column_i64_opt("id", vec![Some(0)])
+        .column_str_opt("tag", vec![Some("a")])
+        .column_i64("grp", vec![7])
+        .build()
+        .unwrap();
+    Scenario {
+        name,
+        base,
+        trace: vec![
+            MutationOp::Append(batch),
+            MutationOp::Delete(vec![4, 5]),
+            MutationOp::Update { rows: vec![1], replacement: fix },
+        ],
+    }
+}
+
+/// Every `f64::total_cmp` edge value in one column, cross-cut by a grouping
+/// column, with a trace that removes and re-introduces the NaNs.
+fn float_edges_scenario() -> Scenario {
+    let edges = vec![
+        -f64::NAN,
+        f64::NEG_INFINITY,
+        -1.5,
+        -0.0,
+        0.0,
+        1.5,
+        f64::INFINITY,
+        f64::NAN,
+    ];
+    let n = edges.len();
+    let base = RelationBuilder::new()
+        .column_f64("x", edges.clone())
+        .column_i64("grp", (0..n as i64).map(|i| i % 2).collect())
+        .column_i64("rank", (0..n as i64).collect())
+        .build()
+        .unwrap();
+    let nan_batch = RelationBuilder::new()
+        .column_f64("x", vec![f64::NAN, -f64::NAN])
+        .column_i64("grp", vec![0, 1])
+        .column_i64("rank", vec![8, 9])
+        .build()
+        .unwrap();
+    Scenario {
+        name: "float_edges",
+        base,
+        // Delete both NaNs, then append fresh ones: the dictionary must
+        // place them back at the total_cmp extremes.
+        trace: vec![
+            MutationOp::Delete(vec![0, 7]),
+            MutationOp::Append(nan_batch),
+        ],
+    }
+}
+
+/// Date columns: a sorted dimension, a plateau (month) over it, and a
+/// shuffled date with no order meaning.
+fn dates_scenario() -> Scenario {
+    let days: Vec<Date> = (0..20).map(|i| Date::from_ymd(2017, 1 + i / 7, 1 + i % 7)).collect();
+    let month: Vec<i64> = (0..20).map(|i| (i / 7) as i64).collect();
+    let shuffled: Vec<Date> =
+        (0..20).map(|i| Date::from_ymd(2000 + ((i * 13) % 20), 6, 15)).collect();
+    let base = RelationBuilder::new()
+        .column_date("day", days)
+        .column_i64("month", month)
+        .column_date("shuffled", shuffled)
+        .build()
+        .unwrap();
+    Scenario::one_shot("dates", base)
+}
+
+/// Sequential key with a handful of out-of-place rows — the near-sorted
+/// shape where swap detection has to find sparse inversions.
+fn near_sorted_scenario() -> Scenario {
+    let mut a: Vec<i64> = (0..24).collect();
+    a.swap(3, 4);
+    a.swap(10, 13);
+    a.swap(20, 21);
+    let b: Vec<i64> = (0..24).map(|i| i / 3).collect();
+    let base = RelationBuilder::new()
+        .column_i64("seq", a)
+        .column_i64("bucket", b)
+        .column_i64("constant", vec![5; 24])
+        .build()
+        .unwrap();
+    Scenario::one_shot("near_sorted", base)
+}
+
+/// A heavily skewed column (one value dominates) against a key and a
+/// dependent column — giant partition classes next to singletons.
+fn heavy_tail_scenario() -> Scenario {
+    let skew: Vec<i64> = (0..24).map(|i| if i < 18 { 0 } else { i - 17 }).collect();
+    let dep: Vec<i64> = skew.iter().map(|v| v * 10).collect();
+    let base = RelationBuilder::new()
+        .column_i64("skew", skew)
+        .column_i64("dep", dep)
+        .column_i64("key", (0..24).collect())
+        .build()
+        .unwrap();
+    Scenario::one_shot("heavy_tail", base)
+}
+
+/// The paper's employee shape (Table 1) replayed as mutation traffic:
+/// appends that falsify ODs, deletes that revive them, updates that fix
+/// dirty cells in place.
+fn employee_replay_scenario() -> Scenario {
+    let base = RelationBuilder::new()
+        .column_i64("yr", vec![16, 16, 16, 15, 15, 15])
+        .column_str("posit", vec!["secr", "mngr", "direct", "secr", "mngr", "direct"])
+        .column_f64("sal", vec![5.0, 8.0, 10.0, 4.5, 6.0, 8.0])
+        .column_str("subg", vec!["III", "II", "I", "III", "II", "I"])
+        .build()
+        .unwrap();
+    let dirty = RelationBuilder::new()
+        .column_i64("yr", vec![16, 15])
+        .column_str("posit", vec!["secr", "direct"])
+        .column_f64("sal", vec![9.9, 1.0])
+        .column_str("subg", vec!["I", "III"])
+        .build()
+        .unwrap();
+    let fixed = RelationBuilder::new()
+        .column_i64("yr", vec![16])
+        .column_str("posit", vec!["secr"])
+        .column_f64("sal", vec![5.0])
+        .column_str("subg", vec!["III"])
+        .build()
+        .unwrap();
+    Scenario {
+        name: "employee_replay",
+        base,
+        trace: vec![
+            MutationOp::Append(dirty),
+            MutationOp::Delete(vec![7]),
+            MutationOp::Update { rows: vec![6], replacement: fixed },
+            MutationOp::Delete(vec![0, 3]),
+        ],
+    }
+}
+
+/// Null-bearing data churned by a longer mixed trace: appends, a delete
+/// wave, and updates that turn values into values (never resurrecting a
+/// dead id).
+fn mixed_nulls_replay_scenario() -> Scenario {
+    let policy = NullPolicy::Last;
+    let col = |k: i64, n: i64| -> Vec<Option<i64>> {
+        (0..n).map(|i| if (i + k) % 4 == 0 { None } else { Some((i * k) % 5) }).collect()
+    };
+    let base = RelationBuilder::new()
+        .null_policy(policy)
+        .column_i64_opt("a", col(1, 8))
+        .column_i64_opt("b", col(2, 8))
+        .column_i64("k", (0..8).collect())
+        .build()
+        .unwrap();
+    let batch1 = RelationBuilder::new()
+        .null_policy(policy)
+        .column_i64_opt("a", col(3, 4))
+        .column_i64_opt("b", col(1, 4))
+        .column_i64("k", (8..12).collect())
+        .build()
+        .unwrap();
+    let batch2 = RelationBuilder::new()
+        .null_policy(policy)
+        .column_i64_opt("a", vec![None, None])
+        .column_i64_opt("b", vec![Some(0), None])
+        .column_i64("k", vec![12, 13])
+        .build()
+        .unwrap();
+    let repl = RelationBuilder::new()
+        .null_policy(policy)
+        .column_i64_opt("a", vec![Some(4), None])
+        .column_i64_opt("b", vec![None, Some(2)])
+        .column_i64("k", vec![2, 5])
+        .build()
+        .unwrap();
+    Scenario {
+        name: "mixed_nulls_replay",
+        base,
+        trace: vec![
+            MutationOp::Append(batch1),
+            MutationOp::Delete(vec![0, 4, 9]),
+            MutationOp::Append(batch2),
+            MutationOp::Update { rows: vec![2, 5], replacement: repl },
+            MutationOp::Delete(vec![12, 13]),
+        ],
+    }
+}
+
+/// A structured generator table (flight-like FD/OCD clusters) with an
+/// append + delete trace — the only corpus entry built from [`TableSpec`]
+/// machinery, pinning the generators into the harness too.
+fn structured_replay_scenario() -> Scenario {
+    let spec = |name: &str, n: usize, seed: u64| {
+        TableSpec::new(name, n, seed)
+            .column("key", ColumnSpec::SequentialKey)
+            .column("plateau", ColumnSpec::MonotoneOf { source: 0, plateau: 4 })
+            .column("fd", ColumnSpec::FdOf { sources: vec![1], cardinality: 3 })
+            .column("cat", ColumnSpec::RandomInt { cardinality: 3 })
+            .build()
+    };
+    let base = spec("structured", 16, 0xD1FF);
+    let batch = spec("structured-batch", 6, 0xD1FF + 1);
+    Scenario {
+        name: "structured_replay",
+        base,
+        trace: vec![
+            MutationOp::Append(batch),
+            MutationOp::Delete(vec![1, 5, 9, 13, 17, 21]),
+        ],
+    }
+}
+
+/// The full corpus the differential harness runs. Deterministic, ordered,
+/// every entry within the brute-force oracle's attribute budget.
+pub fn scenario_corpus() -> Vec<Scenario> {
+    vec![
+        nulls_scenario("nulls_first", NullPolicy::First),
+        nulls_scenario("nulls_last", NullPolicy::Last),
+        dates_scenario(),
+        float_edges_scenario(),
+        near_sorted_scenario(),
+        heavy_tail_scenario(),
+        Scenario::one_shot(
+            "all_distinct",
+            RelationBuilder::new()
+                .column_i64("a", (0..20).collect())
+                .column_i64("b", (0..20).map(|i| (i * 7) % 20).collect())
+                .column_str("c", (0..20).map(|i| format!("v{:02}", (i * 13) % 20)).collect())
+                .build()
+                .unwrap(),
+        ),
+        Scenario::one_shot(
+            "all_constant",
+            RelationBuilder::new()
+                .column_i64("a", vec![4; 12])
+                .column_str("b", vec!["same"; 12])
+                .column_f64("c", vec![2.5; 12])
+                .build()
+                .unwrap(),
+        ),
+        Scenario::one_shot(
+            "single_row",
+            RelationBuilder::new()
+                .column_i64("a", vec![1])
+                .column_str("b", vec!["x"])
+                .build()
+                .unwrap(),
+        ),
+        Scenario::one_shot(
+            "empty",
+            RelationBuilder::new()
+                .column_i64("a", Vec::new())
+                .column_str("b", Vec::<String>::new())
+                .build()
+                .unwrap(),
+        ),
+        employee_replay_scenario(),
+        mixed_nulls_replay_scenario(),
+        structured_replay_scenario(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_populated_and_named_uniquely() {
+        let corpus = scenario_corpus();
+        assert!(corpus.len() >= 12, "corpus shrank to {}", corpus.len());
+        let mut names: Vec<&str> = corpus.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "duplicate scenario names");
+        // Every scenario stays inside the brute-force oracle's budget.
+        for s in &corpus {
+            assert!(s.base.n_attrs() <= 8, "{} too wide for the oracle", s.name);
+        }
+    }
+
+    #[test]
+    fn final_state_replays_update_semantics() {
+        let base = RelationBuilder::new()
+            .column_i64("a", vec![1, 2, 3])
+            .build()
+            .unwrap();
+        let repl = RelationBuilder::new().column_i64("a", vec![9]).build().unwrap();
+        let s = Scenario {
+            name: "t",
+            base,
+            trace: vec![
+                MutationOp::Update { rows: vec![1], replacement: repl },
+                MutationOp::Delete(vec![0]),
+            ],
+        };
+        let fin = s.final_state();
+        // Survivors in physical order: row 2 (value 3) then the appended 9.
+        assert_eq!(fin.n_rows(), 2);
+        assert_eq!(format!("{}", fin.column(0).value(0)), "3");
+        assert_eq!(format!("{}", fin.column(0).value(1)), "9");
+    }
+
+    #[test]
+    fn traces_replay_cleanly() {
+        for s in scenario_corpus() {
+            let fin = s.final_state();
+            assert!(fin.n_rows() <= 40, "{} grew unexpectedly", s.name);
+            // Encoding the final state must succeed (null policies carried).
+            let _ = fin.encode();
+        }
+    }
+}

@@ -21,7 +21,7 @@ pub const N_BUCKETS: usize = 65;
 /// Recording never locks or allocates, so one histogram can be shared
 /// (behind an `Arc` or by reference) across any number of threads; totals
 /// are exact, bucket placement is exact, and quantiles are bucket-granular
-/// (see the [module docs](self)).
+/// (upper bound of the rank's bucket, clamped to the observed max).
 pub struct LogHistogram {
     buckets: [AtomicU64; N_BUCKETS],
     count: AtomicU64,

@@ -7,7 +7,7 @@
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -24,7 +24,7 @@ pub(crate) enum Json {
 
 impl Json {
     /// Looks up a key in an object.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -32,7 +32,7 @@ impl Json {
     }
 
     /// The numeric value, if this is a number.
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -40,7 +40,7 @@ impl Json {
     }
 
     /// The string value, if this is a string.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -48,7 +48,7 @@ impl Json {
     }
 
     /// The object entries, if this is an object.
-    pub(crate) fn entries(&self) -> Option<&[(String, Json)]> {
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(entries) => Some(entries),
             _ => None,
@@ -57,7 +57,7 @@ impl Json {
 }
 
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
-pub(crate) fn parse(text: &str) -> Option<Json> {
+pub fn parse(text: &str) -> Option<Json> {
     let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
     let value = p.value()?;
     p.skip_ws();
@@ -227,7 +227,7 @@ impl Parser<'_> {
 }
 
 /// Escapes a string for embedding in emitted JSON.
-pub(crate) fn escape(s: &str) -> String {
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

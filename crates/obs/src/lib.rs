@@ -54,7 +54,7 @@
 #![deny(missing_docs)]
 
 mod histogram;
-mod json;
+pub mod json;
 mod snapshot;
 pub mod trace;
 

@@ -128,8 +128,9 @@ impl MetricsSnapshot {
         self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
     }
 
-    /// Serializes to the versioned snapshot JSON (see the [module
-    /// docs](self) for the schema).
+    /// Serializes to the versioned snapshot JSON
+    /// (`{schema, gauges, counters, histograms, spans}`; histogram entries
+    /// carry `count`/`p50`/`p95`/`p99`/`max`/`mean`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");

@@ -6,15 +6,73 @@
 //! falls back to `Str` (dates are written as ISO strings and round-trip as
 //! strings, whose lexicographic order equals chronological order for ISO
 //! format — exactly the property the discovery algorithms need).
+//!
+//! # Nulls
+//!
+//! Empty and whitespace-only fields parse as **null** — uniformly, instead
+//! of the old behavior where they fell through type inference and silently
+//! demoted the column to `Str("")`. Because dense-rank encoding needs a
+//! total order, reading a null-bearing file requires an explicit
+//! [`NullPolicy`] via [`CsvOptions`]; without one the reader fails with
+//! [`RelationError::NullPolicyRequired`] naming the column. The one quoting
+//! special case: a field that is exactly `""` parses as the *empty string*,
+//! so null and empty-string cells stay distinguishable. [`write_csv`]
+//! renders nulls as empty fields and empty strings as `""`, so files
+//! round-trip.
 
-use crate::{ColumnData, Relation, RelationBuilder, RelationError, Value};
+use crate::{Column, ColumnData, NullPolicy, Relation, RelationBuilder, RelationError, Value};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Reads a relation from CSV text.
+/// Options for [`read_csv_opts`] / [`read_csv_file_opts`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CsvOptions {
+    /// Whether the first line is a header. Without one, columns are named
+    /// `c0, c1, ...`.
+    pub has_header: bool,
+    /// Null ordering policy for empty/whitespace-only fields. Files that
+    /// contain such fields fail with [`RelationError::NullPolicyRequired`]
+    /// when this is `None`.
+    pub null_policy: Option<NullPolicy>,
+}
+
+impl CsvOptions {
+    /// Options with a header line and no null policy.
+    pub fn with_header() -> CsvOptions {
+        CsvOptions {
+            has_header: true,
+            null_policy: None,
+        }
+    }
+
+    /// Sets the null ordering policy.
+    pub fn null_policy(mut self, policy: NullPolicy) -> CsvOptions {
+        self.null_policy = Some(policy);
+        self
+    }
+}
+
+/// Reads a relation from CSV text with no null policy — fails on files with
+/// empty fields; see [`read_csv_opts`].
 ///
 /// With `has_header == false`, columns are named `c0, c1, ...`.
 pub fn read_csv<R: Read>(reader: R, has_header: bool) -> Result<Relation, RelationError> {
+    read_csv_opts(
+        reader,
+        CsvOptions {
+            has_header,
+            null_policy: None,
+        },
+    )
+}
+
+/// Reads a relation from CSV text, resolving empty/whitespace-only fields
+/// as nulls under the configured [`NullPolicy`].
+pub fn read_csv_opts<R: Read>(
+    reader: R,
+    opts: CsvOptions,
+) -> Result<Relation, RelationError> {
+    let has_header = opts.has_header;
     let reader = BufReader::new(reader);
     let mut lines = reader.lines();
     let mut header: Option<Vec<String>> = None;
@@ -81,13 +139,18 @@ pub fn read_csv<R: Read>(reader: R, has_header: bool) -> Result<Relation, Relati
     };
 
     let mut builder = RelationBuilder::new();
+    if let Some(policy) = opts.null_policy {
+        builder = builder.null_policy(policy);
+    }
     for (name, raw) in names.iter().zip(raw_columns) {
-        builder = builder.column(name, infer_column(raw));
+        let (data, mask) = infer_column(raw);
+        builder = builder.column_raw(name, Column::with_nulls(data, mask));
     }
     builder.build()
 }
 
-/// Reads a relation from a CSV file on disk.
+/// Reads a relation from a CSV file on disk (no null policy — see
+/// [`read_csv_file_opts`]).
 pub fn read_csv_file<P: AsRef<Path>>(
     path: P,
     has_header: bool,
@@ -96,15 +159,48 @@ pub fn read_csv_file<P: AsRef<Path>>(
     read_csv(file, has_header)
 }
 
-/// Infers the tightest type that parses every cell: Int, then Float, then Str.
-fn infer_column(raw: Vec<String>) -> ColumnData {
-    if raw.iter().all(|s| s.parse::<i64>().is_ok()) {
-        return ColumnData::Int(raw.iter().map(|s| s.parse().unwrap()).collect());
+/// Reads a relation from a CSV file on disk with explicit [`CsvOptions`].
+pub fn read_csv_file_opts<P: AsRef<Path>>(
+    path: P,
+    opts: CsvOptions,
+) -> Result<Relation, RelationError> {
+    let file = std::fs::File::open(path)?;
+    read_csv_opts(file, opts)
+}
+
+/// Infers the tightest type that parses every non-null cell (Int, then
+/// Float, then Str) and returns the payload plus the null mask. Fields are
+/// already trimmed, so nulls are exactly the empty strings; a quoted `""`
+/// field is the empty *string* value. All-null columns default to Int.
+fn infer_column(raw: Vec<String>) -> (ColumnData, Vec<bool>) {
+    let mask: Vec<bool> = raw.iter().map(|s| s.is_empty()).collect();
+    let cells: Vec<String> = raw
+        .into_iter()
+        .map(|s| if s == "\"\"" { String::new() } else { s })
+        .collect();
+    let live = |pred: &dyn Fn(&str) -> bool| {
+        cells
+            .iter()
+            .zip(&mask)
+            .all(|(s, &null)| null || pred(s))
+    };
+    if live(&|s| s.parse::<i64>().is_ok()) {
+        let data = cells
+            .iter()
+            .zip(&mask)
+            .map(|(s, &null)| if null { 0 } else { s.parse().unwrap() })
+            .collect();
+        return (ColumnData::Int(data), mask);
     }
-    if raw.iter().all(|s| s.parse::<f64>().is_ok()) && !raw.is_empty() {
-        return ColumnData::Float(raw.iter().map(|s| s.parse().unwrap()).collect());
+    if live(&|s| s.parse::<f64>().is_ok()) {
+        let data = cells
+            .iter()
+            .zip(&mask)
+            .map(|(s, &null)| if null { 0.0 } else { s.parse().unwrap() })
+            .collect();
+        return (ColumnData::Float(data), mask);
     }
-    ColumnData::Str(raw)
+    (ColumnData::Str(cells), mask)
 }
 
 /// Writes a relation as CSV (header included). Cells containing commas or
@@ -122,7 +218,15 @@ pub fn write_csv<W: Write>(rel: &Relation, writer: W) -> Result<(), RelationErro
             cell.clear();
             let v: Value = rel.value(row, a);
             use std::fmt::Write as _;
-            let _ = write!(cell, "{v}");
+            match &v {
+                // Nulls round-trip as empty fields; empty strings as `""`
+                // so the two stay distinguishable on re-read.
+                Value::Null => {}
+                Value::Str(s) if s.is_empty() => cell.push_str("\"\""),
+                _ => {
+                    let _ = write!(cell, "{v}");
+                }
+            }
             if cell.contains(',') || cell.contains('\n') {
                 return Err(RelationError::Csv {
                     line: row + 2,
@@ -209,6 +313,66 @@ mod tests {
             .unwrap();
         let mut buf = Vec::new();
         assert!(write_csv(&rel, &mut buf).is_err());
+    }
+
+    #[test]
+    fn empty_fields_need_a_policy() {
+        let err = read_csv("a,b\n1,x\n,y\n".as_bytes(), true).unwrap_err();
+        assert!(matches!(err, RelationError::NullPolicyRequired { column } if column == "a"));
+        // Whitespace-only fields are nulls too.
+        let err = read_csv("a,b\n1,x\n2,   \n".as_bytes(), true).unwrap_err();
+        assert!(matches!(err, RelationError::NullPolicyRequired { column } if column == "b"));
+    }
+
+    #[test]
+    fn empty_fields_parse_as_nulls_with_policy() {
+        let opts = CsvOptions::with_header().null_policy(crate::NullPolicy::First);
+        let rel = read_csv_opts("a,b\n1,x\n,y\n3,\n".as_bytes(), opts).unwrap();
+        // Nulls don't demote the column type: `a` stays Int.
+        assert_eq!(rel.schema().data_type(0), DataType::Int);
+        assert_eq!(rel.value(1, 0), Value::Null);
+        assert_eq!(rel.value(2, 1), Value::Null);
+        assert_eq!(rel.value(2, 0), Value::Int(3));
+        let enc = rel.encode();
+        // Nulls-first: null < 1 < 3.
+        assert_eq!(enc.codes(0), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn quoted_empty_is_empty_string_not_null() {
+        let opts = CsvOptions::with_header().null_policy(crate::NullPolicy::Last);
+        let rel = read_csv_opts("s\n\"\"\n\nx\n".as_bytes(), opts).unwrap();
+        // Line 3 is blank → skipped entirely (record separator semantics),
+        // so rows are: empty string, then "x"... plus nothing else.
+        assert_eq!(rel.n_rows(), 2);
+        assert_eq!(rel.value(0, 0), Value::Str(String::new()));
+        assert_eq!(rel.value(1, 0), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn null_and_empty_string_roundtrip() {
+        let rel = RelationBuilder::new()
+            .column_str_opt("s", vec![Some("x"), None, Some("")])
+            .column_i64_opt("n", vec![None, Some(2), Some(3)])
+            .null_policy(crate::NullPolicy::Last)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text, "s,n\nx,\n,2\n\"\",3\n");
+        let opts = CsvOptions::with_header().null_policy(crate::NullPolicy::Last);
+        let back = read_csv_opts(&buf[..], opts).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_int() {
+        let opts = CsvOptions::with_header().null_policy(crate::NullPolicy::First);
+        let rel = read_csv_opts("a,b\n,1\n,2\n".as_bytes(), opts).unwrap();
+        assert_eq!(rel.schema().data_type(0), DataType::Int);
+        assert_eq!(rel.value(0, 0), Value::Null);
+        assert_eq!(rel.encode().cardinality(0), 1);
     }
 
     #[test]

@@ -29,12 +29,15 @@ pub struct EncodedRelation {
 }
 
 impl EncodedRelation {
-    /// Encodes a [`Relation`].
+    /// Encodes a [`Relation`]. Null-bearing columns resolve null placement
+    /// through the relation's [`crate::NullPolicy`] here — downstream of this
+    /// point nulls are ordinary `u32` ranks and the partition/validation hot
+    /// path is oblivious to them.
     pub fn from_relation(rel: &Relation) -> EncodedRelation {
         let mut codes = Vec::with_capacity(rel.n_attrs());
         let mut cardinalities = Vec::with_capacity(rel.n_attrs());
         for a in 0..rel.n_attrs() {
-            let (c, card) = rel.column(a).data().rank_encode();
+            let (c, card) = rel.column(a).rank_encode(rel.null_policy());
             codes.push(Arc::new(c));
             cardinalities.push(card);
         }

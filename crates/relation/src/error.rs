@@ -49,6 +49,14 @@ pub enum RelationError {
         /// The offending row id.
         row: usize,
     },
+    /// A column contains nulls but the relation has no [`crate::NullPolicy`]
+    /// configured. Dense-rank encoding needs a total order, and silently
+    /// picking a null placement would change discovered dependencies — the
+    /// caller must opt in to `First` or `Last` explicitly.
+    NullPolicyRequired {
+        /// Name of the first null-bearing column encountered.
+        column: String,
+    },
     /// CSV parsing failed.
     Csv {
         /// 1-based source line of the malformed record.
@@ -86,6 +94,11 @@ impl fmt::Display for RelationError {
             RelationError::DeadRow { row } => {
                 write!(f, "row {row} is already deleted")
             }
+            RelationError::NullPolicyRequired { column } => write!(
+                f,
+                "column {column} contains nulls but no null ordering policy is set; \
+                 configure NullPolicy::First or NullPolicy::Last"
+            ),
             RelationError::Csv { line, message } => {
                 write!(f, "CSV parse error at line {line}: {message}")
             }

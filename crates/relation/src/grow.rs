@@ -20,42 +20,100 @@
 //! encoding the concatenated relation — the property the incremental
 //! discovery engine's equivalence tests pin down.
 
-use crate::{Column, ColumnData, Date, EncodedRelation, Relation, RelationError, Schema};
+use crate::{
+    Column, ColumnData, Date, EncodedRelation, NullPolicy, Relation, RelationError, Schema,
+};
 use std::cmp::Ordering;
 
-/// One column's code dictionary: distinct raw values, ascending.
+/// One column's code dictionary: distinct raw values, ascending under the
+/// relation's null-aware order. `None` is the dictionary entry for the
+/// dedicated null rank — its position (front or back) follows the
+/// [`NullPolicy`], so the generic merge/remap machinery below needs no
+/// null-specific cases, just the [`opt_cmp`] comparator.
 #[derive(Clone, Debug)]
 enum Dict {
-    Int(Vec<i64>),
-    Float(Vec<f64>),
-    Str(Vec<String>),
-    Date(Vec<Date>),
+    Int(Vec<Option<i64>>),
+    Float(Vec<Option<f64>>),
+    Str(Vec<Option<String>>),
+    Date(Vec<Option<Date>>),
+}
+
+/// Lifts a value comparator to `Option<T>`, placing `None` per `policy`.
+fn opt_cmp<T>(
+    policy: NullPolicy,
+    cmp: impl Fn(&T, &T) -> Ordering,
+) -> impl Fn(&Option<T>, &Option<T>) -> Ordering {
+    move |a, b| match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => match policy {
+            NullPolicy::First => Ordering::Less,
+            NullPolicy::Last => Ordering::Greater,
+        },
+        (Some(_), None) => match policy {
+            NullPolicy::First => Ordering::Greater,
+            NullPolicy::Last => Ordering::Less,
+        },
+        (Some(x), Some(y)) => cmp(x, y),
+    }
+}
+
+/// Materializes a column as `Option<T>` cells (`None` where the mask says
+/// null) for dictionary growth.
+fn to_opt<T: Clone>(values: &[T], mask: Option<&[bool]>) -> Vec<Option<T>> {
+    match mask {
+        None => values.iter().cloned().map(Some).collect(),
+        Some(m) => values
+            .iter()
+            .zip(m)
+            .map(|(v, &is_null)| if is_null { None } else { Some(v.clone()) })
+            .collect(),
+    }
 }
 
 impl Dict {
     /// Reconstructs the dictionary from a raw column and its codes
-    /// (`dict[code] = value`), in O(n).
+    /// (`dict[code] = value`, `None` at the null rank), in O(n).
     fn build(column: &Column, codes: &[u32], cardinality: u32) -> Dict {
         let card = cardinality as usize;
+        let mask = column.null_mask();
         match column.data() {
-            ColumnData::Int(v) => Dict::Int(scatter(v, codes, card, 0)),
-            ColumnData::Float(v) => Dict::Float(scatter(v, codes, card, 0.0)),
-            ColumnData::Str(v) => Dict::Str(scatter(v, codes, card, String::new())),
-            ColumnData::Date(v) => Dict::Date(scatter(v, codes, card, Date(0))),
+            ColumnData::Int(v) => Dict::Int(scatter(v, mask, codes, card)),
+            ColumnData::Float(v) => Dict::Float(scatter(v, mask, codes, card)),
+            ColumnData::Str(v) => Dict::Str(scatter(v, mask, codes, card)),
+            ColumnData::Date(v) => Dict::Date(scatter(v, mask, codes, card)),
         }
     }
 
     /// Grows the dictionary with the batch's values, remapping `codes` when
     /// new values land between existing ones, and appends the batch's codes.
     /// Returns whether existing codes were remapped.
-    fn grow(&mut self, batch: &Column, codes: &mut Vec<u32>) -> bool {
+    fn grow(&mut self, batch: &Column, codes: &mut Vec<u32>, policy: NullPolicy) -> bool {
+        let mask = batch.null_mask();
         match (self, batch.data()) {
-            (Dict::Int(d), ColumnData::Int(v)) => grow_column(d, codes, v, |a, b| a.cmp(b)),
-            (Dict::Float(d), ColumnData::Float(v)) => {
-                grow_column(d, codes, v, |a, b| a.total_cmp(b))
-            }
-            (Dict::Str(d), ColumnData::Str(v)) => grow_column(d, codes, v, |a, b| a.cmp(b)),
-            (Dict::Date(d), ColumnData::Date(v)) => grow_column(d, codes, v, |a, b| a.cmp(b)),
+            (Dict::Int(d), ColumnData::Int(v)) => grow_column(
+                d,
+                codes,
+                &to_opt(v, mask),
+                opt_cmp(policy, |a: &i64, b| a.cmp(b)),
+            ),
+            (Dict::Float(d), ColumnData::Float(v)) => grow_column(
+                d,
+                codes,
+                &to_opt(v, mask),
+                opt_cmp(policy, |a: &f64, b| a.total_cmp(b)),
+            ),
+            (Dict::Str(d), ColumnData::Str(v)) => grow_column(
+                d,
+                codes,
+                &to_opt(v, mask),
+                opt_cmp(policy, |a: &String, b| a.cmp(b)),
+            ),
+            (Dict::Date(d), ColumnData::Date(v)) => grow_column(
+                d,
+                codes,
+                &to_opt(v, mask),
+                opt_cmp(policy, |a: &Date, b| a.cmp(b)),
+            ),
             _ => unreachable!("schema equality guarantees matching column types"),
         }
     }
@@ -70,11 +128,19 @@ impl Dict {
     }
 }
 
-/// `out[codes[row]] = values[row]` — inverts the encoding into a dictionary.
-fn scatter<T: Clone>(values: &[T], codes: &[u32], card: usize, fill: T) -> Vec<T> {
-    let mut out = vec![fill; card];
+/// `out[codes[row]] = cell(row)` — inverts the encoding into a dictionary
+/// (`None` lands at the null rank; every rank is written because codes form
+/// a dense `0..card` range).
+fn scatter<T: Clone>(
+    values: &[T],
+    mask: Option<&[bool]>,
+    codes: &[u32],
+    card: usize,
+) -> Vec<Option<T>> {
+    let mut out = vec![None; card];
     for (row, value) in values.iter().enumerate() {
-        out[codes[row] as usize] = value.clone();
+        let is_null = mask.is_some_and(|m| m[row]);
+        out[codes[row] as usize] = if is_null { None } else { Some(value.clone()) };
     }
     out
 }
@@ -181,6 +247,7 @@ pub struct AppendReport {
 #[derive(Clone, Debug)]
 pub struct GrowableRelation {
     schema: Schema,
+    null_policy: Option<NullPolicy>,
     dicts: Vec<Dict>,
     enc: EncodedRelation,
     /// Liveness mask over the physical slots: `live[row]` is `false` once
@@ -200,6 +267,7 @@ impl GrowableRelation {
         let n = rel.n_rows();
         GrowableRelation {
             schema: rel.schema().clone(),
+            null_policy: rel.null_policy(),
             dicts,
             enc,
             live: vec![true; n],
@@ -210,6 +278,11 @@ impl GrowableRelation {
     /// The schema shared by every accepted batch.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The null ordering policy inherited from the base relation.
+    pub fn null_policy(&self) -> Option<NullPolicy> {
+        self.null_policy
     }
 
     /// Physical slot count: every row ever appended, live or tombstoned.
@@ -291,14 +364,34 @@ impl GrowableRelation {
     /// Appends a batch, growing dictionaries and codes in place.
     ///
     /// # Errors
-    /// [`RelationError::SchemaMismatch`] when the batch schema differs;
-    /// `self` is left unchanged in that case.
+    /// [`RelationError::SchemaMismatch`] when the batch schema differs or
+    /// carries a conflicting [`NullPolicy`];
+    /// [`RelationError::NullPolicyRequired`] when the batch brings nulls but
+    /// the engine has no policy. `self` is left unchanged in either case.
     pub fn extend(&mut self, batch: &Relation) -> Result<AppendReport, RelationError> {
         self.schema.ensure_matches(batch.schema())?;
+        if let (Some(ours), Some(theirs)) = (self.null_policy, batch.null_policy()) {
+            if ours != theirs {
+                return Err(RelationError::SchemaMismatch {
+                    expected: format!("{} ({ours})", self.schema),
+                    found: format!("{} ({theirs})", batch.schema()),
+                });
+            }
+        }
+        if self.null_policy.is_none() && batch.has_nulls() {
+            let column = (0..batch.n_attrs())
+                .find(|&a| batch.column(a).has_nulls())
+                .map(|a| batch.schema().name(a).to_string())
+                .unwrap_or_default();
+            return Err(RelationError::NullPolicyRequired { column });
+        }
         let old_n_rows = self.enc.n_rows();
+        // With no policy configured no `None` cell can exist (construction
+        // and the check above reject them), so the placeholder is inert.
+        let policy = self.null_policy.unwrap_or(NullPolicy::First);
         let mut remapped = Vec::with_capacity(self.dicts.len());
         for (a, dict) in self.dicts.iter_mut().enumerate() {
-            remapped.push(dict.grow(batch.column(a), self.enc.codes_mut(a)));
+            remapped.push(dict.grow(batch.column(a), self.enc.codes_mut(a), policy));
             self.enc.set_cardinality(a, dict.len() as u32);
         }
         self.enc.set_n_rows(old_n_rows + batch.n_rows());
@@ -447,6 +540,53 @@ mod tests {
         assert_eq!(grow.encoded().codes(0), &[1, 0]);
         assert_eq!(grow.encoded().codes(1), &[1, 0]);
         assert_eq!(grow.encoded().cardinality(0), 2);
+    }
+
+    #[test]
+    fn null_columns_grow_canonically_under_both_policies() {
+        for policy in [NullPolicy::First, NullPolicy::Last] {
+            let build = |xs: Vec<Option<i64>>, ys: Vec<Option<f64>>| {
+                RelationBuilder::new()
+                    .column_i64_opt("x", xs)
+                    .column_f64_opt("y", ys)
+                    .null_policy(policy)
+                    .build()
+                    .unwrap()
+            };
+            let base = build(vec![Some(30), None], vec![None, Some(1.5)]);
+            let mut grow = GrowableRelation::new(&base);
+            assert_eq!(grow.null_policy(), Some(policy));
+            let mut concat = base.clone();
+            let batches = [
+                build(vec![Some(10), None], vec![Some(0.5), None]),
+                build(vec![Some(20)], vec![Some(f64::NAN)]),
+            ];
+            for batch in &batches {
+                grow.extend(batch).unwrap();
+                concat.extend(batch).unwrap();
+                let fresh = concat.encode();
+                for a in 0..concat.n_attrs() {
+                    assert_eq!(grow.encoded().codes(a), fresh.codes(a), "{policy} attr {a}");
+                    assert_eq!(grow.encoded().cardinality(a), fresh.cardinality(a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_batch_rejected_without_policy() {
+        let mut grow = GrowableRelation::new(&rel(vec![1], vec!["a"]));
+        let batch = RelationBuilder::new()
+            .column_i64_opt("x", vec![None])
+            .column_str("y", vec!["b"])
+            .null_policy(NullPolicy::First)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            grow.extend(&batch),
+            Err(RelationError::NullPolicyRequired { .. })
+        ));
+        assert_eq!(grow.n_rows(), 1);
     }
 
     #[test]

@@ -56,4 +56,5 @@ pub use error::RelationError;
 pub use grow::{AppendReport, GrowableRelation};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::Schema;
-pub use value::{DataType, Date, Value};
+pub use csv::CsvOptions;
+pub use value::{DataType, Date, NullPolicy, Value};

@@ -1,27 +1,48 @@
 //! Relation instances and the builder API.
 
 use crate::{
-    AttrId, AttrSet, Column, ColumnData, DataType, Date, EncodedRelation, RelationError,
-    Schema, Value,
+    AttrId, AttrSet, Column, ColumnData, DataType, Date, EncodedRelation, NullPolicy,
+    RelationError, Schema, Value,
 };
 
 /// An immutable relation instance `r` over a [`Schema`] `R`.
 ///
-/// Columnar storage; rows are implicit indices `0..n_rows`.
+/// Columnar storage; rows are implicit indices `0..n_rows`. Relations whose
+/// columns contain nulls must carry a [`NullPolicy`] — construction rejects
+/// null-bearing columns otherwise — so every downstream consumer
+/// ([`Relation::encode`], the incremental grower) can resolve null placement
+/// without re-deciding it.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Relation {
     schema: Schema,
     columns: Vec<Column>,
     n_rows: usize,
+    null_policy: Option<NullPolicy>,
 }
 
 impl Relation {
-    /// Assembles a relation from a schema and matching columns.
+    /// Assembles a relation from a schema and matching columns, with no
+    /// null policy. Equivalent to [`Relation::with_policy`]`(schema,
+    /// columns, None)`; columns containing nulls are rejected.
     ///
     /// # Errors
-    /// Rejects column-count or row-count mismatches and type mismatches
-    /// between schema and column data.
+    /// Rejects column-count or row-count mismatches, type mismatches
+    /// between schema and column data, and null-bearing columns
+    /// ([`RelationError::NullPolicyRequired`]).
     pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Relation, RelationError> {
+        Relation::with_policy(schema, columns, None)
+    }
+
+    /// Assembles a relation, resolving nulls through `null_policy`.
+    ///
+    /// # Errors
+    /// As [`Relation::new`]; additionally requires `null_policy` to be
+    /// `Some` whenever any column contains nulls.
+    pub fn with_policy(
+        schema: Schema,
+        columns: Vec<Column>,
+        null_policy: Option<NullPolicy>,
+    ) -> Result<Relation, RelationError> {
         assert_eq!(
             schema.n_attrs(),
             columns.len(),
@@ -42,12 +63,28 @@ impl Relation {
                     row: 0,
                 });
             }
+            if col.has_nulls() && null_policy.is_none() {
+                return Err(RelationError::NullPolicyRequired {
+                    column: schema.name(i).to_string(),
+                });
+            }
         }
         Ok(Relation {
             schema,
             columns,
             n_rows,
+            null_policy,
         })
+    }
+
+    /// The null ordering policy, when one is configured.
+    pub fn null_policy(&self) -> Option<NullPolicy> {
+        self.null_policy
+    }
+
+    /// Whether any column contains nulls.
+    pub fn has_nulls(&self) -> bool {
+        self.columns.iter().any(Column::has_nulls)
     }
 
     /// The schema.
@@ -83,6 +120,7 @@ impl Relation {
             schema,
             columns,
             n_rows: self.n_rows,
+            null_policy: self.null_policy,
         }
     }
 
@@ -96,15 +134,12 @@ impl Relation {
     /// Keeps only the given rows (in order). Used for |r| sweeps
     /// ("random samples of 20, 40, ... percent").
     pub fn select_rows(&self, rows: &[usize]) -> Relation {
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| Column::new(c.data().take(rows)))
-            .collect();
+        let columns = self.columns.iter().map(|c| c.take(rows)).collect();
         Relation {
             schema: self.schema.clone(),
             columns,
             n_rows: rows.len(),
+            null_policy: self.null_policy,
         }
     }
 
@@ -121,10 +156,27 @@ impl Relation {
     /// names, order and types. Returns the new row count.
     ///
     /// # Errors
-    /// [`RelationError::SchemaMismatch`] when the schemas differ; `self` is
-    /// left unchanged in that case.
+    /// [`RelationError::SchemaMismatch`] when the schemas differ, or when
+    /// both relations carry a [`NullPolicy`] and they disagree;
+    /// [`RelationError::NullPolicyRequired`] when the batch brings nulls but
+    /// this relation has no policy. `self` is left unchanged in either case.
     pub fn extend(&mut self, batch: &Relation) -> Result<usize, RelationError> {
         self.schema.ensure_matches(batch.schema())?;
+        if let (Some(ours), Some(theirs)) = (self.null_policy, batch.null_policy) {
+            if ours != theirs {
+                return Err(RelationError::SchemaMismatch {
+                    expected: format!("{} ({ours})", self.schema),
+                    found: format!("{} ({theirs})", batch.schema),
+                });
+            }
+        }
+        if self.null_policy.is_none() && batch.has_nulls() {
+            let column = (0..batch.n_attrs())
+                .find(|&a| batch.columns[a].has_nulls())
+                .map(|a| batch.schema.name(a).to_string())
+                .unwrap_or_default();
+            return Err(RelationError::NullPolicyRequired { column });
+        }
         for (col, other) in self.columns.iter_mut().zip(&batch.columns) {
             let ok = col.extend(other);
             debug_assert!(ok, "schema equality implies matching column types");
@@ -155,6 +207,7 @@ impl Relation {
 pub struct RelationBuilder {
     attrs: Vec<(String, DataType)>,
     columns: Vec<Column>,
+    null_policy: Option<NullPolicy>,
 }
 
 impl RelationBuilder {
@@ -163,11 +216,74 @@ impl RelationBuilder {
         RelationBuilder::default()
     }
 
+    /// Sets the null ordering policy. Required (by [`RelationBuilder::build`])
+    /// whenever any `_opt` column contains a `None`.
+    pub fn null_policy(mut self, policy: NullPolicy) -> Self {
+        self.null_policy = Some(policy);
+        self
+    }
+
     /// Adds a typed column.
     pub fn column(mut self, name: &str, data: ColumnData) -> Self {
         self.attrs.push((name.to_string(), data.data_type()));
         self.columns.push(Column::new(data));
         self
+    }
+
+    /// Adds a pre-assembled column (payload plus optional null mask).
+    pub fn column_raw(mut self, name: &str, column: Column) -> Self {
+        self.attrs.push((name.to_string(), column.data_type()));
+        self.columns.push(column);
+        self
+    }
+
+    /// Splits `Vec<Option<T>>` into a placeholder-filled payload and a mask.
+    fn split_opt<T: Default>(values: Vec<Option<T>>) -> (Vec<T>, Vec<bool>) {
+        let mut mask = Vec::with_capacity(values.len());
+        let payload = values
+            .into_iter()
+            .map(|v| {
+                mask.push(v.is_none());
+                v.unwrap_or_default()
+            })
+            .collect();
+        (payload, mask)
+    }
+
+    /// Adds an integer column with nulls (`None` cells).
+    pub fn column_i64_opt(self, name: &str, values: Vec<Option<i64>>) -> Self {
+        let (payload, mask) = Self::split_opt(values);
+        self.column_raw(name, Column::with_nulls(ColumnData::Int(payload), mask))
+    }
+
+    /// Adds a float column with nulls (`None` cells).
+    pub fn column_f64_opt(self, name: &str, values: Vec<Option<f64>>) -> Self {
+        let (payload, mask) = Self::split_opt(values);
+        self.column_raw(name, Column::with_nulls(ColumnData::Float(payload), mask))
+    }
+
+    /// Adds a string column with nulls (`None` cells).
+    pub fn column_str_opt<S: Into<String>>(
+        self,
+        name: &str,
+        values: Vec<Option<S>>,
+    ) -> Self {
+        let (payload, mask) =
+            Self::split_opt(values.into_iter().map(|v| v.map(Into::into)).collect());
+        self.column_raw(name, Column::with_nulls(ColumnData::Str(payload), mask))
+    }
+
+    /// Adds a date column with nulls (`None` cells).
+    pub fn column_date_opt(self, name: &str, values: Vec<Option<Date>>) -> Self {
+        let mut mask = Vec::with_capacity(values.len());
+        let payload = values
+            .into_iter()
+            .map(|v| {
+                mask.push(v.is_none());
+                v.unwrap_or(Date(0))
+            })
+            .collect();
+        self.column_raw(name, Column::with_nulls(ColumnData::Date(payload), mask))
     }
 
     /// Adds an integer column.
@@ -194,9 +310,14 @@ impl RelationBuilder {
     }
 
     /// Finalizes the relation.
+    ///
+    /// # Errors
+    /// As [`Relation::with_policy`] — notably
+    /// [`RelationError::NullPolicyRequired`] when an `_opt` column holds a
+    /// `None` but [`RelationBuilder::null_policy`] was never called.
     pub fn build(self) -> Result<Relation, RelationError> {
         let schema = Schema::new(self.attrs)?;
-        Relation::new(schema, self.columns)
+        Relation::with_policy(schema, self.columns, self.null_policy)
     }
 }
 
@@ -291,6 +412,91 @@ mod tests {
         let err = r.extend(&wrong).unwrap_err();
         assert!(matches!(err, RelationError::SchemaMismatch { .. }));
         assert_eq!(r.n_rows(), 3, "failed extend must not mutate");
+    }
+
+    #[test]
+    fn opt_columns_require_policy() {
+        let err = RelationBuilder::new()
+            .column_i64_opt("a", vec![Some(1), None])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationError::NullPolicyRequired { column } if column == "a"));
+        // All-Some opt columns normalize to plain columns: no policy needed.
+        let rel = RelationBuilder::new()
+            .column_i64_opt("a", vec![Some(1), Some(2)])
+            .build()
+            .unwrap();
+        assert!(!rel.has_nulls());
+        assert_eq!(rel.null_policy(), None);
+    }
+
+    #[test]
+    fn null_encoding_under_both_policies() {
+        use crate::NullPolicy;
+        let build = |policy| {
+            RelationBuilder::new()
+                .column_i64_opt("a", vec![Some(20), None, Some(10), None])
+                .null_policy(policy)
+                .build()
+                .unwrap()
+        };
+        let first = build(NullPolicy::First).encode();
+        assert_eq!(first.codes(0), &[2, 0, 1, 0]);
+        assert_eq!(first.cardinality(0), 3);
+        let last = build(NullPolicy::Last).encode();
+        assert_eq!(last.codes(0), &[1, 2, 0, 2]);
+        assert_eq!(last.cardinality(0), 3);
+    }
+
+    #[test]
+    fn null_cells_survive_select_project_extend() {
+        use crate::NullPolicy;
+        let mut rel = RelationBuilder::new()
+            .column_str_opt("s", vec![Some("x"), None, Some("y")])
+            .column_i64("k", vec![1, 2, 3])
+            .null_policy(NullPolicy::Last)
+            .build()
+            .unwrap();
+        let sel = rel.select_rows(&[1, 2]);
+        assert_eq!(sel.value(0, 0), Value::Null);
+        assert_eq!(sel.null_policy(), Some(NullPolicy::Last));
+        let proj = rel.project(AttrSet::singleton(0));
+        assert_eq!(proj.value(1, 0), Value::Null);
+
+        let batch = RelationBuilder::new()
+            .column_str_opt("s", vec![None::<&str>])
+            .column_i64("k", vec![4])
+            .null_policy(NullPolicy::Last)
+            .build()
+            .unwrap();
+        rel.extend(&batch).unwrap();
+        assert_eq!(rel.value(3, 0), Value::Null);
+
+        // Policy conflict between the two sides is rejected.
+        let wrong = RelationBuilder::new()
+            .column_str_opt("s", vec![None::<&str>])
+            .column_i64("k", vec![5])
+            .null_policy(NullPolicy::First)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            rel.extend(&wrong),
+            Err(RelationError::SchemaMismatch { .. })
+        ));
+
+        // Null-bearing batch into a policy-less relation is rejected.
+        let mut plain = sample();
+        let nullish = RelationBuilder::new()
+            .column_i64_opt("a", vec![None])
+            .column_str("b", vec!["w"])
+            .null_policy(NullPolicy::First)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            plain.extend(&nullish),
+            Err(RelationError::NullPolicyRequired { .. })
+        ));
+        assert_eq!(plain.n_rows(), 3);
     }
 
     #[test]

@@ -23,6 +23,32 @@ pub enum DataType {
     Date,
 }
 
+/// Where nulls sort relative to every non-null value of a column.
+///
+/// Dense-rank encoding (§4.6) needs a *total* order per column, and SQL
+/// deliberately leaves null placement to the query (`NULLS FIRST` /
+/// `NULLS LAST`). A relation that contains nulls must therefore carry an
+/// explicit policy; it is resolved once, at rank-encode time, by giving
+/// nulls a dedicated rank below (`First`) or above (`Last`) every value
+/// rank. The partition/validation hot path never sees the distinction —
+/// it only ever compares `u32` codes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NullPolicy {
+    /// Nulls sort before every non-null value (rank 0).
+    First,
+    /// Nulls sort after every non-null value (the largest rank).
+    Last,
+}
+
+impl fmt::Display for NullPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NullPolicy::First => "nulls-first",
+            NullPolicy::Last => "nulls-last",
+        })
+    }
+}
+
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -110,6 +136,12 @@ fn civil_from_days(z: i32) -> (i32, u32, u32) {
 /// A single cell value.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Value {
+    /// A missing value. The containing column keeps its [`DataType`]; null
+    /// placement in the order is governed by the relation's [`NullPolicy`].
+    /// `Value::cmp` places nulls first — rendering and ad-hoc sorting need
+    /// *some* deterministic slot — but rank encoding consults the policy,
+    /// not this ordering.
+    Null,
     /// Integer value.
     Int(i64),
     /// Float value (compared with `total_cmp`, so `Eq`/`Ord` below are safe).
@@ -121,22 +153,30 @@ pub enum Value {
 }
 
 impl Value {
-    /// The value's [`DataType`].
-    pub fn data_type(&self) -> DataType {
+    /// The value's [`DataType`], or `None` for [`Value::Null`] (the column,
+    /// not the cell, knows a null's type).
+    pub fn data_type(&self) -> Option<DataType> {
         match self {
-            Value::Int(_) => DataType::Int,
-            Value::Float(_) => DataType::Float,
-            Value::Str(_) => DataType::Str,
-            Value::Date(_) => DataType::Date,
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
         }
+    }
+
+    /// Whether this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
     }
 
     fn type_rank(&self) -> u8 {
         match self {
-            Value::Int(_) => 0,
-            Value::Float(_) => 1,
-            Value::Str(_) => 2,
-            Value::Date(_) => 3,
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Str(_) => 3,
+            Value::Date(_) => 4,
         }
     }
 }
@@ -166,6 +206,7 @@ impl Ord for Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Value::Null => f.write_str("null"),
             Value::Int(v) => write!(f, "{v}"),
             Value::Float(v) => write!(f, "{v}"),
             Value::Str(v) => write!(f, "{v}"),
@@ -276,6 +317,20 @@ mod tests {
     fn value_display() {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn null_value_basics() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        // Deterministic slot in the ad-hoc Value order: nulls first.
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert_eq!(Value::Null.cmp(&Value::Null), Ordering::Equal);
+        assert_eq!(NullPolicy::First.to_string(), "nulls-first");
+        assert_eq!(NullPolicy::Last.to_string(), "nulls-last");
     }
 
     #[test]

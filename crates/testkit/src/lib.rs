@@ -8,12 +8,17 @@
 //! ([`oracle_minimal_cover`]), its per-OD building blocks
 //! ([`oracle_valid_ods`]), and the definitional violation counter
 //! ([`oracle_violation_count`]) that pins the incremental engine's
-//! delete-time delta counting.
+//! delete-time delta counting. [`differential`] adds the scenario harness:
+//! one adversarial workload pushed through one-shot, parallel, incremental
+//! and serving execution paths, with every cover checked for set equality
+//! and — within the brute-force budget — against the oracle.
 
 #![deny(missing_docs)]
 
+pub mod differential;
 pub mod oracle;
 
+pub use differential::{run_corpus, run_differential, DifferentialOutcome};
 pub use oracle::{
     oracle_minimal_cover, oracle_valid_ods, oracle_violation_count, OracleReport,
 };

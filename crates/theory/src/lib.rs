@@ -15,7 +15,10 @@
 //! * [`validate`] — partition-based and brute-force validators for canonical
 //!   ODs against [`fastod_relation::EncodedRelation`] instances;
 //! * [`violations`] — witness extraction (which tuple pairs split/swap) for
-//!   data-cleaning workflows.
+//!   data-cleaning workflows;
+//! * [`repair`] — the check/repair surface: exact violation counts, minimal
+//!   violating-row sets, and the versioned `fastod.check.v1` JSON report
+//!   behind `fastod check`.
 
 pub mod axioms;
 pub mod bidirectional;
@@ -23,11 +26,13 @@ pub mod canonical;
 pub mod listod;
 pub mod mapping;
 pub mod orders;
+pub mod repair;
 pub mod validate;
 pub mod violations;
 
 pub use canonical::{CanonicalOd, OdSet};
 pub use listod::{validate_list_od, ListOd, OdStatus};
 pub use mapping::map_list_od;
+pub use repair::{check_od, residual_violations, CheckReport, RuleCheck};
 pub use validate::{build_partition, canonical_od_holds};
 pub use violations::{find_violations, Violation};

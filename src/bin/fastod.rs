@@ -4,10 +4,13 @@
 //! USAGE:
 //!   fastod <FILE.csv> [OPTIONS]
 //!   fastod stats <FILE.csv> [OPTIONS]
+//!   fastod check <FILE.csv> [OPTIONS]
 //!   fastod serve <FILE.csv> [OPTIONS]
 //!
 //! OPTIONS:
 //!   --no-header            treat the first line as data (columns named c0, c1, ...)
+//!   --nulls <first|last>   null ordering policy; also enables parsing
+//!                          empty CSV fields as nulls
 //!   --max-level <N>        cap the lattice level (context size + 1)
 //!   --timeout <SECS>       cancel discovery after this budget
 //!   --threads <N>          worker threads for validation/products
@@ -27,6 +30,25 @@
 //! the per-level table plus the full metrics snapshot (counters, latency
 //! histograms, span totals) instead of the OD list.
 //!
+//! CHECK OPTIONS (data-quality report over a rule set):
+//!   --od <SPEC>            a rule to check (repeatable; same syntax as
+//!                          --violations)
+//!   --discover-near-valid  instead of explicit rules, run approximate
+//!                          discovery and check every rule that is valid
+//!                          after removing at most a --max-error fraction
+//!                          of rows — surfacing the almost-true rules
+//!                          whose violations point at data errors
+//!   --max-error <F>        row-removal fraction for --discover-near-valid
+//!                          (default 0.01)
+//!   --witnesses <N>        witness pairs reported per violated rule
+//!                          (default 5)
+//!   --json                 print the machine-readable fastod.check.v1
+//!                          report instead of text
+//!
+//! `check` prints per-rule validity, the exact violating-pair count, up to
+//! N witness pairs, and a minimum-cardinality set of rows whose removal
+//! repairs the rule. It exits nonzero when any rule is violated.
+//!
 //! SERVE OPTIONS (mutation + query replay over the serving layer):
 //!   --readers <N>          concurrent reader threads issuing lock-free
 //!                          cover queries while mutations replay (default 2)
@@ -42,9 +64,10 @@
 use fastod_suite::discovery::{ApproxConfig, ApproxFastod, CancelToken};
 use fastod_suite::obs::{LogHistogram, Obs};
 use fastod_suite::prelude::*;
-use fastod_suite::relation::csv::read_csv_file;
+use fastod_suite::relation::csv::{read_csv_file_opts, CsvOptions};
+use fastod_suite::relation::NullPolicy;
 use fastod_suite::serve::ServeConfig;
-use fastod_suite::theory::find_violations;
+use fastod_suite::theory::{find_violations, CheckReport};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -61,6 +84,14 @@ struct Args {
     /// The `stats` subcommand: discovery with metrics, snapshot instead of
     /// the OD list.
     stats_cmd: bool,
+    /// The `check` subcommand: data-quality report over a rule set.
+    check: bool,
+    od_specs: Vec<String>,
+    near_valid: bool,
+    max_error: f64,
+    witness_limit: usize,
+    json: bool,
+    nulls: Option<NullPolicy>,
     trace: Option<String>,
     verbose: bool,
     readers: usize,
@@ -80,6 +111,13 @@ fn parse_args() -> Result<Args, String> {
         stats: false,
         serve: false,
         stats_cmd: false,
+        check: false,
+        od_specs: Vec::new(),
+        near_valid: false,
+        max_error: 0.01,
+        witness_limit: 5,
+        json: false,
+        nulls: None,
         trace: None,
         verbose: false,
         readers: 2,
@@ -94,6 +132,10 @@ fn parse_args() -> Result<Args, String> {
         }
         Some("stats") => {
             args.stats_cmd = true;
+            iter.next();
+        }
+        Some("check") => {
+            args.check = true;
             iter.next();
         }
         _ => {}
@@ -134,6 +176,26 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--violations" => args.violations = Some(need(&mut iter, "--violations")?),
+            "--od" => args.od_specs.push(need(&mut iter, "--od")?),
+            "--discover-near-valid" => args.near_valid = true,
+            "--json" => args.json = true,
+            "--max-error" => {
+                args.max_error = need(&mut iter, "--max-error")?
+                    .parse()
+                    .map_err(|e| format!("--max-error: {e}"))?
+            }
+            "--witnesses" => {
+                args.witness_limit = need(&mut iter, "--witnesses")?
+                    .parse()
+                    .map_err(|e| format!("--witnesses: {e}"))?
+            }
+            "--nulls" => {
+                args.nulls = Some(match need(&mut iter, "--nulls")?.as_str() {
+                    "first" => NullPolicy::First,
+                    "last" => NullPolicy::Last,
+                    other => return Err(format!("--nulls must be first or last, got {other}")),
+                })
+            }
             "--readers" => {
                 args.readers = need(&mut iter, "--readers")?
                     .parse()
@@ -182,6 +244,81 @@ fn parse_od(spec: &str, schema: &Schema) -> Result<CanonicalOd, String> {
         Ok(CanonicalOd::order_compat(ctx, resolve(a)?, resolve(b)?))
     } else {
         Err("OD right side must be `[]->A` or `A~B`".into())
+    }
+}
+
+/// `fastod check`: a data-quality report over a rule set. Each rule —
+/// explicit `--od` specs or the near-valid cover from approximate discovery
+/// — is checked for exact validity; violated rules get their violating-pair
+/// count, witness pairs, and a minimum-cardinality repair (rows whose
+/// removal makes the rule hold). `--json` emits the `fastod.check.v1`
+/// document instead.
+fn run_check(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
+    let enc = rel.encode();
+    let names = rel.schema().names();
+    let ods: Vec<CanonicalOd> = if args.near_valid {
+        let cfg = ApproxConfig::new(args.max_error)
+            .with_threads(args.threads)
+            .with_obs(obs.clone());
+        let result = ApproxFastod::new(cfg).discover(&enc);
+        result
+            .ods
+            .sorted()
+            .into_iter()
+            .filter(|od| !od.is_trivial())
+            .collect()
+    } else {
+        let mut out = Vec::new();
+        for spec in &args.od_specs {
+            match parse_od(spec, rel.schema()) {
+                Ok(od) => out.push(od),
+                Err(e) => {
+                    eprintln!("error parsing OD {spec:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+    if ods.is_empty() {
+        eprintln!("check: no rules to check; pass --od <SPEC> or --discover-near-valid");
+        return ExitCode::FAILURE;
+    }
+    let report = CheckReport::run(&enc, &ods, args.witness_limit);
+    obs.add("check.rules", report.rules.len() as u64);
+    obs.add("check.violations", report.total_violations());
+    if args.json {
+        print!("{}", report.to_json(names));
+    } else {
+        for rule in &report.rules {
+            if rule.holds {
+                println!("{}  holds", rule.od.display(names));
+                continue;
+            }
+            println!(
+                "{}  VIOLATED: {} violating pairs; removing {} of {} rows repairs it: {:?}",
+                rule.od.display(names),
+                rule.violations,
+                rule.removal_rows.len(),
+                report.n_rows,
+                rule.removal_rows,
+            );
+            for w in &rule.witnesses {
+                println!("    witness: {}", w.describe(rel));
+            }
+        }
+        eprintln!(
+            "\nchecked {} rules over {} rows: {} violated, {} violating pairs total",
+            report.rules.len(),
+            report.n_rows,
+            report.n_failing(),
+            report.total_violations(),
+        );
+    }
+    if report.n_failing() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -342,6 +479,8 @@ fn main() -> ExitCode {
                 "usage: fastod <FILE.csv> [--no-header] [--max-level N] [--timeout SECS] \
                  [--threads N] [--epsilon F] [--violations OD] [--stats] [--trace OUT.jsonl]\n       \
                  fastod stats <FILE.csv> [same options]\n       \
+                 fastod check <FILE.csv> [--od SPEC]... [--discover-near-valid] \
+                 [--max-error F] [--witnesses N] [--nulls first|last] [--json]\n       \
                  fastod serve <FILE.csv> [--no-header] [--threads N] [--readers N] \
                  [--batch N] [--base-frac F] [--verbose] [--trace OUT.jsonl]"
             );
@@ -349,7 +488,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let rel = match read_csv_file(&args.file, args.header) {
+    let opts = CsvOptions {
+        has_header: args.header,
+        null_policy: args.nulls,
+    };
+    let rel = match read_csv_file_opts(&args.file, opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error reading {}: {e}", args.file);
@@ -377,6 +520,14 @@ fn main() -> ExitCode {
     };
     if args.serve {
         let code = run_serve(&rel, &args, &obs);
+        obs.flush();
+        if let Some(path) = &args.trace {
+            eprintln!("trace written to {path}");
+        }
+        return code;
+    }
+    if args.check {
+        let code = run_check(&rel, &args, &obs);
         obs.flush();
         if let Some(path) = &args.trace {
             eprintln!("trace written to {path}");

@@ -1,0 +1,114 @@
+//! The differential scenario suite: every corpus scenario — nulls under
+//! both policies, `total_cmp` float edges, dates, near-sorted, heavy-tail,
+//! degenerate shapes, and recorded mutation replays — is pushed through
+//! one-shot, parallel (1/2/4 threads), incremental-replay and serving
+//! execution paths, and all four covers must be set-identical and (within
+//! the brute-force budget) match the tuple-pair oracle. The equivalence
+//! assertions live in `fastod_testkit::run_differential`; this suite pins
+//! the corpus coverage and the null-encoding equivalence contract.
+
+use fastod_suite::prelude::*;
+use fastod_suite::relation::NullPolicy;
+use fastod_testkit::run_corpus;
+
+/// The whole corpus agrees across all execution paths. `run_differential`
+/// panics with the scenario name on any divergence, so this one call is the
+/// cover-equality acceptance test for every scenario at once.
+#[test]
+fn corpus_agrees_across_all_execution_paths() {
+    let outcomes = run_corpus();
+    assert!(
+        outcomes.len() >= 12,
+        "corpus shrank to {} scenarios",
+        outcomes.len()
+    );
+    // Every scenario in this corpus is narrow enough for ground truth.
+    for outcome in &outcomes {
+        assert!(
+            outcome.oracle_checked,
+            "scenario {} escaped the oracle cross-check",
+            outcome.scenario
+        );
+    }
+    // The corpus is not degenerate: most scenarios discover something.
+    let non_empty = outcomes.iter().filter(|o| !o.cover.is_empty()).count();
+    assert!(non_empty >= 8, "only {non_empty} scenarios produced ODs");
+}
+
+/// Null encoding is *only* a rank shift: replacing every null with an
+/// in-band sentinel that sorts first (policy `First`) or last (`Last`)
+/// yields a null-free relation with the identical minimal cover.
+#[test]
+fn null_covers_match_rank_shifted_sentinel_encoding() {
+    let a_vals = [Some(5i64), None, Some(3), None, Some(5), Some(7)];
+    let s_vals = [Some("kiwi"), Some("fig"), None, Some("fig"), None, Some("lime")];
+    let key: Vec<i64> = (0..6).collect();
+    for policy in [NullPolicy::First, NullPolicy::Last] {
+        let with_nulls = RelationBuilder::new()
+            .null_policy(policy)
+            .column_i64_opt("a", a_vals.to_vec())
+            .column_str_opt("s", s_vals.to_vec())
+            .column_i64("k", key.clone())
+            .build()
+            .unwrap();
+        // Sentinels strictly outside the live value range on the policy's
+        // side: the dense ranks come out exactly as the null encoding's.
+        let (int_sent, str_sent) = match policy {
+            NullPolicy::First => (i64::MIN, ""),
+            NullPolicy::Last => (i64::MAX, "~~~"),
+        };
+        let shifted = RelationBuilder::new()
+            .column_i64("a", a_vals.iter().map(|v| v.unwrap_or(int_sent)).collect())
+            .column_str("s", s_vals.iter().map(|v| v.unwrap_or(str_sent)).collect())
+            .column_i64("k", key.clone())
+            .build()
+            .unwrap();
+        let cover_of = |rel: &Relation| {
+            Fastod::new(DiscoveryConfig::default())
+                .discover(&rel.encode())
+                .ods
+                .sorted()
+        };
+        assert_eq!(
+            cover_of(&with_nulls),
+            cover_of(&shifted),
+            "{policy}: null encoding is not a pure rank shift"
+        );
+        // And the underlying codes agree column-for-column.
+        let enc_nulls = with_nulls.encode();
+        let enc_shift = shifted.encode();
+        for attr in 0..enc_nulls.n_attrs() {
+            assert_eq!(
+                enc_nulls.codes(attr),
+                enc_shift.codes(attr),
+                "{policy}: attr {attr} codes diverge from the sentinel encoding"
+            );
+            assert_eq!(enc_nulls.cardinality(attr), enc_shift.cardinality(attr));
+        }
+    }
+}
+
+/// The two policies genuinely differ: when a null sits where First keeps
+/// order and Last breaks it, `{}: a ~ b` flips between the covers.
+#[test]
+fn null_policies_are_observably_different() {
+    let build = |policy| {
+        RelationBuilder::new()
+            .null_policy(policy)
+            .column_i64_opt("a", vec![None, Some(1), Some(2)])
+            .column_i64("b", vec![0, 1, 2])
+            .build()
+            .unwrap()
+    };
+    let holds = |rel: &Relation| {
+        let enc = rel.encode();
+        fastod_suite::theory::canonical_od_holds(
+            &enc,
+            &CanonicalOd::order_compat(AttrSet::EMPTY, 0, 1),
+        )
+    };
+    // Nulls-first: a ranks [0,1,2] track b exactly. Nulls-last: the null
+    // outranks both values, so rows 0 and 2 swap.
+    assert!(holds(&build(NullPolicy::First)));
+    assert!(!holds(&build(NullPolicy::Last)));
+}
