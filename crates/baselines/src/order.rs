@@ -23,7 +23,7 @@
 //! candidates are re-validated rather than skipped; this affects constant
 //! factors only, never the output or the factorial candidate space.
 
-use fastod::{CancelToken, Cancelled};
+use fastod::{CancelToken, PassError};
 use fastod_relation::{AttrId, EncodedRelation};
 use fastod_theory::canonical::OdSet;
 use fastod_theory::listod::{ListOd, OdStatus};
@@ -222,7 +222,7 @@ impl Order {
     }
 
     /// Runs list-OD discovery with cancellation support.
-    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<OrderResult, Cancelled> {
+    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<OrderResult, PassError> {
         let start = Instant::now();
         let n_attrs = enc.n_attrs();
         let mut result = OrderResult::default();
@@ -513,7 +513,7 @@ mod tests {
             ..Default::default()
         })
         .try_discover(&enc);
-        assert!(matches!(cancelled, Err(Cancelled)));
+        assert!(matches!(cancelled, Err(PassError::Cancelled)));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! their candidate set empties. This changes running time slightly on
 //! key-heavy data, never the output (see DESIGN.md).
 
-use fastod::{CancelToken, Cancelled, DiscoveryStats, LevelStats};
+use fastod::{CancelToken, DiscoveryStats, LevelStats, PassError};
 use fastod_partition::{ProductScratch, StrippedPartition};
 use fastod_relation::{AttrSet, EncodedRelation};
 use fastod_theory::{CanonicalOd, OdSet};
@@ -62,7 +62,7 @@ impl Tane {
     }
 
     /// Runs FD discovery with cancellation support.
-    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<TaneResult, Cancelled> {
+    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<TaneResult, PassError> {
         let start = Instant::now();
         let n_attrs = enc.n_attrs();
         let mut result = TaneResult::default();
@@ -166,7 +166,7 @@ impl Tane {
         Ok(result)
     }
 
-    fn next_level(&self, level: &Level, scratch: &mut ProductScratch) -> Result<Level, Cancelled> {
+    fn next_level(&self, level: &Level, scratch: &mut ProductScratch) -> Result<Level, PassError> {
         let mut blocks: HashMap<u64, Vec<AttrSet>> = HashMap::new();
         for &bits in level.keys() {
             let set = AttrSet::from_bits(bits);
@@ -286,7 +286,7 @@ mod tests {
             ..Default::default()
         })
         .try_discover(&enc);
-        assert!(matches!(cancelled, Err(Cancelled)));
+        assert!(matches!(cancelled, Err(PassError::Cancelled)));
     }
 
     #[test]

@@ -213,7 +213,7 @@ fn main() {
     let server = Server::new(ServeConfig {
         discovery: DiscoveryConfig::default()
             .with_threads(*sweep.last().expect("sweep is non-empty")),
-        total_partition_budget: None,
+        ..ServeConfig::default()
     });
     let session = server.open("flight", &base).expect("initial discovery succeeds");
     let stop = AtomicBool::new(false);

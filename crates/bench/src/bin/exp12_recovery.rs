@@ -1,0 +1,90 @@
+//! **Exp-12: self-healing cost — how long a poisoned session takes to heal.**
+//!
+//! Serves the flight-like analogue, kills a maintenance pass with an
+//! injected `fastod-faultkit` panic (the chaos suite's harshest action),
+//! and times [`Session::recover`]: the from-scratch rebuild over the
+//! accumulated relation plus the republish at a new epoch. The gate gauge
+//! `recover_flight_500` is the *fastest* observed recovery (ms) across the
+//! loop — it bounds how long a serving deployment runs on its stale (but
+//! valid) snapshot after a pass dies, and it exercises the full
+//! poison → rebuild → republish path the `chaos-suite` CI job proves
+//! correct.
+//!
+//! Each iteration appends one row before poisoning (mutations are absorbed
+//! before the pass runs, so the recovered cover includes them); the ~2%
+//! growth over the loop is noise next to the 25% gate tolerance. Writes
+//! `results/exp12_recovery.csv` (per-iteration timings) plus
+//! `results/exp12_recovery.json`, the `fastod.metrics.v1` snapshot the
+//! scheduled perf gate compares against `results/perf_baseline.json`.
+//! The `serve.recoveries` / `incr.panics_contained` obs counters ride
+//! along ungated.
+//!
+//! [`Session::recover`]: fastod_suite::serve::Session::recover
+
+use fastod::DiscoveryConfig;
+use fastod_bench::{format_duration, metrics_json, obs_from_env, write_csv, write_results_file, Scale};
+use fastod_datagen::flight_like;
+use fastod_suite::faultkit;
+use fastod_suite::serve::{RecoveryPolicy, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (n_rows, n_attrs) = scale.pick((200, 8), (500, 10), (2000, 12));
+    let iters = scale.pick(3usize, 8, 8);
+    let obs = obs_from_env();
+
+    let base = flight_like(n_rows, n_attrs, 0x12EC0);
+    let server = Server::new(ServeConfig {
+        discovery: DiscoveryConfig::default().with_obs(obs.clone()),
+        total_partition_budget: None,
+        recovery: RecoveryPolicy::auto(),
+    });
+    let session = server.open("flight", &base).unwrap();
+
+    let mut csv_rows = Vec::with_capacity(iters);
+    let mut best = Duration::MAX;
+    for i in 0..iters {
+        // One fresh row per iteration; the armed panic kills the pass after
+        // the row is absorbed, leaving the engine poisoned at the old epoch.
+        let batch = flight_like(1, n_attrs, 0x12EC0 ^ (i as u64 + 1));
+        let guard = faultkit::arm(
+            faultkit::FaultPlan::new().rule(faultkit::INCR_REFRESH, 0, faultkit::FaultAction::Panic),
+        );
+        session
+            .push_batch(&batch)
+            .expect_err("armed panic must fail the pass");
+        assert!(session.is_poisoned());
+        drop(guard);
+
+        let epoch = session.epoch();
+        let t = Instant::now();
+        session.recover().expect("recovery must succeed");
+        let took = t.elapsed();
+        assert!(!session.is_poisoned());
+        assert!(session.epoch() > epoch);
+        best = best.min(took);
+        csv_rows.push(vec![
+            i.to_string(),
+            (n_rows + i + 1).to_string(),
+            format!("{:.3}", took.as_secs_f64() * 1e3),
+        ]);
+    }
+
+    let (_, snap) = session.read();
+    write_csv("exp12_recovery", &["iter", "rows", "recover_ms"], &csv_rows);
+    println!(
+        "recovery on flight-like {n_rows}x{n_attrs}: {iters} poison/heal cycles, best {} \
+         ({} ODs republished at epoch {})",
+        format_duration(best),
+        snap.minimal_cover().len(),
+        session.epoch(),
+    );
+
+    let entries = vec![("recover_flight_500".to_string(), best.as_secs_f64() * 1e3)];
+    obs.flush();
+    write_results_file("exp12_recovery.json", &metrics_json(&entries, &obs));
+    println!(
+        "(CSV written to results/exp12_recovery.csv, gate metrics snapshot to results/exp12_recovery.json)"
+    );
+}

@@ -13,7 +13,7 @@
 //!   5 hours). Runs exceeding it are reported as `*TIMEOUT`, mirroring the
 //!   paper's "* 5h" markers.
 
-use fastod::{CancelToken, Cancelled, DiscoveryConfig, Fastod};
+use fastod::{CancelToken, DiscoveryConfig, Fastod, PassError};
 use fastod_obs::{MetricsSnapshot, Obs};
 use fastod_relation::EncodedRelation;
 use std::fmt::Write as _;
@@ -66,10 +66,12 @@ impl<T> Outcome<T> {
 
 /// Runs a cancellable computation under a time budget. Cancellation is
 /// cooperative (the discovery algorithms poll the token), so no thread is
-/// spawned and partial state is dropped cleanly.
+/// spawned and partial state is dropped cleanly. A contained task panic
+/// ([`PassError::Panicked`]) is a harness bug, not a timeout — it is
+/// re-raised so the experiment fails loudly instead of printing `—`.
 pub fn run_budgeted<T>(
     budget: Duration,
-    f: impl FnOnce(CancelToken) -> Result<T, Cancelled>,
+    f: impl FnOnce(CancelToken) -> Result<T, PassError>,
 ) -> Outcome<T> {
     let token = CancelToken::with_timeout(budget);
     let start = Instant::now();
@@ -78,7 +80,8 @@ pub fn run_budgeted<T>(
             value,
             elapsed: start.elapsed(),
         },
-        Err(Cancelled) => Outcome::TimedOut { budget },
+        Err(PassError::Cancelled) => Outcome::TimedOut { budget },
+        Err(e @ PassError::Panicked { .. }) => panic!("budgeted run failed: {e}"),
     }
 }
 
@@ -346,7 +349,7 @@ mod tests {
 
     #[test]
     fn budgeted_run_completes() {
-        let out = run_budgeted(Duration::from_secs(60), |_t| Ok::<_, Cancelled>(42));
+        let out = run_budgeted(Duration::from_secs(60), |_t| Ok::<_, PassError>(42));
         assert_eq!(out.value(), Some(&42));
         assert!(!out.time_str().starts_with('*'));
         assert_eq!(out.annotate(|v| v.to_string()), "42");
@@ -356,7 +359,7 @@ mod tests {
     fn budgeted_run_times_out() {
         let out = run_budgeted(Duration::ZERO, |t| {
             t.check()?;
-            Ok::<_, Cancelled>(1)
+            Ok::<_, PassError>(1)
         });
         assert!(out.value().is_none());
         assert!(out.time_str().starts_with("*>"));

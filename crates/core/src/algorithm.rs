@@ -8,7 +8,7 @@ use crate::result::DiscoveryResult;
 use crate::snapshot::{compute_candidate_sets_parallel, prune_level, validate_level};
 use crate::stats::{DiscoveryStats, LevelStats};
 use crate::validators::{ExactValidator, OdJudge};
-use crate::{CancelToken, Cancelled};
+use crate::{CancelToken, PassError};
 use fastod_obs::Obs;
 use fastod_partition::ProductScratch;
 use fastod_relation::EncodedRelation;
@@ -71,8 +71,9 @@ impl Fastod {
             .expect("discovery cancelled; use try_discover with cancellation tokens")
     }
 
-    /// Runs discovery, returning `Err(Cancelled)` if the token fires.
-    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<DiscoveryResult, Cancelled> {
+    /// Runs discovery, returning [`PassError`] if the token fires or a
+    /// worker panic is contained.
+    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<DiscoveryResult, PassError> {
         let mut validator = ExactValidator::new(enc, self.config.fd_check);
         let opts = DriverOptions {
             max_level: self.config.max_level,
@@ -90,7 +91,7 @@ pub(crate) fn run_lattice<J: OdJudge>(
     enc: &EncodedRelation,
     validator: &mut J,
     opts: &DriverOptions,
-) -> Result<DiscoveryResult, Cancelled> {
+) -> Result<DiscoveryResult, PassError> {
     let start = Instant::now();
     // Spans shadow the stats clocks exactly — guard opened right after the
     // Instant, dropped right before `.elapsed()` — so a trace's span tree
@@ -293,7 +294,7 @@ mod tests {
         let enc = employee();
         let cfg = DiscoveryConfig::default()
             .with_cancel(CancelToken::with_timeout(std::time::Duration::ZERO));
-        assert_eq!(Fastod::new(cfg).try_discover(&enc).unwrap_err(), Cancelled);
+        assert_eq!(Fastod::new(cfg).try_discover(&enc).unwrap_err(), PassError::Cancelled);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::algorithm::{run_lattice, DriverOptions};
 use crate::result::DiscoveryResult;
 use crate::validators::ApproxValidator;
-use crate::{CancelToken, Cancelled};
+use crate::{CancelToken, PassError};
 use fastod_obs::Obs;
 use fastod_relation::EncodedRelation;
 
@@ -92,7 +92,7 @@ impl ApproxFastod {
     }
 
     /// Runs approximate discovery with the configured threshold.
-    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<DiscoveryResult, Cancelled> {
+    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<DiscoveryResult, PassError> {
         let max_remove = (self.config.epsilon * enc.n_rows() as f64).floor() as usize;
         let mut validator = ApproxValidator::new(enc, max_remove);
         let opts = DriverOptions {
@@ -190,7 +190,7 @@ mod tests {
             .with_cancel(CancelToken::with_timeout(std::time::Duration::ZERO));
         assert_eq!(
             ApproxFastod::new(cfg).try_discover(&enc).unwrap_err(),
-            Cancelled
+            PassError::Cancelled
         );
     }
 }

@@ -27,6 +27,62 @@ impl std::fmt::Display for Cancelled {
 
 impl std::error::Error for Cancelled {}
 
+/// Why a discovery or maintenance pass failed to complete.
+///
+/// A failed pass **applies nothing**: callers discard partial results, so
+/// the distinction only matters for what happens next — a cancelled pass is
+/// the token (deadline or manual) doing its job, while a panicked pass means
+/// a task closure blew up and was contained (see
+/// [`crate::parallel::Executor`]); the containing layer typically poisons
+/// its retained state and rebuilds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PassError {
+    /// The cancellation token fired (manual request or deadline).
+    Cancelled,
+    /// A task closure panicked; the panic was caught and folded into this
+    /// error deterministically (the first panicking item in input order
+    /// wins, so the surfaced message is thread-count independent).
+    Panicked {
+        /// The failpoint-style site name of the containment point.
+        site: &'static str,
+        /// The panic payload, stringified (`"<non-string panic>"` when the
+        /// payload was neither `String` nor `&str`).
+        message: String,
+    },
+}
+
+impl PassError {
+    /// Builds the `Panicked` variant from a caught unwind payload.
+    pub fn panicked(site: &'static str, payload: &(dyn std::any::Any + Send)) -> PassError {
+        let message = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic>")
+            .to_string();
+        PassError::Panicked { site, message }
+    }
+}
+
+impl std::fmt::Display for PassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PassError::Cancelled => f.write_str("discovery cancelled"),
+            PassError::Panicked { site, message } => {
+                write!(f, "pass panicked at {site}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+impl From<Cancelled> for PassError {
+    fn from(Cancelled: Cancelled) -> PassError {
+        PassError::Cancelled
+    }
+}
+
 impl CancelToken {
     /// A token that never cancels.
     pub fn never() -> CancelToken {
@@ -61,9 +117,29 @@ impl CancelToken {
     /// The deadline is evaluated lazily on [`CancelToken::is_cancelled`]
     /// checks; once tripped, the internal flag stays set.
     pub fn with_timeout(budget: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// A token that cancels at an absolute wall-clock instant — the
+    /// serving layer's per-pass deadline primitive (the instant is fixed
+    /// when the pass starts, not when the token is first polled).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
         CancelToken {
             flag: None,
-            deadline: Some((Instant::now() + budget, Arc::new(AtomicBool::new(false)))),
+            deadline: Some((deadline, Arc::new(AtomicBool::new(false)))),
+        }
+    }
+
+    /// A copy of this token with an (additional or replaced) deadline. The
+    /// manual flag is **shared** with the original, so [`CancelToken::cancel`]
+    /// on either still aborts both; the deadline trip
+    /// state is fresh and private to the copy. Sessions use this to run each
+    /// maintenance pass under `session token ∪ per-pass deadline` without
+    /// the elapsed deadline of one pass leaking into the next.
+    pub fn and_deadline(&self, deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: self.flag.clone(),
+            deadline: Some((deadline, Arc::new(AtomicBool::new(false)))),
         }
     }
 
@@ -137,6 +213,40 @@ mod tests {
         let t2 = t.clone();
         handle.store(true, Ordering::Relaxed);
         assert!(t2.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_token_trips_at_instant() {
+        let t = CancelToken::with_deadline(Instant::now());
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn and_deadline_shares_manual_flag_but_not_trip_state() {
+        let (base, _handle) = CancelToken::manual();
+        let pass1 = base.and_deadline(Instant::now()); // already elapsed
+        assert!(pass1.is_cancelled());
+        // A fresh pass token is unaffected by pass1's elapsed deadline...
+        let pass2 = base.and_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!pass2.is_cancelled());
+        assert!(!base.is_cancelled());
+        // ...but the manual flag still reaches every pass token.
+        base.cancel();
+        assert!(pass2.is_cancelled());
+    }
+
+    #[test]
+    fn pass_error_from_cancelled() {
+        assert_eq!(PassError::from(Cancelled), PassError::Cancelled);
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom".to_string());
+        let e = PassError::panicked("executor.worker", payload.as_ref());
+        assert_eq!(
+            e,
+            PassError::Panicked { site: "executor.worker", message: "boom".to_string() }
+        );
+        assert!(e.to_string().contains("executor.worker"));
     }
 
     #[test]

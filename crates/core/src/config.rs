@@ -2,6 +2,7 @@
 
 use crate::CancelToken;
 use fastod_obs::Obs;
+use std::time::Duration;
 
 /// How constancy ODs (`X\A: [] ↦ A`, i.e. FDs) are validated.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -55,6 +56,15 @@ pub struct DiscoveryConfig {
     /// recorder collects per-phase spans, counters and latency histograms
     /// (see the `fastod-obs` crate docs and `--trace` in the CLI).
     pub obs: Obs,
+    /// Wall-clock budget for **each maintenance pass** of the incremental
+    /// engine (and the serving sessions built on it). `None` (the default)
+    /// leaves passes unbounded. When set, every pass runs under
+    /// `cancel ∪ deadline` ([`CancelToken::and_deadline`]): a pass that
+    /// overruns fails exactly like a cancelled one — it applies nothing and
+    /// the engine is poisoned for rebuild — while the next pass starts with
+    /// a fresh deadline. One-shot `Fastod::discover` ignores this field
+    /// (use a deadline `cancel` token there).
+    pub pass_deadline: Option<Duration>,
 }
 
 impl Default for DiscoveryConfig {
@@ -66,6 +76,7 @@ impl Default for DiscoveryConfig {
             threads: 1,
             partition_memory_budget: None,
             obs: Obs::disabled(),
+            pass_deadline: None,
         }
     }
 }
@@ -112,6 +123,13 @@ impl DiscoveryConfig {
     /// Attaches an observability recorder (spans, counters, histograms).
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Bounds each incremental maintenance pass to a wall-clock budget (see
+    /// [`DiscoveryConfig::pass_deadline`]).
+    pub fn with_pass_deadline(mut self, budget: Duration) -> Self {
+        self.pass_deadline = Some(budget);
         self
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::pairset::PairSet;
 use crate::parallel::Executor;
-use crate::{CancelToken, Cancelled};
+use crate::{CancelToken, PassError};
 use fastod_partition::{ProductScratch, StrippedPartition};
 use fastod_relation::AttrSet;
 use std::collections::HashMap;
@@ -47,7 +47,7 @@ pub fn calculate_next_level(
     n_attrs: usize,
     scratch: &mut ProductScratch,
     cancel: &CancelToken,
-) -> Result<Level, Cancelled> {
+) -> Result<Level, PassError> {
     generate_next_level(level, n_attrs, cancel, |_, pi, pj, lvl| {
         lvl[&pi.bits()].partition.product(&lvl[&pj.bits()].partition, scratch)
     })
@@ -68,7 +68,7 @@ pub fn calculate_next_level_parallel(
     exec: &Executor,
     pool: &mut Vec<ProductScratch>,
     cancel: &CancelToken,
-) -> Result<Level, Cancelled> {
+) -> Result<Level, PassError> {
     cancel.check()?;
     let joins = candidate_joins(level);
     exec.obs().add("partition.products", joins.len() as u64);
@@ -132,7 +132,7 @@ pub fn generate_next_level<F>(
     n_attrs: usize,
     cancel: &CancelToken,
     mut make_partition: F,
-) -> Result<Level, Cancelled>
+) -> Result<Level, PassError>
 where
     F: FnMut(AttrSet, AttrSet, AttrSet, &Level) -> StrippedPartition,
 {
@@ -255,7 +255,7 @@ mod tests {
         let mut scratch = ProductScratch::new();
         let token = CancelToken::with_timeout(std::time::Duration::ZERO);
         let result = calculate_next_level(&l1, 3, &mut scratch, &token);
-        assert!(matches!(result, Err(Cancelled)));
+        assert!(matches!(result, Err(PassError::Cancelled)));
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod validators;
 
 pub use algorithm::Fastod;
 pub use approximate::{ApproxConfig, ApproxFastod};
-pub use cancel::{CancelToken, Cancelled};
+pub use cancel::{CancelToken, Cancelled, PassError};
 pub use config::{DiscoveryConfig, FdCheckMode};
 pub use no_pruning::{NoPruningFastod, NoPruningResult};
 pub use pairset::PairSet;

@@ -12,7 +12,7 @@
 use crate::lattice::{build_level0, build_level1, calculate_next_level, sorted_keys, Level};
 use crate::stats::{DiscoveryStats, LevelStats};
 use crate::validators::{ExactValidator, OdValidator};
-use crate::{CancelToken, Cancelled, FdCheckMode};
+use crate::{CancelToken, FdCheckMode, PassError};
 use fastod_partition::ProductScratch;
 use fastod_relation::{AttrSet, EncodedRelation};
 use fastod_theory::{CanonicalOd, OdSet};
@@ -63,7 +63,7 @@ impl NoPruningFastod {
     }
 
     /// Runs the exhaustive validation sweep.
-    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<NoPruningResult, Cancelled> {
+    pub fn try_discover(&self, enc: &EncodedRelation) -> Result<NoPruningResult, PassError> {
         let start = Instant::now();
         let n_attrs = enc.n_attrs();
         let mut result = NoPruningResult {
@@ -228,7 +228,7 @@ mod tests {
             false,
         )
         .try_discover(&enc);
-        assert_eq!(r.unwrap_err(), Cancelled);
+        assert_eq!(r.unwrap_err(), PassError::Cancelled);
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //! inline on the caller's stack, byte-for-byte like the historical
 //! sequential code path.
 
-use crate::{CancelToken, Cancelled};
+use crate::{CancelToken, PassError};
+use fastod_faultkit as faultkit;
 use fastod_obs::Obs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -83,9 +85,15 @@ impl Executor {
     /// the worker's scratch, the item index, and the item.
     ///
     /// # Errors
-    /// Returns [`Cancelled`] when `cancel` fires; workers stop pulling new
-    /// items promptly (within `CANCEL_POLL_ITEMS` items) and partial
-    /// results are discarded.
+    /// Returns [`PassError::Cancelled`] when `cancel` fires; workers stop
+    /// pulling new items promptly (within `CANCEL_POLL_ITEMS` items) and
+    /// partial results are discarded. Returns [`PassError::Panicked`] when a
+    /// task closure panics: the unwind is caught **per item**, sibling
+    /// workers stop pulling work, and the panics observed are folded into
+    /// one error by smallest item index — a worker panic fails the call,
+    /// never the process. (Under racing workers a later item's panic can be
+    /// the only one observed; the hard guarantee is that a failed call
+    /// returns no partial results, not which of several panics is named.)
     pub fn try_map_with<S, T, R, F, M>(
         &self,
         pool: &mut Vec<S>,
@@ -93,7 +101,7 @@ impl Executor {
         items: &[T],
         cancel: &CancelToken,
         f: F,
-    ) -> Result<Vec<R>, Cancelled>
+    ) -> Result<Vec<R>, PassError>
     where
         S: Send,
         T: Sync,
@@ -113,13 +121,24 @@ impl Executor {
         if n_workers == 1 {
             // Inline path: no spawn, identical to the historical sequential
             // loop (same scratch, same item order).
+            if run_worker_failpoint()? {
+                return Err(PassError::Cancelled);
+            }
             let scratch = &mut pool[0];
             let mut out = Vec::with_capacity(items.len());
             for (i, item) in items.iter().enumerate() {
                 if i % CANCEL_POLL_ITEMS == 0 {
                     cancel.check()?;
                 }
-                out.push(f(scratch, i, item));
+                match catch_unwind(AssertUnwindSafe(|| f(scratch, i, item))) {
+                    Ok(r) => out.push(r),
+                    Err(payload) => {
+                        return Err(PassError::panicked(
+                            faultkit::EXECUTOR_WORKER,
+                            payload.as_ref(),
+                        ))
+                    }
+                }
             }
             return Ok(out);
         }
@@ -127,6 +146,7 @@ impl Executor {
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let wall_start = instrument.then(Instant::now);
+        let mut panics: Vec<(u32, String)> = Vec::new();
         let mut buffers: Vec<Vec<(u32, R)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = pool[..n_workers]
                 .iter_mut()
@@ -136,7 +156,24 @@ impl Executor {
                         let mut local: Vec<(u32, R)> = Vec::new();
                         let mut processed = 0usize;
                         let mut busy_ns = 0u64;
+                        // A panic is reported with the index of the item
+                        // that raised it; a worker-startup fault (no item
+                        // claimed yet) sorts after every real item.
+                        let mut panic: Option<(u32, String)> = None;
+                        match run_worker_failpoint() {
+                            Ok(false) => {}
+                            Ok(true) => stop.store(true, Ordering::Relaxed),
+                            Err(e) => {
+                                stop.store(true, Ordering::Relaxed);
+                                if let PassError::Panicked { message, .. } = e {
+                                    panic = Some((u32::MAX, message));
+                                }
+                            }
+                        }
                         loop {
+                            if panic.is_some() {
+                                break;
+                            }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
@@ -152,22 +189,38 @@ impl Executor {
                             }
                             processed += 1;
                             let item_start = instrument.then(Instant::now);
-                            local.push((i as u32, f(scratch, i, &items[i])));
+                            match catch_unwind(AssertUnwindSafe(|| f(scratch, i, &items[i]))) {
+                                Ok(r) => local.push((i as u32, r)),
+                                Err(payload) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    let message = payload
+                                        .downcast_ref::<String>()
+                                        .map(String::as_str)
+                                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                                        .unwrap_or("<non-string panic>")
+                                        .to_string();
+                                    panic = Some((i as u32, message));
+                                }
+                            }
                             if let Some(start) = item_start {
                                 busy_ns += start.elapsed().as_nanos() as u64;
                             }
                         }
-                        (local, busy_ns, processed as u64)
+                        (local, busy_ns, processed as u64, panic)
                     })
                 })
                 .collect();
             let mut buffers = Vec::with_capacity(n_workers);
             let mut worker_stats = Vec::with_capacity(n_workers);
             for handle in handles {
-                let (local, busy_ns, processed) =
-                    handle.join().expect("executor worker panicked");
+                let (local, busy_ns, processed, panic) = handle
+                    .join()
+                    .expect("executor workers contain task panics internally");
                 buffers.push(local);
                 worker_stats.push((busy_ns, processed));
+                if let Some(p) = panic {
+                    panics.push(p);
+                }
             }
             if let Some(wall_start) = wall_start {
                 // Joined wall time is the fairest idle baseline: a worker's
@@ -185,11 +238,16 @@ impl Executor {
             }
             buffers
         });
+        // Deterministic fold: the smallest panicking item index names the
+        // error (matching what the inline path would have hit first).
+        if let Some((_, message)) = panics.into_iter().min() {
+            return Err(PassError::Panicked { site: faultkit::EXECUTOR_WORKER, message });
+        }
         // Only a worker-observed stop counts: when `stop` is unset every
         // index was processed, and a deadline elapsing after the fact must
         // not discard a complete result (the inline path would return Ok).
         if stop.load(Ordering::Relaxed) {
-            return Err(Cancelled);
+            return Err(PassError::Cancelled);
         }
         // Deterministic merge: place each result at its item index.
         let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -207,6 +265,7 @@ impl Executor {
 
     /// Infallible convenience wrapper over
     /// [`try_map_with`](Executor::try_map_with) with a throwaway pool.
+    /// Re-raises a contained worker panic (there is no error channel here).
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -214,10 +273,27 @@ impl Executor {
         F: Fn(usize, &T) -> R + Sync,
     {
         let mut pool: Vec<()> = Vec::new();
-        self.try_map_with(&mut pool, || (), items, &CancelToken::never(), |(), i, t| {
+        match self.try_map_with(&mut pool, || (), items, &CancelToken::never(), |(), i, t| {
             f(i, t)
-        })
-        .expect("never-cancelled map cannot be cancelled")
+        }) {
+            Ok(out) => out,
+            Err(e) => panic!("never-cancelled map failed: {e}"),
+        }
+    }
+}
+
+/// Runs the `executor.worker` failpoint with any injected panic contained:
+/// `Ok(false)` to proceed, `Ok(true)` when the fault requests cancellation,
+/// [`PassError::Panicked`] when it fires a panic. Unarmed this is one
+/// relaxed load.
+fn run_worker_failpoint() -> Result<bool, PassError> {
+    if !faultkit::is_armed() {
+        return Ok(false);
+    }
+    match catch_unwind(|| faultkit::hit(faultkit::EXECUTOR_WORKER)) {
+        Ok(faultkit::Signal::Proceed) => Ok(false),
+        Ok(faultkit::Signal::Cancel) => Ok(true),
+        Err(payload) => Err(PassError::panicked(faultkit::EXECUTOR_WORKER, payload.as_ref())),
     }
 }
 
@@ -282,7 +358,7 @@ mod tests {
         let cancel = CancelToken::with_timeout(std::time::Duration::ZERO);
         let mut pool: Vec<()> = Vec::new();
         let result = exec.try_map_with(&mut pool, || (), &items, &cancel, |(), _, &x| x);
-        assert_eq!(result.unwrap_err(), Cancelled);
+        assert_eq!(result.unwrap_err(), PassError::Cancelled);
     }
 
     #[test]
@@ -292,7 +368,93 @@ mod tests {
         let cancel = CancelToken::with_timeout(std::time::Duration::ZERO);
         let mut pool: Vec<()> = Vec::new();
         let result = exec.try_map_with(&mut pool, || (), &items, &cancel, |(), _, &x| x);
-        assert_eq!(result.unwrap_err(), Cancelled);
+        assert_eq!(result.unwrap_err(), PassError::Cancelled);
+    }
+
+    #[test]
+    fn task_panic_is_contained_not_propagated() {
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::new(threads);
+            let items: Vec<usize> = (0..500).collect();
+            let mut pool: Vec<()> = Vec::new();
+            let result = exec.try_map_with(
+                &mut pool,
+                || (),
+                &items,
+                &CancelToken::never(),
+                |(), _, &x| {
+                    assert!(x != 137, "boom at 137");
+                    x
+                },
+            );
+            match result.unwrap_err() {
+                PassError::Panicked { site, message } => {
+                    assert_eq!(site, "executor.worker");
+                    assert!(message.contains("boom at 137"), "threads={threads}: {message}");
+                }
+                other => panic!("expected Panicked, got {other:?} at threads={threads}"),
+            }
+            // The executor survives: the same pool runs a clean call next.
+            let ok = exec
+                .try_map_with(&mut pool, || (), &items, &CancelToken::never(), |(), _, &x| x)
+                .unwrap();
+            assert_eq!(ok.len(), 500);
+        }
+    }
+
+    #[test]
+    fn inline_panic_fold_names_first_item() {
+        let exec = Executor::new(1);
+        let items: Vec<usize> = (0..100).collect();
+        let mut pool: Vec<()> = Vec::new();
+        let err = exec
+            .try_map_with(&mut pool, || (), &items, &CancelToken::never(), |(), _, &x| {
+                assert!(x < 40, "first bad item {x}");
+                x
+            })
+            .unwrap_err();
+        match err {
+            PassError::Panicked { message, .. } => {
+                assert!(message.contains("first bad item 40"), "{message}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn armed_worker_failpoint_fails_the_call() {
+        use fastod_faultkit as faultkit;
+        let exec = Executor::new(4);
+        let items: Vec<usize> = (0..256).collect();
+        // Panic action: contained into PassError::Panicked.
+        {
+            let _guard = faultkit::arm(faultkit::FaultPlan::new().rule(
+                faultkit::EXECUTOR_WORKER,
+                0,
+                faultkit::FaultAction::Panic,
+            ));
+            let mut pool: Vec<()> = Vec::new();
+            let err = exec
+                .try_map_with(&mut pool, || (), &items, &CancelToken::never(), |(), _, &x| x)
+                .unwrap_err();
+            assert!(matches!(err, PassError::Panicked { site: "executor.worker", .. }), "{err:?}");
+        }
+        // Cancel action: surfaces as a cancelled pass.
+        {
+            let _guard = faultkit::arm(faultkit::FaultPlan::new().rule(
+                faultkit::EXECUTOR_WORKER,
+                0,
+                faultkit::FaultAction::Cancel,
+            ));
+            let mut pool: Vec<()> = Vec::new();
+            let err = exec
+                .try_map_with(&mut pool, || (), &items, &CancelToken::never(), |(), _, &x| x)
+                .unwrap_err();
+            assert_eq!(err, PassError::Cancelled);
+        }
+        // Disarmed again: clean run.
+        let out = exec.map(&items, |_, &x| x);
+        assert_eq!(out.len(), 256);
     }
 
     #[test]

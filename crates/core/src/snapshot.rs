@@ -30,7 +30,7 @@ use crate::pairset::PairSet;
 use crate::parallel::Executor;
 use crate::stats::LevelStats;
 use crate::validators::{OdJudge, ValidationTask};
-use crate::{CancelToken, Cancelled};
+use crate::{CancelToken, PassError};
 use fastod_relation::{AttrId, AttrSet};
 use fastod_theory::{CanonicalOd, OdSet};
 use std::collections::HashMap;
@@ -90,7 +90,7 @@ pub fn compute_candidate_sets(l: usize, current: &mut Level, prev: &Level, n_att
 /// keys — byte-for-byte the sequential outcome at any thread count.
 ///
 /// # Errors
-/// [`Cancelled`] when `cancel` fires mid-level.
+/// [`PassError`] when `cancel` fires mid-level or a worker panics.
 pub fn compute_candidate_sets_parallel(
     l: usize,
     current: &mut Level,
@@ -98,7 +98,7 @@ pub fn compute_candidate_sets_parallel(
     n_attrs: usize,
     exec: &Executor,
     cancel: &CancelToken,
-) -> Result<(), Cancelled> {
+) -> Result<(), PassError> {
     if !exec.is_parallel() || current.len() < 2 {
         cancel.check()?;
         compute_candidate_sets(l, current, prev, n_attrs);
@@ -155,7 +155,7 @@ pub fn validate_level<J: OdJudge>(
     lemma5_removals: bool,
     exec: &Executor,
     cancel: &CancelToken,
-) -> Result<(), Cancelled> {
+) -> Result<(), PassError> {
     let keys = sorted_keys(current);
 
     // Gather: one task per candidate OD, in the historical validation order

@@ -13,7 +13,7 @@
 use crate::config::FdCheckMode;
 use crate::parallel::Executor;
 use crate::stats::LevelStats;
-use crate::{CancelToken, Cancelled};
+use crate::{CancelToken, PassError};
 use fastod_partition::{
     check_constancy, check_constancy_classes, check_order_compat, check_order_compat_sweep,
     check_order_compat_sweep_classes, constancy_removal_error, find_constancy_violation,
@@ -103,14 +103,15 @@ pub trait OdValidator {
     /// keeps the discovered cover independent of the thread count.
     ///
     /// # Errors
-    /// [`Cancelled`] when `cancel` fires mid-batch.
+    /// [`PassError`] when `cancel` fires mid-batch or a sharded task
+    /// closure panics (contained by the executor).
     fn validate_batch(
         &mut self,
         tasks: &[ValidationTask<'_>],
         exec: &Executor,
         cancel: &CancelToken,
         stats: &mut LevelStats,
-    ) -> Result<Vec<bool>, Cancelled> {
+    ) -> Result<Vec<bool>, PassError> {
         let _ = exec;
         sequential_validate(self, tasks, cancel, stats)
     }
@@ -148,7 +149,7 @@ fn sequential_validate<V: OdValidator + ?Sized>(
     tasks: &[ValidationTask<'_>],
     cancel: &CancelToken,
     stats: &mut LevelStats,
-) -> Result<Vec<bool>, Cancelled> {
+) -> Result<Vec<bool>, PassError> {
     let mut out = Vec::with_capacity(tasks.len());
     for (i, task) in tasks.iter().enumerate() {
         if i % 64 == 0 {
@@ -218,14 +219,15 @@ pub trait OdJudge {
     /// contract.
     ///
     /// # Errors
-    /// [`Cancelled`] when `cancel` fires mid-batch.
+    /// [`PassError`] when `cancel` fires mid-batch or a sharded task
+    /// closure panics (contained by the executor).
     fn judge_batch(
         &mut self,
         tasks: &[ValidationTask<'_>],
         exec: &Executor,
         cancel: &CancelToken,
         stats: &mut LevelStats,
-    ) -> Result<Vec<bool>, Cancelled> {
+    ) -> Result<Vec<bool>, PassError> {
         let _ = exec;
         let mut out = Vec::with_capacity(tasks.len());
         for (i, task) in tasks.iter().enumerate() {
@@ -274,7 +276,7 @@ impl<V: OdValidator> OdJudge for V {
         exec: &Executor,
         cancel: &CancelToken,
         stats: &mut LevelStats,
-    ) -> Result<Vec<bool>, Cancelled> {
+    ) -> Result<Vec<bool>, PassError> {
         OdValidator::validate_batch(self, tasks, exec, cancel, stats)
     }
 }
@@ -374,7 +376,7 @@ impl OdValidator for ExactValidator<'_> {
         exec: &Executor,
         cancel: &CancelToken,
         stats: &mut LevelStats,
-    ) -> Result<Vec<bool>, Cancelled> {
+    ) -> Result<Vec<bool>, PassError> {
         if !exec.is_parallel() || tasks.len() < 2 {
             return sequential_validate(self, tasks, cancel, stats);
         }
@@ -590,7 +592,7 @@ impl OdValidator for ApproxValidator<'_> {
         exec: &Executor,
         cancel: &CancelToken,
         stats: &mut LevelStats,
-    ) -> Result<Vec<bool>, Cancelled> {
+    ) -> Result<Vec<bool>, PassError> {
         if !exec.is_parallel() || tasks.len() < 2 {
             return sequential_validate(self, tasks, cancel, stats);
         }
@@ -771,7 +773,7 @@ mod tests {
             assert_eq!(
                 v.validate_batch(&tasks, &Executor::new(threads), &cancel, &mut stats)
                     .unwrap_err(),
-                Cancelled
+                PassError::Cancelled
             );
         }
     }

@@ -7,13 +7,15 @@ use fastod::snapshot::{
     build_level0_masked, compute_candidate_sets_parallel, generate_next_level, prune_level,
     validate_level, DiscoverySnapshot, Level, Node,
 };
-use fastod::{Cancelled, DiscoveryConfig, ExactValidator, LevelStats};
+use fastod::{CancelToken, DiscoveryConfig, ExactValidator, LevelStats, PassError};
+use fastod_faultkit as faultkit;
 use fastod_partition::{ProductScratch, StrippedPartition};
 use fastod_relation::{GrowableRelation, Relation, RelationError, Schema};
 use fastod_relation::{AttrSet, EncodedRelation};
 use fastod_theory::{CanonicalOd, OdSet};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Errors surfaced by the incremental engine.
@@ -30,10 +32,22 @@ pub enum IncrementalError {
         /// Rows in the replacement relation.
         replacement_rows: usize,
     },
-    /// The configured cancellation token fired mid-pass.
+    /// The configured cancellation token fired mid-pass (manual request or
+    /// the per-pass deadline of [`DiscoveryConfig::pass_deadline`]).
     Cancelled,
-    /// A previous pass was cancelled mid-flight, leaving the retained state
-    /// unusable; rebuild the engine from the accumulated relation.
+    /// A pass panicked — in a sharded task closure (contained by the
+    /// executor) or on the engine thread itself (contained here) — and the
+    /// panic was folded into this typed error instead of unwinding further.
+    Panicked {
+        /// The failpoint-style site name of the containment point.
+        site: &'static str,
+        /// The stringified panic payload.
+        message: String,
+    },
+    /// A previous pass failed mid-flight (cancelled, timed out, or
+    /// panicked), leaving the retained state unusable; rebuild the engine
+    /// via [`IncrementalDiscovery::rebuild`] (or from the accumulated
+    /// relation by hand).
     Poisoned,
 }
 
@@ -46,8 +60,11 @@ impl fmt::Display for IncrementalError {
                 "update of {rows} rows got a replacement with {replacement_rows} rows"
             ),
             IncrementalError::Cancelled => f.write_str("maintenance pass cancelled"),
+            IncrementalError::Panicked { site, message } => {
+                write!(f, "maintenance pass panicked at {site}: {message}")
+            }
             IncrementalError::Poisoned => {
-                f.write_str("engine poisoned by an earlier cancelled pass; rebuild it")
+                f.write_str("engine poisoned by an earlier failed pass; rebuild it")
             }
         }
     }
@@ -65,6 +82,15 @@ impl std::error::Error for IncrementalError {
 impl From<RelationError> for IncrementalError {
     fn from(e: RelationError) -> Self {
         IncrementalError::Relation(e)
+    }
+}
+
+impl From<PassError> for IncrementalError {
+    fn from(e: PassError) -> Self {
+        match e {
+            PassError::Cancelled => IncrementalError::Cancelled,
+            PassError::Panicked { site, message } => IncrementalError::Panicked { site, message },
+        }
     }
 }
 
@@ -130,9 +156,11 @@ impl IncrementalDiscovery {
             queue: Vec::new(),
             poisoned: false,
         };
+        // The initial build is not a maintenance pass: `pass_deadline` does
+        // not apply (bound it with a deadline `cancel` token instead).
         engine
-            .refresh(Pass { old_n: 0, deleted: &[] })
-            .map_err(|Cancelled| IncrementalError::Cancelled)?;
+            .refresh(Pass { old_n: 0, deleted: &[] }, None)
+            .map_err(IncrementalError::from)?;
         Ok(engine)
     }
 
@@ -454,19 +482,115 @@ impl IncrementalDiscovery {
         }
     }
 
-    /// Runs one maintenance pass, poisoning the engine if it cancels.
+    /// Runs one maintenance pass, poisoning the engine if it fails.
+    ///
+    /// The pass runs under `cancel ∪ pass_deadline` and inside a panic
+    /// containment boundary: worker panics are already folded into
+    /// [`PassError::Panicked`] by the executor, and a panic on the engine
+    /// thread itself (e.g. an armed `incr.*` failpoint) is caught here. In
+    /// every failure mode the outcome is identical — the engine is poisoned,
+    /// the cover cleared, and a typed error returned; the process never
+    /// sees the unwind.
     fn run_pass(&mut self, pass: Pass<'_>) -> Result<BatchReport, IncrementalError> {
-        match self.refresh(pass) {
-            Ok(report) => Ok(report),
-            Err(Cancelled) => {
-                // The mutation is half-absorbed (rows mutated, lattice
-                // partly rebuilt, snapshot consumed): drop the now-
-                // inconsistent cover rather than serve stale answers.
+        let deadline = self.config.pass_deadline.map(|budget| Instant::now() + budget);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.refresh(pass, deadline)));
+        let err = match outcome {
+            Ok(Ok(report)) => return Ok(report),
+            Ok(Err(e)) => IncrementalError::from(e),
+            Err(payload) => {
+                // An unwind through the pass itself, not a contained
+                // worker. The payload names the true origin site.
+                let PassError::Panicked { site, message } =
+                    PassError::panicked("incr.run_pass", payload.as_ref())
+                else {
+                    unreachable!("panicked() always builds Panicked")
+                };
+                IncrementalError::Panicked { site, message }
+            }
+        };
+        // The mutation is half-absorbed (rows mutated, lattice partly
+        // rebuilt, snapshot consumed): drop the now-inconsistent cover
+        // rather than serve stale answers.
+        self.poisoned = true;
+        self.cover = OdSet::new();
+        if matches!(err, IncrementalError::Panicked { .. }) {
+            self.config.obs.add("incr.panics_contained", 1);
+        }
+        Err(err)
+    }
+
+    /// Rebuilds a poisoned engine in place: queued batches are folded into
+    /// the accumulated relation, the verdict cache and retained snapshot
+    /// are discarded, and one from-scratch discovery pass over the
+    /// surviving rows restores the cover invariant. Works on healthy
+    /// engines too (it is then just an expensive no-op for the cover).
+    ///
+    /// The rebuild pass deliberately ignores
+    /// [`DiscoveryConfig::pass_deadline`] — recovery must be able to
+    /// complete — but still honours the `cancel` token; swap in a fresh one
+    /// first ([`set_cancel`](IncrementalDiscovery::set_cancel)) when the
+    /// old token is what killed the pass.
+    ///
+    /// # Errors
+    /// [`IncrementalError::Cancelled`] / [`IncrementalError::Panicked`]
+    /// when the rebuild pass itself fails (the engine stays poisoned and
+    /// can be rebuilt again); [`IncrementalError::Relation`] if a queued
+    /// batch no longer extends the relation (impossible unless the schema
+    /// changed out from under the queue).
+    pub fn rebuild(&mut self) -> Result<(), IncrementalError> {
+        // Fold the pending queue into the relation first so a single
+        // deadline-free pass absorbs everything (schemas were validated at
+        // enqueue time).
+        let queued = std::mem::take(&mut self.queue);
+        for batch in &queued {
+            self.grow.extend(batch)?;
+        }
+        self.cache.clear();
+        self.snapshot = DiscoverySnapshot::empty();
+        self.cover = OdSet::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.refresh(Pass { old_n: 0, deleted: &[] }, None)
+        }));
+        match outcome {
+            Ok(Ok(_)) => {
+                self.poisoned = false;
+                Ok(())
+            }
+            Ok(Err(e)) => {
                 self.poisoned = true;
                 self.cover = OdSet::new();
-                Err(IncrementalError::Cancelled)
+                Err(IncrementalError::from(e))
+            }
+            Err(payload) => {
+                self.poisoned = true;
+                self.cover = OdSet::new();
+                self.config.obs.add("incr.panics_contained", 1);
+                let PassError::Panicked { site, message } =
+                    PassError::panicked("incr.rebuild", payload.as_ref())
+                else {
+                    unreachable!("panicked() always builds Panicked")
+                };
+                Err(IncrementalError::Panicked { site, message })
             }
         }
+    }
+
+    /// Replaces the engine's cancellation token. Recovery uses this to
+    /// discard a token that fired (or whose deadline elapsed) so the
+    /// rebuild pass does not cancel on arrival.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.config.cancel = cancel;
+    }
+
+    /// Externally poisons the engine (clears the cover, rejects further
+    /// mutations until [`rebuild`](IncrementalDiscovery::rebuild)). The
+    /// serving layer uses this when a failure *outside* the engine — e.g.
+    /// snapshot publication — leaves the published state behind the
+    /// absorbed state, so the usual "a failed pass applies nothing"
+    /// reasoning no longer certifies consistency.
+    pub fn mark_poisoned(&mut self) {
+        self.poisoned = true;
+        self.cover = OdSet::new();
     }
 
     /// One maintenance pass: rebuild the lattice over the current encoding,
@@ -483,7 +607,12 @@ impl IncrementalDiscovery {
     /// (falling back to an early-exit re-scan when the delta is large or
     /// the partition was evicted). Appended rows are then absorbed exactly
     /// as before — the two directions threaten disjoint verdict sets.
-    fn refresh(&mut self, pass: Pass<'_>) -> Result<BatchReport, Cancelled> {
+    fn refresh(&mut self, pass: Pass<'_>, deadline: Option<Instant>) -> Result<BatchReport, PassError> {
+        // Failpoint: one branch when unarmed. `Cancel` fails the pass like
+        // a fired token; `Panic` unwinds to `run_pass`'s containment.
+        if let faultkit::Signal::Cancel = faultkit::hit(faultkit::INCR_REFRESH) {
+            return Err(PassError::Cancelled);
+        }
         let started = Instant::now();
         let obs = self.config.obs.clone();
         let pass_span = obs.span_with(
@@ -497,7 +626,13 @@ impl IncrementalDiscovery {
         let n_rows = enc.n_rows();
         let old_n = pass.old_n;
         let appended = n_rows - old_n;
-        let cancel = self.config.cancel.clone();
+        // The pass token is `session cancel ∪ per-pass deadline`: the
+        // deadline trip state is private to this pass, the manual flag is
+        // shared, so a timed-out pass never bleeds into the next one.
+        let cancel = match deadline {
+            Some(at) => self.config.cancel.and_deadline(at),
+            None => self.config.cancel.clone(),
+        };
         // Unresolved re-validations shard across the same executor the
         // one-shot driver uses; cache bookkeeping stays sequential.
         let exec = Executor::with_obs(self.config.threads, obs.clone());

@@ -4,8 +4,9 @@
 use crate::stats::BatchCounters;
 use fastod::parallel::Executor;
 use fastod::{
-    CancelToken, Cancelled, LevelStats, OdJudge, OdValidator, ValidationTask, ViolationWitness,
+    CancelToken, LevelStats, OdJudge, OdValidator, PassError, ValidationTask, ViolationWitness,
 };
+use fastod_faultkit as faultkit;
 use fastod_partition::{
     count_constancy_violations, count_constancy_violations_rows, count_swap_violations,
     count_swap_violations_rows, find_constancy_violation, find_swap_sweep, CountScratch,
@@ -653,7 +654,13 @@ impl<V: OdValidator + Sync> OdJudge for CachedJudge<'_, V> {
         exec: &Executor,
         cancel: &CancelToken,
         stats: &mut LevelStats,
-    ) -> Result<Vec<bool>, Cancelled> {
+    ) -> Result<Vec<bool>, PassError> {
+        // Failpoint: one branch when unarmed. An armed `Cancel` fails this
+        // batch like a fired token; an armed `Panic` unwinds to the engine's
+        // pass-level containment (`run_pass`), which poisons the engine.
+        if let faultkit::Signal::Cancel = faultkit::hit(faultkit::INCR_JUDGE_BATCH) {
+            return Err(PassError::Cancelled);
+        }
         let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(tasks.len());
         let mut escalations: Vec<Escalation<'_>> = Vec::new();
         let mut unresolved: Vec<ValidationTask<'_>> = Vec::new();

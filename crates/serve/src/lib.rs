@@ -61,7 +61,7 @@ pub mod session;
 pub mod snapshot;
 
 pub use publish::EpochCell;
-pub use session::{ServeConfig, ServeError, Server, Session};
+pub use session::{RecoveryPolicy, ServeConfig, ServeError, Server, Session};
 pub use snapshot::CoverSnapshot;
 
 #[cfg(test)]
@@ -152,6 +152,36 @@ mod tests {
         let _ = s.read();
         assert!(s.metrics().is_empty());
         assert!(quiet.metrics().is_empty());
+    }
+
+    #[test]
+    fn fault_metrics_cover_failure_and_recovery() {
+        use fastod_faultkit as faultkit;
+        let obs = fastod_obs::Obs::enabled();
+        let config = ServeConfig {
+            discovery: fastod::DiscoveryConfig::default().with_obs(obs),
+            recovery: RecoveryPolicy::auto(),
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config);
+        let session = server.open("r", &random_relation(20, 3, 3, 21)).unwrap();
+
+        let guard = faultkit::arm(faultkit::FaultPlan::new().rule(
+            faultkit::INCR_REFRESH,
+            0,
+            faultkit::FaultAction::Panic,
+        ));
+        session
+            .push_batch(&random_relation(4, 3, 3, 22))
+            .expect_err("armed panic must fail the pass");
+        drop(guard);
+        session.recover().unwrap();
+
+        let snap = session.metrics();
+        assert_eq!(snap.counter("serve.pass_failures"), Some(1));
+        assert_eq!(snap.counter("incr.panics_contained"), Some(1));
+        assert_eq!(snap.counter("serve.recoveries"), Some(1));
+        assert_eq!(snap.histogram("serve.recovery_us").unwrap().count, 1);
     }
 
     #[test]

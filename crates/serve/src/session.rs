@@ -2,14 +2,16 @@
 
 use crate::publish::EpochCell;
 use crate::snapshot::CoverSnapshot;
-use fastod::{CancelToken, DiscoveryConfig};
+use fastod::{CancelToken, DiscoveryConfig, PassError};
+use fastod_faultkit as faultkit;
 use fastod_incremental::{BatchReport, IncrementalDiscovery, IncrementalError};
 use fastod_obs::{Counter, Histogram, MetricsSnapshot, Obs};
 use fastod_relation::{Relation, Schema};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]
@@ -21,9 +23,13 @@ pub enum ServeError {
     /// The underlying maintenance engine rejected the mutation (bad schema,
     /// bad row ids, cancelled pass, …). The published cover is unchanged.
     Engine(IncrementalError),
-    /// A maintenance thread panicked mid-pass, leaving the engine state
-    /// unknowable. The session keeps serving its last published cover but
-    /// accepts no further mutations; close and reopen it.
+    /// A maintenance thread panicked while holding the engine mutex in a
+    /// way the containment boundaries could not fold into a typed error
+    /// (the mutex itself is poisoned). The session keeps serving its last
+    /// published cover but accepts no further mutations; close and reopen
+    /// it. Pass-level panics never surface here — they become
+    /// [`IncrementalError::Panicked`] and the session is recoverable via
+    /// [`Session::recover`].
     MaintenancePanicked,
 }
 
@@ -83,8 +89,10 @@ pub struct Session {
     /// polls between work items, including inside sharded delete-wave
     /// escalations). Fired by [`Server::close`] so teardown latency is
     /// bounded; the poisoned engine then serves nothing, but the session is
-    /// being dropped anyway.
-    cancel: CancelToken,
+    /// being dropped anyway. Behind a mutex because
+    /// [`recover`](Session::recover) swaps in a fresh token — the fired one
+    /// must not kill the rebuild pass or any pass after it.
+    cancel: Mutex<CancelToken>,
     /// The recorder from the session's [`DiscoveryConfig`] (shared with the
     /// engine, and — via [`ServeConfig`] — with every sibling session).
     obs: Obs,
@@ -95,6 +103,9 @@ pub struct Session {
     reads: Counter,
     pass_us: Histogram,
     publish_us: Histogram,
+    pass_failures: Counter,
+    recoveries: Counter,
+    recovery_us: Histogram,
 }
 
 impl Session {
@@ -121,11 +132,14 @@ impl Session {
             name: name.into(),
             engine: Mutex::new(engine),
             published: EpochCell::new(Arc::new(initial)),
-            cancel,
+            cancel: Mutex::new(cancel),
             read_ns: obs.histogram("serve.read_ns"),
             reads: obs.counter("serve.reads"),
             pass_us: obs.histogram("serve.pass_us"),
             publish_us: obs.histogram("serve.publish_lag_us"),
+            pass_failures: obs.counter("serve.pass_failures"),
+            recoveries: obs.counter("serve.recoveries"),
+            recovery_us: obs.histogram("serve.recovery_us"),
             obs,
         })
     }
@@ -205,17 +219,101 @@ impl Session {
     ) -> Result<BatchReport, ServeError> {
         let mut engine = self.lock_engine()?;
         let span = self.obs.span("serve_pass");
-        let report = step(&mut engine)?;
-        let publish_start = Instant::now();
-        self.published.publish(Arc::new(CoverSnapshot::of(&engine)));
+        // Containment boundary: the pass itself folds its own failures into
+        // typed errors (the engine poisons itself), but the gap between
+        // pass success and snapshot construction — including the
+        // `serve.publish` failpoint — can still unwind. Catch it here so
+        // the engine mutex is never poisoned and the process never dies.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let report = step(&mut engine)?;
+            // An armed `Cancel` at the publish site models "pass absorbed,
+            // publication lost": the engine is ahead of the published
+            // snapshot, so consistency demands a rebuild.
+            if let faultkit::Signal::Cancel = faultkit::hit(faultkit::SERVE_PUBLISH) {
+                engine.mark_poisoned();
+                return Err(ServeError::Engine(IncrementalError::Cancelled));
+            }
+            Ok((report, CoverSnapshot::of(&engine)))
+        }));
         drop(span);
-        if self.obs.is_enabled() {
-            // Publish lag: time the new cover existed before readers could
-            // see it (snapshot construction + epoch swap).
-            self.publish_us.record(publish_start.elapsed().as_micros() as u64);
-            self.pass_us.record(report.elapsed.as_micros() as u64);
+        match outcome {
+            Ok(Ok((report, snapshot))) => {
+                let publish_start = Instant::now();
+                self.published.publish(Arc::new(snapshot));
+                if self.obs.is_enabled() {
+                    // Publish lag: time the new cover existed before readers
+                    // could see it (epoch swap only; construction is timed
+                    // inside the pass span).
+                    self.publish_us.record(publish_start.elapsed().as_micros() as u64);
+                    self.pass_us.record(report.elapsed.as_micros() as u64);
+                }
+                Ok(report)
+            }
+            Ok(Err(e)) => {
+                self.pass_failures.incr();
+                Err(e)
+            }
+            Err(payload) => {
+                // Panicked after the pass succeeded (publication path): the
+                // absorbed state is ahead of the published snapshot.
+                engine.mark_poisoned();
+                self.pass_failures.incr();
+                let PassError::Panicked { site, message } =
+                    PassError::panicked(faultkit::SERVE_PUBLISH, payload.as_ref())
+                else {
+                    unreachable!("panicked() always builds Panicked")
+                };
+                Err(ServeError::Engine(IncrementalError::Panicked { site, message }))
+            }
         }
-        Ok(report)
+    }
+
+    /// Rebuilds a poisoned session in place and republishes at a fresh
+    /// epoch: swaps a fresh cancel token into the engine (the fired one may
+    /// be what killed the pass), folds the engine's pending queue into the
+    /// accumulated relation, and runs one from-scratch discovery pass over
+    /// the surviving rows — deliberately without the per-pass deadline, so
+    /// recovery can always complete. Readers are never blocked and never
+    /// observe a gap: the last published snapshot keeps serving until the
+    /// rebuilt cover is swapped in atomically.
+    ///
+    /// The recovered cover is byte-identical to what a from-scratch
+    /// discovery over the surviving rows would publish (same config), so
+    /// recovery re-establishes the completeness guarantee exactly.
+    ///
+    /// # Errors
+    /// [`ServeError::Engine`] when the rebuild pass itself fails — the
+    /// session stays poisoned and can be recovered again (the
+    /// [`Server`]'s [`RecoveryPolicy`] automates bounded retries).
+    pub fn recover(&self) -> Result<(), ServeError> {
+        let mut engine = self.lock_engine()?;
+        let started = Instant::now();
+        let (fresh, _flag) = CancelToken::manual();
+        engine.set_cancel(fresh.clone());
+        *self.lock_cancel() = fresh;
+        let outcome = catch_unwind(AssertUnwindSafe(|| engine.rebuild()));
+        match outcome {
+            Ok(Ok(())) => {
+                self.published.publish(Arc::new(CoverSnapshot::of(&engine)));
+                self.recoveries.incr();
+                if self.obs.is_enabled() {
+                    self.recovery_us.record(started.elapsed().as_micros() as u64);
+                }
+                Ok(())
+            }
+            Ok(Err(e)) => Err(ServeError::Engine(e)),
+            Err(payload) => {
+                // A panic the rebuild could not contain (e.g. an armed
+                // `relation.extend` failpoint while folding the queue).
+                engine.mark_poisoned();
+                let PassError::Panicked { site, message } =
+                    PassError::panicked("serve.recover", payload.as_ref())
+                else {
+                    unreachable!("panicked() always builds Panicked")
+                };
+                Err(ServeError::Engine(IncrementalError::Panicked { site, message }))
+            }
+        }
     }
 
     /// A snapshot of everything the session's recorder collected: `serve.*`
@@ -228,8 +326,9 @@ impl Session {
         self.obs.snapshot()
     }
 
-    /// Whether the engine was poisoned by a cancelled pass. The session
-    /// still serves its last published snapshot; mutations are rejected.
+    /// Whether the engine was poisoned by a failed (cancelled, timed-out,
+    /// or panicked) pass. The session still serves its last published
+    /// snapshot; mutations are rejected until [`Session::recover`] runs.
     pub fn is_poisoned(&self) -> bool {
         self.lock_engine().map(|e| e.is_poisoned()).unwrap_or(true)
     }
@@ -237,7 +336,7 @@ impl Session {
     /// Requests cancellation of any in-flight maintenance pass. The pass
     /// fails with [`IncrementalError::Cancelled`] and publishes nothing.
     pub fn cancel_maintenance(&self) {
-        self.cancel.cancel();
+        self.lock_cancel().cancel();
     }
 
     /// Re-targets the engine's retained-partition byte budget (used by the
@@ -250,6 +349,55 @@ impl Session {
 
     fn lock_engine(&self) -> Result<MutexGuard<'_, IncrementalDiscovery>, ServeError> {
         self.engine.lock().map_err(|_| ServeError::MaintenancePanicked)
+    }
+
+    fn lock_cancel(&self) -> MutexGuard<'_, CancelToken> {
+        // The token is only ever swapped or fired under this lock — a
+        // poisoned mutex still holds a usable token, so recover from the
+        // poison rather than wedging teardown.
+        self.cancel.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// How a [`Server`] heals sessions poisoned by a failed maintenance pass:
+/// up to `max_attempts` [`Session::recover`] calls with exponential backoff
+/// between them. The default is **disabled** (`max_attempts == 0`) —
+/// explicit [`Session::recover`] always works, but nothing retries
+/// automatically unless opted in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Rebuild attempts per [`Server::heal`] / [`Server::recover`] call
+    /// (`0` disables automatic healing).
+    pub max_attempts: u32,
+    /// Sleep before the *second* attempt (the first runs immediately).
+    pub initial_backoff: Duration,
+    /// Backoff cap: the sleep doubles per attempt but never exceeds this.
+    pub max_backoff: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy::disabled()
+    }
+}
+
+impl RecoveryPolicy {
+    /// No automatic recovery (the default).
+    pub fn disabled() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_attempts: 0,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// A sane opt-in preset: 3 attempts, 10ms initial backoff, 1s cap.
+    pub fn auto() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
     }
 }
 
@@ -278,6 +426,9 @@ pub struct ServeConfig {
     /// are *cover* snapshots — partition memory is not double-buffered, so
     /// the budget bounds one copy per session, not two.
     pub total_partition_budget: Option<usize>,
+    /// Automatic healing of poisoned sessions (see [`RecoveryPolicy`]).
+    /// Disabled by default.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Server {
@@ -305,7 +456,7 @@ impl Server {
         // insertion (a racing open of the same name loses politely).
         let session = Arc::new(Session::open(name, rel, self.config.discovery.clone())?);
         {
-            let mut sessions = self.sessions.write().expect("registry lock poisoned");
+            let mut sessions = self.sessions.write().unwrap_or_else(|p| p.into_inner());
             if sessions.contains_key(name) {
                 return Err(ServeError::DuplicateSession(name.to_string()));
             }
@@ -319,7 +470,7 @@ impl Server {
     pub fn session(&self, name: &str) -> Option<Arc<Session>> {
         self.sessions
             .read()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(name)
             .cloned()
     }
@@ -335,7 +486,7 @@ impl Server {
         let removed = self
             .sessions
             .write()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .remove(name)
             .ok_or_else(|| ServeError::UnknownSession(name.to_string()))?;
         removed.cancel_maintenance();
@@ -348,7 +499,7 @@ impl Server {
         let mut names: Vec<String> = self
             .sessions
             .read()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .keys()
             .cloned()
             .collect();
@@ -358,7 +509,7 @@ impl Server {
 
     /// Number of open sessions.
     pub fn len(&self) -> usize {
-        self.sessions.read().expect("registry lock poisoned").len()
+        self.sessions.read().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// Whether no sessions are open.
@@ -374,6 +525,68 @@ impl Server {
         self.config.discovery.obs.snapshot()
     }
 
+    /// Recovers one poisoned session under the configured
+    /// [`RecoveryPolicy`]: up to `max_attempts` rebuilds (at least one,
+    /// even when the policy is disabled — an explicit call is an explicit
+    /// ask) with exponential backoff between them. A healthy session
+    /// recovers trivially (the rebuild is a no-op for the cover).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] when the name is not registered;
+    /// the last attempt's [`ServeError`] when every attempt fails (the
+    /// session stays poisoned and keeps serving its last good snapshot).
+    pub fn recover(&self, name: &str) -> Result<(), ServeError> {
+        let session = self
+            .session(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_string()))?;
+        self.recover_session(&session)
+    }
+
+    /// Sweeps the registry and recovers every poisoned session under the
+    /// configured [`RecoveryPolicy`]. Returns the names of the sessions
+    /// that were poisoned and are now healthy. A no-op (empty result) when
+    /// the policy is disabled. Sessions whose recovery fails after all
+    /// attempts are left poisoned — still serving their last published
+    /// snapshot — and reported by the next sweep.
+    pub fn heal(&self) -> Vec<String> {
+        if self.config.recovery.max_attempts == 0 {
+            return Vec::new();
+        }
+        let sessions: Vec<Arc<Session>> = self
+            .sessions
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        let mut healed = Vec::new();
+        for session in sessions {
+            if session.is_poisoned() && self.recover_session(&session).is_ok() {
+                healed.push(session.name().to_string());
+            }
+        }
+        healed.sort();
+        healed
+    }
+
+    fn recover_session(&self, session: &Session) -> Result<(), ServeError> {
+        let policy = &self.config.recovery;
+        let attempts = policy.max_attempts.max(1);
+        let mut backoff = policy.initial_backoff;
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 && !backoff.is_zero() {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+            match session.recover() {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one recovery attempt ran"))
+    }
+
     /// Splits the global partition budget equally across the open sessions.
     /// Sessions whose retained set exceeds their new share evict down to it
     /// immediately (waiting for their in-flight pass, if any); sessions
@@ -385,7 +598,7 @@ impl Server {
         let sessions: Vec<Arc<Session>> = self
             .sessions
             .read()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .values()
             .cloned()
             .collect();

@@ -97,6 +97,9 @@ struct Args {
     readers: usize,
     batch: usize,
     base_frac: f64,
+    /// `serve`: wall-clock budget per maintenance pass; an overrunning
+    /// pass fails like a cancelled one and auto-recovery rebuilds it.
+    pass_deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -123,6 +126,7 @@ fn parse_args() -> Result<Args, String> {
         readers: 2,
         batch: 16,
         base_frac: 0.5,
+        pass_deadline_ms: None,
     };
     let mut iter = std::env::args().skip(1).peekable();
     match iter.peek().map(String::as_str) {
@@ -210,6 +214,13 @@ fn parse_args() -> Result<Args, String> {
                 args.base_frac = need(&mut iter, "--base-frac")?
                     .parse()
                     .map_err(|e| format!("--base-frac: {e}"))?
+            }
+            "--pass-deadline-ms" => {
+                args.pass_deadline_ms = Some(
+                    need(&mut iter, "--pass-deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--pass-deadline-ms: {e}"))?,
+                )
             }
             "--help" | "-h" => return Err("help".into()),
             other if args.file.is_empty() && !other.starts_with('-') => {
@@ -341,11 +352,22 @@ fn run_serve(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
     let base_rows = ((n as f64 * args.base_frac).round() as usize).clamp(1, n);
     let batch = args.batch.max(1);
     let base = rel.select_rows(&(0..base_rows).collect::<Vec<_>>());
+    let mut discovery = DiscoveryConfig::default()
+        .with_threads(args.threads)
+        .with_obs(obs.clone());
+    if let Some(ms) = args.pass_deadline_ms {
+        discovery = discovery.with_pass_deadline(std::time::Duration::from_millis(ms));
+    }
     let server = fastod_suite::serve::Server::new(ServeConfig {
-        discovery: DiscoveryConfig::default()
-            .with_threads(args.threads)
-            .with_obs(obs.clone()),
+        discovery,
         total_partition_budget: None,
+        // A deadline makes pass failure a normal event, so pair it with
+        // automatic healing; without one, failures stay loud and manual.
+        recovery: if args.pass_deadline_ms.is_some() {
+            fastod_suite::serve::RecoveryPolicy::auto()
+        } else {
+            fastod_suite::serve::RecoveryPolicy::disabled()
+        },
     });
     let started = Instant::now();
     let session = match server.open("cli", &base) {
@@ -402,38 +424,63 @@ fn run_serve(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
             let hi = (i + batch).min(n);
             let chunk = rel.select_rows(&(i..hi).collect::<Vec<_>>());
             let t = Instant::now();
-            let report = session
-                .push_batch(&chunk)
-                .expect("replayed batch matches the schema");
-            append_ms.push(t.elapsed().as_secs_f64() * 1e3);
-            if args.verbose {
-                eprintln!(
-                    "append pass {} ({:.2} ms): {}",
-                    append_ms.len(),
-                    append_ms.last().unwrap(),
-                    report.counters
-                );
+            match session.push_batch(&chunk) {
+                Ok(report) => {
+                    append_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    if args.verbose {
+                        eprintln!(
+                            "append pass {} ({:.2} ms): {}",
+                            append_ms.len(),
+                            append_ms.last().unwrap(),
+                            report.counters
+                        );
+                    }
+                    i = hi;
+                }
+                Err(e) => {
+                    // A deadline overrun poisons the engine; heal and replay
+                    // the same batch (the rebuild folded it in only if it
+                    // was absorbed before the pass died — recovery keeps the
+                    // engine's accumulated rows authoritative either way).
+                    eprintln!("append pass failed ({e}); healing");
+                    let healed = server.heal();
+                    if healed.is_empty() {
+                        eprintln!("serve: session unrecoverable, stopping replay");
+                        break;
+                    }
+                    // The failed pass already absorbed the rows: skip ahead.
+                    i = hi;
+                }
             }
-            i = hi;
         }
         let mut row = base_rows;
         while row < n {
             let hi = (row + batch).min(n);
             let ids: Vec<usize> = (row..hi).collect();
             let t = Instant::now();
-            let report = session
-                .delete_rows(&ids)
-                .expect("replayed ids are live");
-            delete_ms.push(t.elapsed().as_secs_f64() * 1e3);
-            if args.verbose {
-                eprintln!(
-                    "delete pass {} ({:.2} ms): {}",
-                    delete_ms.len(),
-                    delete_ms.last().unwrap(),
-                    report.counters
-                );
+            match session.delete_rows(&ids) {
+                Ok(report) => {
+                    delete_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    if args.verbose {
+                        eprintln!(
+                            "delete pass {} ({:.2} ms): {}",
+                            delete_ms.len(),
+                            delete_ms.last().unwrap(),
+                            report.counters
+                        );
+                    }
+                    row = hi;
+                }
+                Err(e) => {
+                    eprintln!("delete pass failed ({e}); healing");
+                    let healed = server.heal();
+                    if healed.is_empty() {
+                        eprintln!("serve: session unrecoverable, stopping replay");
+                        break;
+                    }
+                    row = hi;
+                }
             }
-            row = hi;
         }
         stop.store(true, Ordering::Relaxed);
         for handle in readers {
@@ -482,7 +529,7 @@ fn main() -> ExitCode {
                  fastod check <FILE.csv> [--od SPEC]... [--discover-near-valid] \
                  [--max-error F] [--witnesses N] [--nulls first|last] [--json]\n       \
                  fastod serve <FILE.csv> [--no-header] [--threads N] [--readers N] \
-                 [--batch N] [--base-frac F] [--verbose] [--trace OUT.jsonl]"
+                 [--batch N] [--base-frac F] [--pass-deadline-ms MS] [--verbose] [--trace OUT.jsonl]"
             );
             return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }

@@ -48,6 +48,7 @@
 //! ```
 
 pub use fastod as discovery;
+pub use fastod_faultkit as faultkit;
 pub use fastod_baselines as baselines;
 pub use fastod_datagen as datagen;
 pub use fastod_incremental as incremental;
