@@ -2,7 +2,7 @@
 //! driver also used by the approximate variant.
 
 use crate::config::DiscoveryConfig;
-use crate::lattice::{build_level0, build_level1, calculate_next_level_parallel, Level};
+use crate::lattice::{build_level0, build_level1_parallel, calculate_next_level_parallel, Level};
 use crate::parallel::Executor;
 use crate::result::DiscoveryResult;
 use crate::snapshot::{compute_candidate_sets_parallel, prune_level, validate_level};
@@ -113,7 +113,9 @@ pub(crate) fn run_lattice<J: OdJudge>(
     // Levels l-2, l-1 and l (Algorithm 1 lines 1–6).
     let mut prev_prev: Level = Level::new();
     let mut prev: Level = build_level0(enc.n_rows(), n_attrs);
-    let mut current: Level = build_level1(enc);
+    // Row-sharded across the executor; byte-identical to the sequential
+    // build at every thread count (see `build_level1_sharded`).
+    let mut current: Level = build_level1_parallel(enc, &exec, &opts.cancel)?;
     let mut l = 1usize;
 
     while !current.is_empty() {

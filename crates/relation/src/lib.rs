@@ -41,10 +41,12 @@ pub mod csv;
 mod encode;
 mod error;
 mod grow;
+mod packed;
 mod relation;
 pub mod sample;
 mod schema;
 pub mod stats;
+pub mod stream;
 mod value;
 
 pub use attr::{AttrId, AttrSet, AttrSetIter};
@@ -54,7 +56,11 @@ pub use column::{Column, ColumnData};
 pub use encode::EncodedRelation;
 pub use error::RelationError;
 pub use grow::{AppendReport, GrowableRelation};
+pub use packed::PackedCodes;
 pub use relation::{Relation, RelationBuilder};
 pub use schema::Schema;
 pub use csv::CsvOptions;
+pub use stream::{
+    read_csv_file_chunks, read_csv_file_stream, read_csv_stream, CsvChunks, StreamedCsv,
+};
 pub use value::{DataType, Date, NullPolicy, Value};

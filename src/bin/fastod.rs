@@ -22,6 +22,15 @@
 //!                          witnesses; OD syntax: "ctx1,ctx2:[]->A" or
 //!                          "ctx1:A~B" (attribute names)
 //!   --stats                print per-level statistics (Figure 7 style)
+//!   --stream               ingest the CSV via the two-pass streaming
+//!                          dictionary build into bit-packed code columns
+//!                          (the 100M-row scale path): peak memory is
+//!                          O(distinct values + packed codes) instead of
+//!                          O(rows), reported via the `relation.peak_bytes`
+//!                          gauge; codes/cardinalities/covers are identical
+//!                          to the one-shot reader
+//!   --chunk-rows <N>       rows per streaming chunk (default 65536;
+//!                          0 = whole file)
 //!   --trace <FILE.jsonl>   write a structured span trace of the run (one
 //!                          JSON event per closed span; schema documented
 //!                          in fastod-obs) and enable metrics collection
@@ -65,7 +74,7 @@ use fastod_suite::discovery::{ApproxConfig, ApproxFastod, CancelToken};
 use fastod_suite::obs::{LogHistogram, Obs};
 use fastod_suite::prelude::*;
 use fastod_suite::relation::csv::{read_csv_file_opts, CsvOptions};
-use fastod_suite::relation::NullPolicy;
+use fastod_suite::relation::{read_csv_file_chunks, read_csv_file_stream, NullPolicy};
 use fastod_suite::serve::ServeConfig;
 use fastod_suite::theory::{find_violations, CheckReport};
 use std::process::ExitCode;
@@ -100,6 +109,11 @@ struct Args {
     /// `serve`: wall-clock budget per maintenance pass; an overrunning
     /// pass fails like a cancelled one and auto-recovery rebuilds it.
     pass_deadline_ms: Option<u64>,
+    /// Ingest via the two-pass streaming dictionary build into bit-packed
+    /// code columns instead of materializing the whole file's values.
+    stream: bool,
+    /// Rows per streaming chunk (0 = whole file).
+    chunk_rows: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -127,6 +141,8 @@ fn parse_args() -> Result<Args, String> {
         batch: 16,
         base_frac: 0.5,
         pass_deadline_ms: None,
+        stream: false,
+        chunk_rows: fastod_suite::relation::stream::DEFAULT_CHUNK_ROWS,
     };
     let mut iter = std::env::args().skip(1).peekable();
     match iter.peek().map(String::as_str) {
@@ -150,6 +166,12 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--no-header" => args.header = false,
+            "--stream" => args.stream = true,
+            "--chunk-rows" => {
+                args.chunk_rows = need(&mut iter, "--chunk-rows")?
+                    .parse()
+                    .map_err(|e| format!("--chunk-rows: {e}"))?
+            }
             "--stats" => args.stats = true,
             "--verbose" => args.verbose = true,
             "--trace" => args.trace = Some(need(&mut iter, "--trace")?),
@@ -264,14 +286,13 @@ fn parse_od(spec: &str, schema: &Schema) -> Result<CanonicalOd, String> {
 /// count, witness pairs, and a minimum-cardinality repair (rows whose
 /// removal makes the rule hold). `--json` emits the `fastod.check.v1`
 /// document instead.
-fn run_check(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
-    let enc = rel.encode();
-    let names = rel.schema().names();
+fn run_check(enc: &EncodedRelation, rel: Option<&Relation>, args: &Args, obs: &Obs) -> ExitCode {
+    let names = enc.schema().names();
     let ods: Vec<CanonicalOd> = if args.near_valid {
         let cfg = ApproxConfig::new(args.max_error)
             .with_threads(args.threads)
             .with_obs(obs.clone());
-        let result = ApproxFastod::new(cfg).discover(&enc);
+        let result = ApproxFastod::new(cfg).discover(enc);
         result
             .ods
             .sorted()
@@ -281,7 +302,7 @@ fn run_check(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
     } else {
         let mut out = Vec::new();
         for spec in &args.od_specs {
-            match parse_od(spec, rel.schema()) {
+            match parse_od(spec, enc.schema()) {
                 Ok(od) => out.push(od),
                 Err(e) => {
                     eprintln!("error parsing OD {spec:?}: {e}");
@@ -295,7 +316,7 @@ fn run_check(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
         eprintln!("check: no rules to check; pass --od <SPEC> or --discover-near-valid");
         return ExitCode::FAILURE;
     }
-    let report = CheckReport::run(&enc, &ods, args.witness_limit);
+    let report = CheckReport::run(enc, &ods, args.witness_limit);
     obs.add("check.rules", report.rules.len() as u64);
     obs.add("check.violations", report.total_violations());
     if args.json {
@@ -315,7 +336,15 @@ fn run_check(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
                 rule.removal_rows,
             );
             for w in &rule.witnesses {
-                println!("    witness: {}", w.describe(rel));
+                // Witness values need the raw relation; streamed ingest
+                // never materializes one, so fall back to the row ids.
+                match rel {
+                    Some(rel) => println!("    witness: {}", w.describe(rel)),
+                    None => {
+                        let (i, j) = w.rows();
+                        println!("    witness: rows ({i}, {j})");
+                    }
+                }
             }
         }
         eprintln!(
@@ -515,90 +544,158 @@ fn run_serve(rel: &Relation, args: &Args, obs: &Obs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            if msg != "help" {
-                eprintln!("error: {msg}\n");
-            }
-            eprintln!(
-                "usage: fastod <FILE.csv> [--no-header] [--max-level N] [--timeout SECS] \
-                 [--threads N] [--epsilon F] [--violations OD] [--stats] [--trace OUT.jsonl]\n       \
-                 fastod stats <FILE.csv> [same options]\n       \
-                 fastod check <FILE.csv> [--od SPEC]... [--discover-near-valid] \
-                 [--max-error F] [--witnesses N] [--nulls first|last] [--json]\n       \
-                 fastod serve <FILE.csv> [--no-header] [--threads N] [--readers N] \
-                 [--batch N] [--base-frac F] [--pass-deadline-ms MS] [--verbose] [--trace OUT.jsonl]"
-            );
-            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
-        }
-    };
-
-    let opts = CsvOptions {
-        has_header: args.header,
-        null_policy: args.nulls,
-    };
-    let rel = match read_csv_file_opts(&args.file, opts) {
-        Ok(r) => r,
+/// `fastod serve --stream`: replay the file as live traffic without ever
+/// materializing it whole. [`read_csv_file_chunks`] infers one global
+/// schema in a first pass, then re-reads the file as `--batch`-row typed
+/// chunks: whole chunks accumulate into the seed relation until
+/// `--base-frac` of the rows are covered, and every later chunk is pushed
+/// through the serving layer as an append batch.
+fn run_serve_stream(args: &Args, opts: CsvOptions, obs: &Obs) -> ExitCode {
+    let batch = args.batch.max(1);
+    let mut chunks = match read_csv_file_chunks(&args.file, opts, batch) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("error reading {}: {e}", args.file);
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "loaded {}: {} rows x {} attributes",
-        args.file,
-        rel.n_rows(),
-        rel.n_attrs()
-    );
-    // One recorder for the whole run: a `--trace` file sink, an in-memory
-    // recorder for `fastod stats` / verbose serve, or the free no-op.
-    let obs = match &args.trace {
-        Some(path) => match Obs::to_file(path) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("error creating trace file {path}: {e}");
+    let n = chunks.n_rows();
+    if n == 0 {
+        eprintln!("serve: the relation has no rows to replay");
+        return ExitCode::FAILURE;
+    }
+    let base_rows = ((n as f64 * args.base_frac).round() as usize).clamp(1, n);
+    // Seed with whole chunks until the base fraction is covered (the seed
+    // rounds up to a chunk boundary).
+    let mut base: Option<Relation> = None;
+    while base.as_ref().map_or(0, Relation::n_rows) < base_rows {
+        match chunks.next() {
+            Some(Ok(chunk)) => match &mut base {
+                None => base = Some(chunk),
+                Some(b) => {
+                    if let Err(e) = b.extend(&chunk) {
+                        eprintln!("serve: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            },
+            Some(Err(e)) => {
+                eprintln!("error reading {}: {e}", args.file);
                 return ExitCode::FAILURE;
             }
+            None => break,
+        }
+    }
+    let base = base.expect("n > 0 implies at least one chunk");
+    let seeded = base.n_rows();
+    let mut discovery = DiscoveryConfig::default()
+        .with_threads(args.threads)
+        .with_obs(obs.clone());
+    if let Some(ms) = args.pass_deadline_ms {
+        discovery = discovery.with_pass_deadline(Duration::from_millis(ms));
+    }
+    let server = fastod_suite::serve::Server::new(ServeConfig {
+        discovery,
+        total_partition_budget: None,
+        recovery: if args.pass_deadline_ms.is_some() {
+            fastod_suite::serve::RecoveryPolicy::auto()
+        } else {
+            fastod_suite::serve::RecoveryPolicy::disabled()
         },
-        None if args.stats_cmd || (args.serve && args.verbose) => Obs::enabled(),
-        None => Obs::disabled(),
+    });
+    let started = Instant::now();
+    let session = match server.open("cli", &base) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    if args.serve {
-        let code = run_serve(&rel, &args, &obs);
-        obs.flush();
-        if let Some(path) = &args.trace {
-            eprintln!("trace written to {path}");
+    eprintln!(
+        "seeded {} of {} rows in {:?} (streamed); cover = {} ODs; replaying {} rows as append batches",
+        seeded,
+        n,
+        started.elapsed(),
+        session.read().1.minimal_cover().len(),
+        n - seeded,
+    );
+    let mut append_ms: Vec<f64> = Vec::new();
+    let mut replayed = 0usize;
+    for chunk in chunks {
+        let chunk = match chunk {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", args.file);
+                return ExitCode::FAILURE;
+            }
+        };
+        let rows = chunk.n_rows();
+        let t = Instant::now();
+        match session.push_batch(&chunk) {
+            Ok(report) => {
+                append_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                if args.verbose {
+                    eprintln!(
+                        "append pass {} ({:.2} ms): {}",
+                        append_ms.len(),
+                        append_ms.last().unwrap(),
+                        report.counters
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("append pass failed ({e}); healing");
+                if server.heal().is_empty() {
+                    eprintln!("serve: session unrecoverable, stopping replay");
+                    break;
+                }
+            }
         }
-        return code;
+        replayed += rows;
     }
-    if args.check {
-        let code = run_check(&rel, &args, &obs);
-        obs.flush();
-        if let Some(path) = &args.trace {
-            eprintln!("trace written to {path}");
-        }
-        return code;
+    let (epoch, snap) = session.read();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    eprintln!(
+        "replayed {} rows in {} append passes (mean {:.2} ms); final epoch {}, cover = {} ODs over {} live rows",
+        replayed,
+        append_ms.len(),
+        mean(&append_ms),
+        epoch,
+        snap.minimal_cover().len(),
+        snap.n_live(),
+    );
+    if obs.is_enabled() {
+        eprintln!("\n{}", session.metrics().render());
     }
-    let enc = rel.encode();
-    let names = rel.schema().names();
+    ExitCode::SUCCESS
+}
 
+/// The discovery tail shared by the one-shot and streamed ingest paths:
+/// `--violations` single-rule checking, then exact/approximate discovery.
+/// `rel` is absent under `--stream` (witness values fall back to row ids).
+fn run_discover(enc: &EncodedRelation, rel: Option<&Relation>, args: &Args, obs: &Obs) -> ExitCode {
+    let names = enc.schema().names();
     if let Some(spec) = &args.violations {
-        let od = match parse_od(spec, rel.schema()) {
+        let od = match parse_od(spec, enc.schema()) {
             Ok(od) => od,
             Err(e) => {
                 eprintln!("error parsing OD: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let violations = find_violations(&enc, &od, 20);
+        let violations = find_violations(enc, &od, 20);
         if violations.is_empty() {
             println!("{} HOLDS", od.display(names));
         } else {
             println!("{} VIOLATED ({} witnesses shown):", od.display(names), violations.len());
             for v in violations {
-                println!("  {}", v.describe(&rel));
+                match rel {
+                    Some(rel) => println!("  {}", v.describe(rel)),
+                    None => {
+                        let (i, j) = v.rows();
+                        println!("  rows ({i}, {j})");
+                    }
+                }
             }
         }
         return ExitCode::SUCCESS;
@@ -616,7 +713,7 @@ fn main() -> ExitCode {
         if let Some(l) = args.max_level {
             cfg = cfg.with_max_level(l);
         }
-        ApproxFastod::new(cfg).try_discover(&enc)
+        ApproxFastod::new(cfg).try_discover(enc)
     } else {
         let mut cfg = DiscoveryConfig::default()
             .with_cancel(cancel)
@@ -625,7 +722,7 @@ fn main() -> ExitCode {
         if let Some(l) = args.max_level {
             cfg = cfg.with_max_level(l);
         }
-        Fastod::new(cfg).try_discover(&enc)
+        Fastod::new(cfg).try_discover(enc)
     };
     let result = match result {
         Ok(r) => r,
@@ -652,11 +749,107 @@ fn main() -> ExitCode {
     if args.stats_cmd {
         println!("{}", obs.snapshot().render());
     }
-    obs.flush();
-    if let Some(path) = &args.trace {
-        eprintln!("trace written to {path}");
-    }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: fastod <FILE.csv> [--no-header] [--max-level N] [--timeout SECS] \
+                 [--threads N] [--epsilon F] [--violations OD] [--stats] [--stream] \
+                 [--chunk-rows N] [--trace OUT.jsonl]\n       \
+                 fastod stats <FILE.csv> [same options]\n       \
+                 fastod check <FILE.csv> [--od SPEC]... [--discover-near-valid] \
+                 [--max-error F] [--witnesses N] [--nulls first|last] [--json] [--stream]\n       \
+                 fastod serve <FILE.csv> [--no-header] [--threads N] [--readers N] \
+                 [--batch N] [--base-frac F] [--pass-deadline-ms MS] [--stream] [--verbose] \
+                 [--trace OUT.jsonl]"
+            );
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let opts = CsvOptions {
+        has_header: args.header,
+        null_policy: args.nulls,
+    };
+    // One recorder for the whole run: a `--trace` file sink, an in-memory
+    // recorder for `fastod stats` / verbose serve, or the free no-op.
+    let obs = match &args.trace {
+        Some(path) => match Obs::to_file(path) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error creating trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None if args.stats_cmd || (args.serve && args.verbose) => Obs::enabled(),
+        None => Obs::disabled(),
+    };
+    let finish = |code: ExitCode, obs: &Obs| {
+        obs.flush();
+        if let Some(path) = &args.trace {
+            eprintln!("trace written to {path}");
+        }
+        code
+    };
+
+    if args.stream {
+        if args.serve {
+            let code = run_serve_stream(&args, opts, &obs);
+            return finish(code, &obs);
+        }
+        let streamed = match read_csv_file_stream(&args.file, opts, args.chunk_rows) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", args.file);
+                return ExitCode::FAILURE;
+            }
+        };
+        obs.set_gauge("relation.peak_bytes", streamed.peak_bytes as f64);
+        let enc = streamed.encoded;
+        eprintln!(
+            "loaded {} (streamed): {} rows x {} attributes; {} encoded bytes, {} peak during ingest",
+            args.file,
+            enc.n_rows(),
+            enc.n_attrs(),
+            enc.memory_bytes(),
+            streamed.peak_bytes,
+        );
+        let code = if args.check {
+            run_check(&enc, None, &args, &obs)
+        } else {
+            run_discover(&enc, None, &args, &obs)
+        };
+        return finish(code, &obs);
+    }
+
+    let rel = match read_csv_file_opts(&args.file, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {}: {} rows x {} attributes",
+        args.file,
+        rel.n_rows(),
+        rel.n_attrs()
+    );
+    let code = if args.serve {
+        run_serve(&rel, &args, &obs)
+    } else if args.check {
+        run_check(&rel.encode(), Some(&rel), &args, &obs)
+    } else {
+        run_discover(&rel.encode(), Some(&rel), &args, &obs)
+    };
+    finish(code, &obs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,147 @@
+//! The row-sharded level-1 partition build, pinned byte-for-byte.
+//!
+//! `build_level1_sharded` fans one attribute's contiguous row ranges out
+//! across the executor and merges the partial counting sorts back into a
+//! stripped partition. The contract is stronger than set equality: the CSR
+//! buffers (`rows` and `class_offsets`) must be **byte-identical** to the
+//! sequential `build_level1` at every thread count and every shard size —
+//! that is what lets the discovery, snapshot and serving layers treat the
+//! parallel build as a drop-in. These tests sweep the scenario corpus and
+//! generated tables across threads {1, 2, 4} and shard sizes down to one
+//! row per shard (forcing deep merges and the high-cardinality pair-sort
+//! path), repeat on packed encodings, and pin fault containment: an
+//! injected `executor.worker` panic fails the pass cleanly and leaves
+//! nothing partial behind.
+
+use fastod_suite::discovery::snapshot::{build_level1, build_level1_parallel, build_level1_sharded};
+use fastod_suite::discovery::{CancelToken, Executor, PassError};
+use fastod_suite::faultkit;
+use fastod_suite::prelude::*;
+use proptest::prelude::*;
+
+/// Collects a level's CSR buffers in key order for exact comparison.
+fn csr_bytes(
+    level: &std::collections::HashMap<u64, fastod_suite::discovery::snapshot::Node>,
+) -> Vec<(u64, Vec<u32>, Vec<u32>)> {
+    let mut keys: Vec<u64> = level.keys().copied().collect();
+    keys.sort_unstable();
+    keys.into_iter()
+        .map(|k| {
+            let (rows, offsets) = level[&k].partition.raw_csr();
+            (k, rows.to_vec(), offsets.to_vec())
+        })
+        .collect()
+}
+
+/// Asserts sharded == sequential on `enc` across thread counts and shard
+/// sizes (including production-sized shards via `build_level1_parallel`).
+fn assert_sharded_matches(enc: &EncodedRelation, context: &str) {
+    let sequential = csr_bytes(&build_level1(enc));
+    let cancel = CancelToken::never();
+    for threads in [1usize, 2, 4] {
+        let exec = Executor::new(threads);
+        let auto = build_level1_parallel(enc, &exec, &cancel).unwrap();
+        assert_eq!(csr_bytes(&auto), sequential, "{context}: auto shards, t={threads}");
+        for shard_rows in [1usize, 3, 64] {
+            let sharded = build_level1_sharded(enc, &exec, &cancel, shard_rows).unwrap();
+            assert_eq!(
+                csr_bytes(&sharded),
+                sequential,
+                "{context}: t={threads}, shard_rows={shard_rows}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_csr_identical_at_every_thread_and_shard_size() {
+    for scenario in fastod_suite::datagen::scenario_corpus() {
+        let rel = scenario.final_state();
+        let enc = rel.encode();
+        assert_sharded_matches(&enc, scenario.name);
+        // The packed representation feeds the shard workers through
+        // `codes_range` — same bytes must come out.
+        let mut packed = rel.encode();
+        packed.pack();
+        assert_sharded_matches(&packed, &format!("{} (packed)", scenario.name));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated tables, keys and constants included: cardinality 1 columns,
+    /// key columns (cardinality = n_rows) and everything between.
+    #[test]
+    fn generated_tables_csr_identical(
+        n_rows in 0usize..60,
+        card in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let spec = fastod_suite::datagen::TableSpec::new("sharded", n_rows, seed)
+            .column("key", fastod_suite::datagen::ColumnSpec::ShuffledKey)
+            .column("konst", fastod_suite::datagen::ColumnSpec::Constant(7))
+            .column("cat", fastod_suite::datagen::ColumnSpec::RandomInt { cardinality: card })
+            .column(
+                "mono",
+                fastod_suite::datagen::ColumnSpec::MonotoneOf { source: 0, plateau: 4 },
+            );
+        let enc = spec.build().encode();
+        let sequential = csr_bytes(&build_level1(&enc));
+        let cancel = CancelToken::never();
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::new(threads);
+            for shard_rows in [1usize, 5, 1 << 16] {
+                let sharded = build_level1_sharded(&enc, &exec, &cancel, shard_rows).unwrap();
+                prop_assert_eq!(
+                    csr_bytes(&sharded),
+                    sequential.clone(),
+                    "t={}, shard_rows={}", threads, shard_rows
+                );
+            }
+        }
+    }
+}
+
+/// An injected panic in an executor worker fails the whole pass with
+/// `PassError` — no partial level escapes — and a rebuild after the fault
+/// clears is byte-identical to sequential.
+#[test]
+fn worker_panic_fails_the_pass_cleanly() {
+    let enc = fastod_suite::datagen::ncvoter_like(300, 6, 0x5AD0).encode();
+    let sequential = csr_bytes(&build_level1(&enc));
+    let cancel = CancelToken::never();
+    for threads in [1usize, 2, 4] {
+        let exec = Executor::new(threads);
+        let guard = faultkit::arm(
+            faultkit::FaultPlan::new().rule(faultkit::EXECUTOR_WORKER, 0, faultkit::FaultAction::Panic),
+        );
+        let result = build_level1_sharded(&enc, &exec, &cancel, 16);
+        match result {
+            Err(PassError::Panicked { site, ref message }) => {
+                assert_eq!(site, faultkit::EXECUTOR_WORKER, "t={threads}");
+                assert!(message.contains("faultkit"), "t={threads}: {message}");
+            }
+            Err(other) => panic!("t={threads}: expected a contained panic, got {other:?}"),
+            Ok(_) => panic!("t={threads}: pass must fail under an injected worker panic"),
+        }
+        drop(guard);
+        // Nothing partial persisted: the same call now reproduces the
+        // sequential CSR exactly.
+        let rebuilt = build_level1_sharded(&enc, &exec, &cancel, 16).unwrap();
+        assert_eq!(csr_bytes(&rebuilt), sequential, "t={threads} after heal");
+    }
+}
+
+/// Cancellation before the pass starts propagates as `Cancelled` at every
+/// thread count.
+#[test]
+fn pre_cancelled_token_aborts_the_pass() {
+    let enc = fastod_suite::datagen::flight_like(100, 5, 0xCA).encode();
+    let cancel = CancelToken::with_timeout(std::time::Duration::ZERO);
+    for threads in [1usize, 4] {
+        let exec = Executor::new(threads);
+        let result = build_level1_sharded(&enc, &exec, &cancel, 8);
+        assert!(matches!(result, Err(PassError::Cancelled)), "t={threads}");
+    }
+}

@@ -1,0 +1,236 @@
+//! The streaming CSV reader, pinned against the one-shot reader.
+//!
+//! `read_csv_stream` makes two passes over the file (dictionaries, then
+//! encode) and never holds more than a chunk of decoded values — but its
+//! *result* must be indistinguishable from `read_csv_opts` reading the whole
+//! file at once: same schema, same dense-rank codes, same cardinalities,
+//! same null masks, same discovered cover. These tests sweep chunk sizes
+//! {1, 7, 4096, whole-file} across the dialect corner cases the one-shot
+//! reader pins (quoted-empty vs null, whitespace trimming, blank lines,
+//! headerless files, both null policies) and pin the error behaviour: ragged
+//! rows and missing null policies fail identically, and a file that shrinks
+//! between the two streaming passes is reported as such rather than
+//! producing a silently short relation.
+
+use fastod_suite::prelude::*;
+use fastod_suite::relation::stream::DEFAULT_CHUNK_ROWS;
+use fastod_suite::relation::{
+    read_csv_stream, CsvChunks, CsvOptions, NullPolicy, RelationError,
+};
+use std::io::{Cursor, Read, Seek, SeekFrom};
+
+const CHUNK_SIZES: [usize; 4] = [1, 7, 4096, 0]; // 0 = whole file
+
+/// Asserts the streamed encoding equals the one-shot read of `text` at every
+/// swept chunk size, and that (for non-trivial inputs) the discovered covers
+/// agree.
+fn assert_equivalent(text: &str, opts: CsvOptions) {
+    let rel = fastod_suite::relation::csv::read_csv_opts(text.as_bytes(), opts)
+        .expect("one-shot read should succeed");
+    let enc = rel.encode();
+    for chunk_rows in CHUNK_SIZES {
+        let streamed = read_csv_stream(Cursor::new(text), opts, chunk_rows)
+            .unwrap_or_else(|e| panic!("chunk_rows={chunk_rows}: {e}"));
+        assert_eq!(streamed.encoded.n_rows(), enc.n_rows(), "chunk {chunk_rows}");
+        assert_eq!(streamed.encoded.n_attrs(), enc.n_attrs());
+        for a in 0..enc.n_attrs() {
+            assert_eq!(streamed.encoded.schema().name(a), rel.schema().name(a));
+            assert_eq!(
+                streamed.encoded.schema().data_type(a),
+                rel.schema().data_type(a),
+                "attr {a} type, chunk {chunk_rows}"
+            );
+            assert_eq!(
+                streamed.encoded.codes(a),
+                enc.codes(a),
+                "attr {a} codes, chunk {chunk_rows}"
+            );
+            assert_eq!(streamed.encoded.cardinality(a), enc.cardinality(a));
+            assert_eq!(
+                streamed.null_masks[a].as_deref(),
+                rel.column(a).null_mask(),
+                "attr {a} null mask, chunk {chunk_rows}"
+            );
+        }
+        if enc.n_rows() > 0 {
+            let cover = |e: &EncodedRelation| {
+                Fastod::new(DiscoveryConfig::default()).discover(e).ods.sorted()
+            };
+            assert_eq!(cover(&streamed.encoded), cover(&enc), "chunk {chunk_rows}");
+        }
+    }
+}
+
+#[test]
+fn plain_typed_file_matches() {
+    assert_equivalent(
+        "id,grp,score,name\n3,b,1.5,x\n1,a,2,y\n2,b,1.5,x\n10,a,0.5,z\n",
+        CsvOptions::with_header(),
+    );
+}
+
+#[test]
+fn null_dialects_match_under_both_policies() {
+    // Empty fields, whitespace-only fields (trimmed to empty = null) and the
+    // quoted `""` (empty *string*, not null) in one file.
+    let text = "s,n,f\nx,1,0.5\n, 2 ,\n\"\" ,3,1.5\n   ,,2.5\n";
+    for policy in [NullPolicy::First, NullPolicy::Last] {
+        assert_equivalent(text, CsvOptions::with_header().null_policy(policy));
+    }
+}
+
+#[test]
+fn quoting_and_whitespace_edges_match() {
+    // Quoted-empty at field start/middle/end, padding around values, and an
+    // all-quoted-empty row; no nulls so no policy is needed.
+    assert_equivalent(
+        "a,b,c\n\"\",mid,\"\"\n x , \"\" , y \nu,v,w\n\"\",\"\",\"\"\n",
+        CsvOptions::with_header(),
+    );
+}
+
+#[test]
+fn blank_lines_and_headerless_files_match() {
+    assert_equivalent("x,y\n\n1,a\n\n\n2,b\n3,a\n\n", CsvOptions::with_header());
+    // Headerless: columns are named c0, c1, ...
+    assert_equivalent("5,q\n2,r\n9,q\n", CsvOptions::default());
+}
+
+#[test]
+fn integer_vs_float_vs_string_inference_matches() {
+    // Column types flip as later rows arrive: int → float ("2.5" on row 3)
+    // and int → str ("x" on row 4). Pass 1 must land on the same final type
+    // the one-shot reader does.
+    assert_equivalent(
+        "a,b\n1,1\n2,2\n2.5,3\n3,x\n",
+        CsvOptions::with_header(),
+    );
+    // Numeric strings that collide after parse ("1" vs "01") must merge in
+    // both readers.
+    assert_equivalent("n\n1\n01\n2\n002\n", CsvOptions::with_header());
+}
+
+#[test]
+fn error_pins_match_one_shot() {
+    // Ragged row: same variant, same line number, same message shape.
+    let ragged = "a,b\n1,2\n1,2,3\n";
+    let one = fastod_suite::relation::csv::read_csv_opts(ragged.as_bytes(), CsvOptions::with_header())
+        .unwrap_err();
+    for chunk_rows in CHUNK_SIZES {
+        let streamed =
+            read_csv_stream(Cursor::new(ragged), CsvOptions::with_header(), chunk_rows).unwrap_err();
+        assert_eq!(streamed.to_string(), one.to_string(), "chunk {chunk_rows}");
+    }
+    // Missing null policy names the first nullable column by index order.
+    let err = read_csv_stream(Cursor::new("a,b\n1,x\n,y\n"), CsvOptions::with_header(), 1)
+        .unwrap_err();
+    assert!(matches!(err, RelationError::NullPolicyRequired { ref column } if column == "a"));
+    // Header demanded but absent.
+    let err = read_csv_stream(Cursor::new(""), CsvOptions::with_header(), 0).unwrap_err();
+    assert!(matches!(err, RelationError::Csv { line: 1, .. }), "{err}");
+}
+
+/// A `Read + Seek` source that serves `full` until the first rewind to the
+/// start, then serves `truncated` — the observable behaviour of a file that
+/// shrank between the streaming reader's two passes.
+struct ShrinkingSource {
+    current: Cursor<Vec<u8>>,
+    truncated: Option<Vec<u8>>,
+}
+
+impl ShrinkingSource {
+    fn new(full: &str, truncated: &str) -> ShrinkingSource {
+        ShrinkingSource {
+            current: Cursor::new(full.as_bytes().to_vec()),
+            truncated: Some(truncated.as_bytes().to_vec()),
+        }
+    }
+}
+
+impl Read for ShrinkingSource {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.current.read(buf)
+    }
+}
+
+impl Seek for ShrinkingSource {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        if pos == SeekFrom::Start(0) {
+            if let Some(next) = self.truncated.take() {
+                self.current = Cursor::new(next);
+            }
+        }
+        self.current.seek(pos)
+    }
+}
+
+#[test]
+fn truncation_between_passes_is_an_error_not_a_short_relation() {
+    let full = "a,b\n1,x\n2,y\n3,z\n4,x\n";
+    // Mid-chunk EOF: pass 2 sees two of four data rows.
+    let err = read_csv_stream(
+        ShrinkingSource::new(full, "a,b\n1,x\n2,y\n"),
+        CsvOptions::with_header(),
+        3,
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("file changed between streaming passes"),
+        "unexpected error: {err}"
+    );
+    // A value swap (same row count, unseen value) is also caught: "9" was
+    // never entered into the pass-1 dictionary.
+    let err = read_csv_stream(
+        ShrinkingSource::new(full, "a,b\n1,x\n2,y\n9,z\n4,x\n"),
+        CsvOptions::with_header(),
+        2,
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("file changed between streaming passes"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn chunk_iterator_surfaces_truncation_and_stops() {
+    let full = "a,b\n1,x\n2,y\n3,z\n4,x\n";
+    let mut chunks = CsvChunks::new(
+        ShrinkingSource::new(full, "a,b\n1,x\n2,y\n3,z\n"),
+        CsvOptions::with_header(),
+        2,
+    )
+    .unwrap();
+    assert_eq!(chunks.n_rows(), 4);
+    let first = chunks.next().expect("first chunk exists").expect("first chunk reads");
+    assert_eq!(first.n_rows(), 2);
+    // The second chunk hits end-of-input one row early: the short chunk must
+    // NOT escape as `Ok` — truncation is the error, immediately.
+    let second = chunks.next().expect("second item exists");
+    let err = second.expect_err("truncated tail must error");
+    assert!(
+        err.to_string().contains("file changed between streaming passes"),
+        "unexpected error: {err}"
+    );
+    // After the first error the iterator fuses.
+    assert!(chunks.next().is_none());
+}
+
+#[test]
+fn file_streaming_matches_file_one_shot() {
+    let text = "seq,grp,val\n0,a,1\n1,b,2\n2,a,1\n3,c,3\n4,b,2\n5,a,1\n";
+    let path = std::env::temp_dir().join("fastod_stream_equiv_test.csv");
+    std::fs::write(&path, text).unwrap();
+    let one = fastod_suite::relation::csv::read_csv_file_opts(&path, CsvOptions::with_header())
+        .unwrap()
+        .encode();
+    let streamed =
+        fastod_suite::relation::read_csv_file_stream(&path, CsvOptions::with_header(), 2).unwrap();
+    for a in 0..one.n_attrs() {
+        assert_eq!(streamed.encoded.codes(a), one.codes(a), "attr {a}");
+    }
+    assert!(streamed.peak_bytes > 0);
+    // The default chunk size is the documented knob the CLI exposes.
+    const { assert!(DEFAULT_CHUNK_ROWS > 0) };
+    let _ = std::fs::remove_file(&path);
+}
